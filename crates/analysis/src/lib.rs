@@ -1,0 +1,371 @@
+//! # analysis — closed-form models of Theorems 4.1–4.10
+//!
+//! The paper's contribution is *analytical*: ten theorems comparing LORM
+//! with Mercury, SWORD and MAAN on maintenance overhead and search
+//! efficiency, each validated against simulation. This crate is the
+//! theorem side of that comparison: pure closed-form functions of the
+//! system parameters `(n, m, k, d)`, used by every figure to draw the
+//! "Analysis-…" curves next to the measured ones.
+//!
+//! Notation (paper §IV–V):
+//! * `n` — number of nodes (2048 in the evaluation),
+//! * `m` — number of resource attributes (200),
+//! * `k` — pieces of resource information per attribute (500),
+//! * `d` — Cycloid dimension (8); Chord's "dimension" is `log2 n` (11).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// The parameter tuple every theorem is a function of.
+///
+/// ```
+/// use analysis::{range_visited, Params, System};
+///
+/// let p = Params::paper(); // n = 2048, m = 200, k = 500, d = 8
+/// // Theorem 4.9's §V.B numbers: 513m / 514m / 3m / m visited nodes
+/// assert_eq!(range_visited(&p, 1, System::Mercury), 513.0);
+/// assert_eq!(range_visited(&p, 1, System::Maan), 514.0);
+/// assert_eq!(range_visited(&p, 1, System::Lorm), 3.0);
+/// assert_eq!(range_visited(&p, 1, System::Sword), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Number of attributes `m`.
+    pub m: usize,
+    /// Pieces of resource information per attribute `k`.
+    pub k: usize,
+    /// Cycloid dimension `d`.
+    pub d: u8,
+}
+
+impl Params {
+    /// The paper's evaluation setting: `n = 2048`, `m = 200`, `k = 500`,
+    /// `d = 8` (so `log2 n = 11`).
+    pub fn paper() -> Self {
+        Self { n: 2048, m: 200, k: 500, d: 8 }
+    }
+
+    /// `log2 n` — Chord's lookup exponent (11 for the paper's 2048 nodes).
+    pub fn log2_n(&self) -> f64 {
+        (self.n as f64).log2()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Maintenance overhead (Theorems 4.1 – 4.6)
+// ---------------------------------------------------------------------
+
+/// Theorem 4.1 — structure maintenance. LORM improves the outlink count
+/// of multi-DHT methods by no less than `m` times. Returns that factor.
+pub fn t41_structure_factor(p: &Params) -> f64 {
+    p.m as f64
+}
+
+/// Expected distinct outlinks per node in one Chord ring (`log2 n`).
+pub fn chord_outlinks(p: &Params) -> f64 {
+    p.log2_n()
+}
+
+/// Expected outlinks per physical node in Mercury: one Chord per
+/// attribute, `m · log2 n` links.
+pub fn mercury_outlinks(p: &Params) -> f64 {
+    p.m as f64 * p.log2_n()
+}
+
+/// Expected outlinks per node in LORM/Cycloid: constant (≤ 8 — the seven
+/// links of the paper's Cycloid plus the cached cluster primary).
+pub fn lorm_outlinks(_p: &Params) -> f64 {
+    7.0
+}
+
+/// The "Analysis>LORM" curve of Figure 3(a): Mercury's measured overhead
+/// divided by `m` — Theorem 4.1 predicts LORM is at or below this line.
+pub fn t41_analysis_lorm(mercury_measured: f64, p: &Params) -> f64 {
+    mercury_measured / p.m as f64
+}
+
+/// Theorem 4.2 — total resource information. MAAN stores twice as many
+/// pieces as LORM/SWORD/Mercury. Returns the MAAN multiplier.
+pub fn t42_maan_total_factor() -> f64 {
+    2.0
+}
+
+/// Theorem 4.3 — directory-size reduction of LORM over MAAN (applies to
+/// the distribution percentiles): `d · (1 + m/n)`.
+pub fn t43_maan_over_lorm(p: &Params) -> f64 {
+    p.d as f64 * (1.0 + p.m as f64 / p.n as f64)
+}
+
+/// Theorem 4.4 — directory-size reduction of LORM over SWORD: `d`.
+pub fn t44_sword_over_lorm(p: &Params) -> f64 {
+    p.d as f64
+}
+
+/// Theorem 4.5 — balance advantage of Mercury over LORM: `n / (d·m)`.
+pub fn t45_mercury_balance_factor(p: &Params) -> f64 {
+    p.n as f64 / (p.d as f64 * p.m as f64)
+}
+
+/// Average directory size per node when every report is stored once:
+/// `m·k / n` (LORM, SWORD, Mercury — Theorem 4.2 makes MAAN twice this).
+pub fn avg_directory_size(p: &Params) -> f64 {
+    p.m as f64 * p.k as f64 / p.n as f64
+}
+
+// ---------------------------------------------------------------------
+// Search efficiency (Theorems 4.7 – 4.10)
+// ---------------------------------------------------------------------
+
+/// Average lookup hops in Chord: `(1/2)·log2 n` (Chord paper).
+pub fn chord_lookup_hops(p: &Params) -> f64 {
+    p.log2_n() / 2.0
+}
+
+/// Average lookup hops in Cycloid: `d` (Cycloid paper, as used by
+/// Theorem 4.7).
+pub fn cycloid_lookup_hops(p: &Params) -> f64 {
+    p.d as f64
+}
+
+/// Theorem 4.7 — for an `m_q`-attribute non-range query, LORM reduces
+/// MAAN's contacted nodes by `log2 n / d` times. Returns that factor.
+pub fn t47_maan_over_lorm_hops(p: &Params) -> f64 {
+    p.log2_n() / p.d as f64
+}
+
+/// Theorem 4.8 — Mercury/SWORD reduce MAAN's contacted nodes by 2×.
+pub fn t48_maan_over_single_lookup() -> f64 {
+    2.0
+}
+
+/// Expected total hops of an `arity`-attribute non-range query, per system.
+///
+/// MAAN: `2 · arity · (log2 n)/2`; Mercury/SWORD: `arity · (log2 n)/2`;
+/// LORM: `arity · d`.
+pub fn nonrange_hops(p: &Params, arity: usize, system: System) -> f64 {
+    let a = arity as f64;
+    match system {
+        System::Maan => 2.0 * a * chord_lookup_hops(p),
+        System::Mercury | System::Sword => a * chord_lookup_hops(p),
+        System::Lorm => a * cycloid_lookup_hops(p),
+    }
+}
+
+/// Theorem 4.9 — average visited nodes for an `arity`-attribute *range*
+/// query: `m(1 + n/4)` Mercury, `m(2 + n/4)` MAAN, `m(1 + d/4)` LORM,
+/// `m` SWORD.
+pub fn range_visited(p: &Params, arity: usize, system: System) -> f64 {
+    let a = arity as f64;
+    match system {
+        System::Mercury => a * (1.0 + p.n as f64 / 4.0),
+        System::Maan => a * (2.0 + p.n as f64 / 4.0),
+        System::Lorm => a * (1.0 + p.d as f64 / 4.0),
+        System::Sword => a,
+    }
+}
+
+/// Theorem 4.9's two headline reductions: visited nodes LORM saves over a
+/// system-wide method, and visited nodes SWORD saves over LORM.
+pub fn t49_reductions(p: &Params, arity: usize) -> (f64, f64) {
+    let a = arity as f64;
+    (a * (p.n as f64 - p.d as f64) / 4.0, a * p.d as f64 / 4.0)
+}
+
+/// Theorem 4.10 — worst-case contacted nodes for an `arity`-attribute
+/// range query.
+pub fn worstcase_range_contacted(p: &Params, arity: usize, system: System) -> f64 {
+    let a = arity as f64;
+    match system {
+        System::Mercury => a * (p.log2_n() + p.n as f64),
+        System::Maan => a * (2.0 * p.log2_n() + p.n as f64),
+        System::Lorm => a * p.d as f64,
+        System::Sword => a * p.log2_n(),
+    }
+}
+
+/// Theorem 4.10's guaranteed saving of LORM over system-wide methods
+/// (`≥ m·n` contacted nodes).
+pub fn t410_min_saving(p: &Params, arity: usize) -> f64 {
+    (arity * p.n) as f64
+}
+
+/// The four systems under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// LORM on Cycloid (the paper's contribution).
+    Lorm,
+    /// Mercury: multi-DHT, one Chord hub per attribute.
+    Mercury,
+    /// SWORD: single DHT, centralized per attribute.
+    Sword,
+    /// MAAN: single DHT, attribute and value registered separately.
+    Maan,
+}
+
+impl System {
+    /// All four systems, in the paper's presentation order.
+    pub const ALL: [System; 4] = [System::Lorm, System::Mercury, System::Sword, System::Maan];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Lorm => "LORM",
+            System::Mercury => "Mercury",
+            System::Sword => "SWORD",
+            System::Maan => "MAAN",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Params {
+        Params::paper()
+    }
+
+    #[test]
+    fn paper_constants() {
+        let p = p();
+        assert_eq!(p.log2_n(), 11.0);
+        assert_eq!(chord_lookup_hops(&p), 5.5);
+        assert_eq!(cycloid_lookup_hops(&p), 8.0);
+    }
+
+    #[test]
+    fn t41_factor_is_m() {
+        assert_eq!(t41_structure_factor(&p()), 200.0);
+        assert_eq!(mercury_outlinks(&p()), 200.0 * 11.0);
+        assert_eq!(t41_analysis_lorm(2200.0, &p()), 11.0);
+        assert!(lorm_outlinks(&p()) < t41_analysis_lorm(2200.0, &p()));
+    }
+
+    #[test]
+    fn t43_matches_papers_878() {
+        // §V.A: d(1 + m/n) = 8 × (1 + 200/2048) = 8.78
+        let f = t43_maan_over_lorm(&p());
+        assert!((f - 8.78).abs() < 0.005, "{f}");
+    }
+
+    #[test]
+    fn t44_is_d() {
+        assert_eq!(t44_sword_over_lorm(&p()), 8.0);
+    }
+
+    #[test]
+    fn t45_matches_papers_128() {
+        // §V.A: n/(d·m) = 2048/(8×200) = 1.28
+        let f = t45_mercury_balance_factor(&p());
+        assert!((f - 1.28).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn avg_directory_is_mk_over_n() {
+        let a = avg_directory_size(&p());
+        assert!((a - 48.828).abs() < 0.001, "{a}");
+    }
+
+    #[test]
+    fn t47_matches_papers_11_8() {
+        assert!((t47_maan_over_lorm_hops(&p()) - 11.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonrange_hops_ordering() {
+        // MAAN (11/attr) > LORM (8/attr) > Mercury=SWORD (5.5/attr)
+        for arity in 1..=10 {
+            let maan = nonrange_hops(&p(), arity, System::Maan);
+            let lorm = nonrange_hops(&p(), arity, System::Lorm);
+            let merc = nonrange_hops(&p(), arity, System::Mercury);
+            let sword = nonrange_hops(&p(), arity, System::Sword);
+            assert_eq!(merc, sword);
+            assert!(maan > lorm && lorm > merc);
+            assert_eq!(maan, 2.0 * merc);
+        }
+    }
+
+    #[test]
+    fn t49_visited_matches_papers_numbers() {
+        // §V.B: 513m Mercury, 514m MAAN, 3m LORM, m SWORD
+        let p = p();
+        assert_eq!(range_visited(&p, 1, System::Mercury), 513.0);
+        assert_eq!(range_visited(&p, 1, System::Maan), 514.0);
+        assert_eq!(range_visited(&p, 1, System::Lorm), 3.0);
+        assert_eq!(range_visited(&p, 1, System::Sword), 1.0);
+        // scaling in arity is linear
+        assert_eq!(range_visited(&p, 7, System::Lorm), 21.0);
+    }
+
+    #[test]
+    fn t49_reduction_terms() {
+        let (lorm_saves, sword_saves) = t49_reductions(&p(), 1);
+        assert_eq!(lorm_saves, (2048.0 - 8.0) / 4.0);
+        assert_eq!(sword_saves, 2.0);
+    }
+
+    #[test]
+    fn t410_worst_case_ordering_and_saving() {
+        let p = p();
+        let merc = worstcase_range_contacted(&p, 1, System::Mercury);
+        let maan = worstcase_range_contacted(&p, 1, System::Maan);
+        let lorm = worstcase_range_contacted(&p, 1, System::Lorm);
+        assert!(maan > merc, "MAAN adds an extra log n");
+        assert_eq!(lorm, 8.0);
+        // Theorem 4.10: saving >= m·n
+        assert!(merc - lorm >= t410_min_saving(&p, 1));
+    }
+
+    #[test]
+    fn system_names() {
+        assert_eq!(System::ALL.map(|s| s.name()), ["LORM", "Mercury", "SWORD", "MAAN"]);
+    }
+
+    #[test]
+    fn factors_scale_sensibly_with_n() {
+        let small = Params { n: 512, ..p() };
+        let large = Params { n: 8192, ..p() };
+        // more nodes: bigger gap to system-wide probing
+        assert!(range_visited(&large, 1, System::Mercury) > range_visited(&small, 1, System::Mercury));
+        // LORM's range cost is independent of n
+        assert_eq!(range_visited(&large, 1, System::Lorm), range_visited(&small, 1, System::Lorm));
+        // Chord hops grow logarithmically
+        assert!(chord_lookup_hops(&large) > chord_lookup_hops(&small));
+        assert!(chord_lookup_hops(&large) < 2.0 * chord_lookup_hops(&small));
+        // Mercury's balance advantage over LORM grows with n (T4.5)
+        assert!(t45_mercury_balance_factor(&large) > t45_mercury_balance_factor(&small));
+    }
+
+    #[test]
+    fn factors_scale_sensibly_with_d() {
+        let small = Params { d: 4, ..p() };
+        let large = Params { d: 12, ..p() };
+        // bigger clusters: more balanced than SWORD by more (T4.4)…
+        assert!(t44_sword_over_lorm(&large) > t44_sword_over_lorm(&small));
+        // …but more range probes (T4.9) and more lookup hops
+        assert!(range_visited(&large, 1, System::Lorm) > range_visited(&small, 1, System::Lorm));
+        assert!(cycloid_lookup_hops(&large) > cycloid_lookup_hops(&small));
+        // and a smaller hop advantage over MAAN (T4.7)
+        assert!(t47_maan_over_lorm_hops(&large) < t47_maan_over_lorm_hops(&small));
+    }
+
+    #[test]
+    fn mercury_outlinks_formula() {
+        let p = p();
+        assert_eq!(mercury_outlinks(&p), chord_outlinks(&p) * 200.0);
+        assert!(lorm_outlinks(&p) < chord_outlinks(&p));
+    }
+
+    #[test]
+    fn worst_case_grows_linearly_in_arity() {
+        let p = p();
+        for s in System::ALL {
+            let one = worstcase_range_contacted(&p, 1, s);
+            let five = worstcase_range_contacted(&p, 5, s);
+            assert!((five - 5.0 * one).abs() < 1e-9, "{}", s.name());
+        }
+        assert_eq!(t410_min_saving(&p, 3), 3.0 * 2048.0);
+    }
+}

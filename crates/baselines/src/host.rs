@@ -1,0 +1,230 @@
+//! A Chord ring plus per-node directories — the building block shared by
+//! all three baseline systems.
+
+use chord::{Chord, ChordConfig};
+use dht_core::{DhtError, NodeIdx, Overlay, RouteResult};
+use grid_resource::{AttrId, Directory, ResourceInfo, ValueTarget};
+
+/// One Chord overlay with a resource-information directory on every node.
+///
+/// `Sword` and `Maan` own one host; `Mercury` owns one per attribute hub.
+#[derive(Debug, Clone)]
+pub struct ChordHost {
+    net: Chord,
+    dirs: Vec<Directory>,
+}
+
+impl ChordHost {
+    /// Build a stabilized host of `n` nodes.
+    pub fn build(n: usize, seed: u64) -> Self {
+        let net = Chord::build(n, ChordConfig { seed, ..ChordConfig::default() });
+        let dirs = vec![Directory::new(); net.arena_len()];
+        Self { net, dirs }
+    }
+
+    /// The underlying overlay.
+    pub fn net(&self) -> &Chord {
+        &self.net
+    }
+
+    /// Mutable access for churn operations.
+    pub fn net_mut(&mut self) -> &mut Chord {
+        &mut self.net
+    }
+
+    /// Clear every directory.
+    pub fn clear(&mut self) {
+        self.dirs = vec![Directory::new(); self.net.arena_len()];
+    }
+
+    /// Keep directory storage in sync with the arena after joins.
+    pub fn sync_arena(&mut self) {
+        if self.dirs.len() < self.net.arena_len() {
+            self.dirs.resize(self.net.arena_len(), Directory::new());
+        }
+    }
+
+    /// Store at the ground-truth owner of `key` (periodic report refresh).
+    pub fn store_at_owner(&mut self, key: u64, info: ResourceInfo) -> Result<NodeIdx, DhtError> {
+        let root = self.net.owner_of(key)?;
+        self.sync_arena();
+        self.dirs[root.0].push(info);
+        Ok(root)
+    }
+
+    /// Store by routing from `from` (the per-report insert path). Returns
+    /// the route taken.
+    pub fn store_routed(
+        &mut self,
+        from: NodeIdx,
+        key: u64,
+        info: ResourceInfo,
+    ) -> Result<RouteResult, DhtError> {
+        let route = self.net.route(from, key)?;
+        self.sync_arena();
+        self.dirs[route.terminal.0].push(info);
+        Ok(route)
+    }
+
+    /// Directory of one node (for inspection).
+    pub fn directory(&self, node: NodeIdx) -> &Directory {
+        &self.dirs[node.0]
+    }
+
+    /// Drain the directory of `node` (departure handoff).
+    pub fn drain_directory(&mut self, node: NodeIdx) -> Vec<ResourceInfo> {
+        self.dirs[node.0].drain()
+    }
+
+    /// Number of pieces stored on `node`.
+    pub fn load_of(&self, node: NodeIdx) -> usize {
+        self.dirs[node.0].len()
+    }
+
+    /// Owners in `node`'s directory matching an attribute constraint.
+    pub fn matches_in(&self, node: NodeIdx, attr: AttrId, t: &ValueTarget) -> Vec<usize> {
+        self.dirs[node.0].matching_owners(attr, t)
+    }
+
+    /// Total pieces stored on all nodes.
+    pub fn total_pieces(&self) -> usize {
+        self.dirs.iter().map(Directory::len).sum()
+    }
+
+    /// Clockwise range walk: starting at the root of `lo_key`, probe
+    /// successive nodes until the first node at-or-past `hi_key` on the
+    /// directed arc from `lo_key` — the system-wide range probe of Mercury
+    /// and MAAN.
+    ///
+    /// The directed-arc criterion (rather than "stop at the root of
+    /// `hi_key`") matters when the arc wraps past the largest identifier:
+    /// `root(lo)` and `root(hi)` can then coincide while every node in
+    /// between still holds matching values. The walk stops early if
+    /// pointers are broken (churn) or after a full circle.
+    pub fn walk_range(&self, start: NodeIdx, lo_key: u64, hi_key: u64) -> Vec<NodeIdx> {
+        use dht_core::clockwise_dist;
+        let mut probed = vec![start];
+        let mut cur = start;
+        let span = clockwise_dist(lo_key, hi_key);
+        let budget = self.net.len();
+        for _ in 0..budget {
+            let cur_id = match self.net.id_of(cur) {
+                Ok(id) => id,
+                Err(_) => break,
+            };
+            // `cur` covers keys up to its own id; once it sits at or past
+            // hi (walking clockwise from lo), the arc is covered.
+            if clockwise_dist(lo_key, cur_id) >= span {
+                break;
+            }
+            match self.net.next_clockwise(cur) {
+                Ok(next) if next != start => {
+                    probed.push(next);
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        probed
+    }
+
+    /// Per-live-node directory sizes, indexed in `live_nodes()` order.
+    pub fn loads(&self) -> Vec<usize> {
+        self.net.live_nodes().iter().map(|&n| self.dirs[n.0].len()).collect()
+    }
+
+    /// Per-live-node distinct outlink counts.
+    pub fn outlinks(&self) -> Vec<usize> {
+        self.net.live_nodes().iter().map(|&n| self.net.outlinks(n).unwrap_or(0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(owner: usize) -> ResourceInfo {
+        ResourceInfo { attr: AttrId(0), value: 1.0, owner }
+    }
+
+    #[test]
+    fn store_at_owner_places_on_root() {
+        let mut h = ChordHost::build(64, 1);
+        let root = h.store_at_owner(12345, info(7)).unwrap();
+        assert_eq!(h.load_of(root), 1);
+        assert_eq!(h.total_pieces(), 1);
+        assert_eq!(root, h.net().owner_of(12345).unwrap());
+    }
+
+    #[test]
+    fn store_routed_reaches_same_root() {
+        let mut h = ChordHost::build(64, 2);
+        let from = h.net().nodes_by_id()[0];
+        let r = h.store_routed(from, 999, info(3)).unwrap();
+        assert_eq!(r.terminal, h.net().owner_of(999).unwrap());
+        assert_eq!(h.total_pieces(), 1);
+    }
+
+    #[test]
+    fn matches_filter_by_attr_and_value() {
+        let mut h = ChordHost::build(16, 3);
+        let root = h.store_at_owner(5, ResourceInfo { attr: AttrId(1), value: 10.0, owner: 4 }).unwrap();
+        h.store_at_owner(5, ResourceInfo { attr: AttrId(2), value: 10.0, owner: 9 }).unwrap();
+        let m = h.matches_in(root, AttrId(1), &ValueTarget::Point(10.0));
+        assert_eq!(m, vec![4]);
+        let none = h.matches_in(root, AttrId(1), &ValueTarget::Point(11.0));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn walk_covers_arc_to_root() {
+        let h = ChordHost::build(128, 4);
+        let start_key = 0u64;
+        let hi_key = u64::MAX / 4; // a quarter of the ring
+        let start = h.net().owner_of(start_key).unwrap();
+        let walk = h.walk_range(start, start_key, hi_key);
+        // expect roughly n/4 = 32 nodes, generously banded
+        assert!((20..=45).contains(&walk.len()), "walk length {}", walk.len());
+        assert_eq!(*walk.last().unwrap(), h.net().owner_of(hi_key).unwrap());
+        // nodes are consecutive on the ring
+        for w in walk.windows(2) {
+            assert_eq!(h.net().next_clockwise(w[0]).unwrap(), w[1]);
+        }
+    }
+
+    #[test]
+    fn walk_to_own_key_is_single_probe() {
+        let h = ChordHost::build(32, 5);
+        let root = h.net().owner_of(777).unwrap();
+        let walk = h.walk_range(root, 776, 777);
+        assert_eq!(walk, vec![root]);
+    }
+
+    #[test]
+    fn full_ring_walk_probes_every_node() {
+        // Regression: a range spanning the whole key space has
+        // root(lo) == root(hi), but must still probe all n nodes.
+        let h = ChordHost::build(64, 8);
+        let start = h.net().owner_of(0).unwrap();
+        let walk = h.walk_range(start, 0, u64::MAX);
+        assert_eq!(walk.len(), 64);
+    }
+
+    #[test]
+    fn drain_removes_pieces() {
+        let mut h = ChordHost::build(8, 6);
+        let root = h.store_at_owner(1, info(0)).unwrap();
+        let drained = h.drain_directory(root);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(h.total_pieces(), 0);
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut h = ChordHost::build(8, 7);
+        h.store_at_owner(1, info(0)).unwrap();
+        h.store_at_owner(2, info(1)).unwrap();
+        h.clear();
+        assert_eq!(h.total_pieces(), 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! SWORD — single-DHT **centralized** resource discovery.
+//!
+//! Following the paper's characterization of SWORD (Oppenheimer et al.,
+//! UCB TR 2004) with Chord substituted for Bamboo: the DHT key of a report
+//! is `H(attribute)`, so *all* information of one attribute pools on a
+//! single directory node. A query — point or range — is one lookup per
+//! attribute and stops at the root: no probing, the best possible search
+//! cost (`m` visited nodes, Theorem 4.9) at the price of the worst load
+//! concentration (Theorem 4.4: `d×` worse than LORM on the percentiles).
+
+use crate::host::ChordHost;
+use dht_core::{ConsistentHash, DhtError, LoadDist, LookupTally, NodeIdx, Overlay};
+use grid_resource::{
+    discovery::join_owners, AttrId, AttributeSpace, Query, QueryOutcome, ResourceDiscovery,
+    ResourceInfo,
+};
+use rand::rngs::SmallRng;
+
+/// Construction parameters for [`Sword`].
+#[derive(Debug, Clone, Copy)]
+pub struct SwordConfig {
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for SwordConfig {
+    fn default() -> Self {
+        Self { seed: 0x5708D }
+    }
+}
+
+/// The SWORD baseline system.
+pub struct Sword {
+    host: ChordHost,
+    /// `H(attribute name)`, cached per attribute.
+    attr_keys: Vec<u64>,
+    phys_node: Vec<Option<NodeIdx>>,
+}
+
+impl Sword {
+    /// Build a SWORD system of `n` physical nodes.
+    pub fn new(n: usize, space: &AttributeSpace, cfg: SwordConfig) -> Self {
+        let host = ChordHost::build(n, cfg.seed);
+        let hash = ConsistentHash::new(cfg.seed);
+        let attr_keys = space.ids().map(|a| hash.hash_str(space.name(a))).collect();
+        Self { host, attr_keys, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect() }
+    }
+
+    /// The DHT key of an attribute.
+    pub fn key_of(&self, attr: AttrId) -> u64 {
+        self.attr_keys[attr.0 as usize]
+    }
+
+    /// The underlying host (read-only, for tests and inspection).
+    pub fn host(&self) -> &ChordHost {
+        &self.host
+    }
+
+    fn node_of(&self, phys: usize) -> Result<NodeIdx, DhtError> {
+        self.phys_node.get(phys).copied().flatten().ok_or(DhtError::NodeNotFound { index: phys })
+    }
+}
+
+impl ResourceDiscovery for Sword {
+    fn name(&self) -> &'static str {
+        "SWORD"
+    }
+
+    fn num_physical(&self) -> usize {
+        self.phys_node.iter().filter(|n| n.is_some()).count()
+    }
+
+    fn is_live(&self, phys: usize) -> bool {
+        self.phys_node.get(phys).copied().flatten().is_some()
+    }
+
+    fn place_all(&mut self, reports: &[ResourceInfo]) {
+        self.host.clear();
+        for &r in reports {
+            let _ = self.host.store_at_owner(self.key_of(r.attr), r);
+        }
+    }
+
+    fn register(&mut self, info: ResourceInfo) -> Result<LookupTally, DhtError> {
+        let from = self.node_of(info.owner)?;
+        let key = self.key_of(info.attr);
+        let route = self.host.store_routed(from, key, info)?;
+        Ok(LookupTally { hops: route.hops(), lookups: 1, visited: 1, matches: 0 })
+    }
+
+    fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut per_sub = Vec::with_capacity(q.subs.len());
+        let mut probed_all = Vec::with_capacity(q.subs.len());
+        for sub in &q.subs {
+            let route = self.host.net().route(from, self.key_of(sub.attr))?;
+            tally.lookups += 1;
+            tally.hops += route.hops();
+            tally.visited += 1; // the root holds everything; no probing
+            let owners = self.host.matches_in(route.terminal, sub.attr, &sub.target);
+            tally.matches += owners.len();
+            probed_all.push(route.terminal);
+            per_sub.push(owners);
+        }
+        Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn directory_loads(&self) -> LoadDist {
+        LoadDist::from_counts(&self.host.loads())
+    }
+
+    fn total_pieces(&self) -> usize {
+        self.host.total_pieces()
+    }
+
+    fn outlinks_per_node(&self) -> LoadDist {
+        LoadDist::from_counts(&self.host.outlinks())
+    }
+
+    fn join_physical(&mut self, _rng: &mut SmallRng) -> Result<usize, DhtError> {
+        let boot = self
+            .phys_node
+            .iter()
+            .copied()
+            .flatten()
+            .next()
+            .ok_or(DhtError::EmptyOverlay)?;
+        let idx = self.host.net_mut().join(boot)?;
+        self.host.sync_arena();
+        let phys = self.phys_node.len();
+        self.phys_node.push(Some(idx));
+        Ok(phys)
+    }
+
+    fn leave_physical(&mut self, phys: usize) -> Result<(), DhtError> {
+        let node = self.node_of(phys)?;
+        let handoff = self.host.drain_directory(node);
+        self.host.net_mut().leave(node)?;
+        self.phys_node[phys] = None;
+        for info in handoff {
+            let _ = self.host.store_at_owner(self.key_of(info.attr), info);
+        }
+        Ok(())
+    }
+
+    fn fail_physical(&mut self, phys: usize) -> Result<(), DhtError> {
+        let node = self.node_of(phys)?;
+        let _lost = self.host.drain_directory(node);
+        self.host.net_mut().fail(node)?;
+        self.phys_node[phys] = None;
+        Ok(())
+    }
+
+    fn stabilize(&mut self) {
+        // The simulator's maintenance tick: perfect repair from ground
+        // truth (the protocol-level stabilize/fix_fingers path is
+        // exercised by the chord crate's own tests).
+        self.host.net_mut().rebuild_all_state();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_resource::{QueryMix, Workload, WorkloadConfig};
+    use rand::SeedableRng;
+
+    fn setup() -> (Workload, Sword) {
+        let mut rng = SmallRng::seed_from_u64(0x51);
+        let cfg = WorkloadConfig {
+            num_attrs: 25,
+            values_per_attr: 80,
+            num_nodes: 256,
+            ..Default::default()
+        };
+        let w = Workload::generate(cfg, &mut rng).unwrap();
+        let mut s = Sword::new(256, &w.space, SwordConfig::default());
+        s.place_all(&w.reports);
+        (w, s)
+    }
+
+    fn brute(w: &Workload, attr: AttrId, t: &grid_resource::ValueTarget) -> Vec<usize> {
+        let mut v: Vec<usize> = w
+            .reports
+            .iter()
+            .filter(|r| r.attr == attr && t.matches(r.value))
+            .map(|r| r.owner)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn all_info_of_attr_on_one_node() {
+        let (w, s) = setup();
+        for attr in w.space.ids() {
+            let root = s.host.net().owner_of(s.key_of(attr)).unwrap();
+            let here = s.host.matches_in(
+                root,
+                attr,
+                &grid_resource::ValueTarget::Range { low: 0.0, high: 1e9 },
+            );
+            assert_eq!(here.len(), 80, "attribute {attr} not pooled on its root");
+        }
+    }
+
+    #[test]
+    fn range_query_visits_exactly_one_node_per_attr() {
+        let (w, s) = setup();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for arity in [1usize, 5, 10] {
+            let q = w.random_query(arity, QueryMix::Range, &mut rng);
+            let out = s.query_from(0, &q).unwrap();
+            assert_eq!(out.tally.visited, arity, "SWORD never probes beyond the root");
+        }
+    }
+
+    #[test]
+    fn queries_are_complete() {
+        let (w, s) = setup();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for mix in [QueryMix::NonRange, QueryMix::Range] {
+            for _ in 0..100 {
+                let q = w.random_query(2, mix, &mut rng);
+                let out = s.query_from(7, &q).unwrap();
+                let expected = join_owners(
+                    q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect(),
+                );
+                let mut got = out.owners.clone();
+                got.sort_unstable();
+                assert_eq!(got, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_heavily_concentrated() {
+        let (w, s) = setup();
+        let loads = s.directory_loads();
+        // only ~25 of 256 nodes hold anything
+        assert_eq!(loads.total() as usize, w.reports.len());
+        assert_eq!(loads.p1(), 0.0);
+        assert!(loads.p99() >= 80.0, "p99 {} should reach a full attribute", loads.p99());
+    }
+
+    #[test]
+    fn total_pieces_is_one_per_report() {
+        let (w, s) = setup();
+        assert_eq!(s.total_pieces(), w.reports.len());
+    }
+}

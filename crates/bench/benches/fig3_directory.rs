@@ -1,0 +1,43 @@
+//! Figures 3(b–d) kernel: resource-information placement (every node's
+//! periodic report) and directory-distribution extraction, per system.
+
+use analysis::System;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim::{build_system, SimConfig, TestBed};
+use std::hint::black_box;
+
+fn bench_place_all(c: &mut Criterion) {
+    let cfg = SimConfig::quick();
+    let bed = TestBed::with_systems(cfg, &[]); // workload only
+    let mut group = c.benchmark_group("fig3_place_all");
+    group.sample_size(10);
+    for s in System::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, &s| {
+            let mut sys = build_system(s, &bed.workload, &cfg);
+            b.iter(|| {
+                sys.place_all(&bed.workload.reports);
+                black_box(sys.total_pieces())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distribution_extraction(c: &mut Criterion) {
+    let cfg = SimConfig::quick();
+    let bed = TestBed::new(cfg);
+    let mut group = c.benchmark_group("fig3_directory_stats");
+    for s in System::ALL {
+        let sys = bed.system(s);
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, _| {
+            b.iter(|| {
+                let loads = sys.directory_loads();
+                black_box((loads.mean(), loads.p1(), loads.p99()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_place_all, bench_distribution_extraction);
+criterion_main!(benches);

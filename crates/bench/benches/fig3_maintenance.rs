@@ -1,0 +1,45 @@
+//! Figure 3(a) kernel: structure-maintenance measurement — counting the
+//! distinct outlinks every node maintains, for one Chord hub (Mercury pays
+//! this m times) vs one Cycloid (LORM). Also times the full scaled-down
+//! Figure 3(a) sweep.
+
+use chord::{Chord, ChordConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cycloid::{Cycloid, CycloidConfig};
+use dht_core::Overlay;
+use sim::experiments::fig3;
+use std::hint::black_box;
+
+fn bench_outlink_census(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a_outlink_census");
+    let n = 2048usize;
+    let chord = Chord::build(n, ChordConfig::default());
+    let cycloid = Cycloid::build(n, CycloidConfig::default());
+    group.bench_function("chord_hub_2048", |b| {
+        b.iter(|| {
+            let total: usize =
+                chord.live_nodes().iter().map(|&i| chord.outlinks(i).unwrap_or(0)).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("cycloid_2048", |b| {
+        b.iter(|| {
+            let total: usize =
+                cycloid.live_nodes().iter().map(|&i| cycloid.outlinks(i).unwrap_or(0)).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig3a_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a_sweep");
+    group.sample_size(10);
+    group.bench_function("dims_5_6_m10", |b| {
+        b.iter(|| black_box(fig3::fig3a(&[5, 6], 10, 0xBE).rows.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_outlink_census, bench_fig3a_sweep);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 4 kernel: resolving non-range multi-attribute queries — the
+//! per-query routing cost each system pays (Theorems 4.7/4.8 predict the
+//! ratios: MAAN 2×, LORM `d / (log n / 2)`× relative to Mercury/SWORD).
+
+use analysis::System;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_resource::QueryMix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim::{SimConfig, TestBed};
+use std::hint::black_box;
+
+fn bench_nonrange_query(c: &mut Criterion) {
+    let cfg = SimConfig::quick();
+    let bed = TestBed::new(cfg);
+    let mut group = c.benchmark_group("fig4_nonrange_query");
+    for arity in [1usize, 5, 10] {
+        for s in System::ALL {
+            let sys = bed.system(s);
+            let id = BenchmarkId::new(s.name(), arity);
+            group.bench_with_input(id, &arity, |b, &arity| {
+                let mut rng = SmallRng::seed_from_u64(0xF4);
+                b.iter(|| {
+                    let q = bed.workload.random_query(arity, QueryMix::NonRange, &mut rng);
+                    let origin = rng.gen_range(0..cfg.nodes);
+                    black_box(sys.query_from(origin, &q).unwrap().tally.hops)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nonrange_query);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 5 kernel: resolving range queries — where the systems diverge
+//! by orders of magnitude (Theorem 4.9: `1 + n/4` probes per attribute for
+//! Mercury/MAAN vs `1 + d/4` for LORM vs 1 for SWORD).
+
+use analysis::System;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_resource::QueryMix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim::{SimConfig, TestBed};
+use std::hint::black_box;
+
+fn bench_range_query(c: &mut Criterion) {
+    let cfg = SimConfig::quick();
+    let bed = TestBed::new(cfg);
+    let mut group = c.benchmark_group("fig5_range_query");
+    // system-wide walkers probe ~n/4 nodes per attribute: fewer samples
+    group.sample_size(30);
+    for s in System::ALL {
+        let sys = bed.system(s);
+        group.bench_with_input(BenchmarkId::new(s.name(), 3), &3usize, |b, &arity| {
+            let mut rng = SmallRng::seed_from_u64(0xF5);
+            b.iter(|| {
+                let q = bed.workload.random_query(arity, QueryMix::Range, &mut rng);
+                let origin = rng.gen_range(0..cfg.nodes);
+                black_box(sys.query_from(origin, &q).unwrap().tally.visited)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_query);
+criterion_main!(benches);

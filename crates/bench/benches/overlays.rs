@@ -1,0 +1,53 @@
+//! Microbenchmarks of the two overlay substrates: lookup routing and bulk
+//! construction, Chord vs Cycloid. These are the kernels every figure's
+//! cost decomposes into (Theorem 4.7's `log n / 2` vs `d` constants).
+
+use chord::{Chord, ChordConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycloid::{Cycloid, CycloidConfig, CycloidId};
+use dht_core::Overlay;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_lookup");
+    for d in [7u8, 8] {
+        let n = d as usize * (1usize << d);
+        let chord = Chord::build(n, ChordConfig::default());
+        let cycloid = Cycloid::build(n, CycloidConfig { dimension: d, seed: 1 });
+        group.bench_with_input(BenchmarkId::new("chord", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| {
+                let from = chord.random_node(&mut rng).unwrap();
+                let key: u64 = rng.gen();
+                black_box(chord.route(from, key).unwrap().hops())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cycloid", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| {
+                let from = cycloid.random_node(&mut rng).unwrap();
+                let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
+                black_box(cycloid.route(from, key).unwrap().hops())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_build");
+    group.sample_size(10);
+    let n = 2048usize;
+    group.bench_function("chord_2048", |b| {
+        b.iter(|| black_box(Chord::build(n, ChordConfig::default()).len()))
+    });
+    group.bench_function("cycloid_2048", |b| {
+        b.iter(|| black_box(Cycloid::build(n, CycloidConfig::default()).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Maintenance-path kernels: routed report registration per system (the
+//! write path of the maintenance table) and LORM's semantic prefix-query
+//! extension.
+
+use analysis::System;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_resource::{AttrId, ResourceDiscovery, ResourceInfo, Workload};
+use lorm::semantic::SemanticCodec;
+use lorm::{Lorm, LormConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim::{build_system, SimConfig};
+use std::hint::black_box;
+
+fn bench_register(c: &mut Criterion) {
+    let cfg = SimConfig::quick();
+    let mut wl_rng = SmallRng::seed_from_u64(0x4E9);
+    let workload = Workload::generate(cfg.workload_config(), &mut wl_rng).unwrap();
+    let mut group = c.benchmark_group("register_report");
+    for s in System::ALL {
+        let mut sys = build_system(s, &workload, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(0x4EA);
+            b.iter(|| {
+                let info = ResourceInfo {
+                    attr: AttrId(rng.gen_range(0..cfg.attrs as u32)),
+                    value: rng.gen_range(1.0..cfg.values as f64).round(),
+                    owner: rng.gen_range(0..cfg.nodes),
+                };
+                black_box(sys.register(info).unwrap().hops)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_semantic_prefix_query(c: &mut Criterion) {
+    let space =
+        grid_resource::AttributeSpace::from_names(["os"], 1.0, 1e6).expect("valid domain");
+    let os = space.by_name("os").unwrap();
+    let codec = SemanticCodec::new(&space);
+    let mut sys = Lorm::new(896, &space, LormConfig { dimension: 7, ..Default::default() });
+    let distros = ["linux-5.15", "linux-6.1", "linux-6.8", "windows-11", "freebsd-14"];
+    for (i, d) in distros.iter().cycle().take(500).enumerate() {
+        sys.register(ResourceInfo { attr: os, value: codec.encode(d), owner: i % 896 }).unwrap();
+    }
+    c.bench_function("semantic_prefix_query", |b| {
+        let mut rng = SmallRng::seed_from_u64(0x4EB);
+        b.iter(|| {
+            let q = codec.prefix_query(&[(os, "linux")]);
+            let origin = rng.gen_range(0..896);
+            black_box(sys.query_from(origin, &q).unwrap().tally.matches)
+        });
+    });
+}
+
+criterion_group!(benches, bench_register, bench_semantic_prefix_query);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerate the paper's tables and figures. See `bench` crate docs.
+
+use bench::{parse_args, run_artifact};
+
+fn main() {
+    let (cfg, artifacts) = match parse_args(std::env::args().skip(1)) {
+        Ok(plan) => plan,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# LORM reproduction — {} mode (seed {})\n",
+        if cfg.quick { "quick" } else { "full (paper §V)" },
+        cfg.seed
+    );
+    for a in artifacts {
+        let started = std::time::Instant::now();
+        let report = run_artifact(a, &cfg);
+        println!("{report}");
+        println!("(elapsed: {:.1?})\n", started.elapsed());
+    }
+}

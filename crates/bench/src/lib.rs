@@ -1,0 +1,409 @@
+//! # bench — the figure-regeneration harness
+//!
+//! The `repro` binary regenerates every table and figure of the paper's
+//! evaluation section and prints them as markdown tables (the same rows /
+//! series the paper plots). The Criterion benches under `benches/`
+//! measure the cost of the underlying kernels (routing, placement, query
+//! batches, churn) per system.
+//!
+//! ```text
+//! repro [--quick] [fig3a fig3 fig4 fig5 fig6a fig6b t410 ablations | all]
+//! ```
+//!
+//! `--quick` scales the experiment down (fewer nodes/attributes/queries)
+//! for smoke runs; the default is the paper's full §V configuration
+//! (n = 2048, m = 200, k = 500, d = 8).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase};
+use sim::{SimConfig, TestBed};
+
+/// Which artifacts to regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Artifact {
+    /// Figure 3(a): outlinks vs network size.
+    Fig3a,
+    /// Figures 3(b–d): directory-size distributions.
+    Fig3Dirs,
+    /// Figures 4(a,b): non-range query hops.
+    Fig4,
+    /// Figures 5(a,b): range-query visited nodes.
+    Fig5,
+    /// Figure 6(a): hops under churn.
+    Fig6a,
+    /// Figure 6(b): visited nodes under churn.
+    Fig6b,
+    /// Theorem 4.10 worst case.
+    T410,
+    /// Routed registration cost (information-maintenance overhead).
+    Maintenance,
+    /// Query-processing load balance (Theorem 4.6's bottleneck claim).
+    LoadBalance,
+    /// Directory-size distributions swept over network sizes.
+    Fig3Sweep,
+    /// Churn with *abrupt* failures instead of graceful departures
+    /// (extension beyond the paper's §V.C).
+    ChurnFail,
+    /// Hop-count distributions behind Figure 4's averages (extension).
+    HopDist,
+    /// Wall-clock latency replay through a per-hop delay model (extension).
+    Latency,
+    /// The ten theorems' closed forms at the configured parameters.
+    Theorems,
+    /// The ablation studies.
+    Ablations,
+}
+
+impl Artifact {
+    /// Every artifact, in presentation order.
+    pub const ALL: [Artifact; 15] = [
+        Artifact::Theorems,
+        Artifact::Fig3a,
+        Artifact::Fig3Dirs,
+        Artifact::Fig3Sweep,
+        Artifact::Fig4,
+        Artifact::Fig5,
+        Artifact::Fig6a,
+        Artifact::Fig6b,
+        Artifact::ChurnFail,
+        Artifact::HopDist,
+        Artifact::Latency,
+        Artifact::T410,
+        Artifact::Maintenance,
+        Artifact::LoadBalance,
+        Artifact::Ablations,
+    ];
+
+    /// Parse a command-line target name.
+    pub fn parse(s: &str) -> Option<Vec<Artifact>> {
+        Some(match s {
+            "fig3a" => vec![Artifact::Fig3a],
+            "fig3" => vec![Artifact::Fig3a, Artifact::Fig3Dirs],
+            "fig3bcd" | "fig3dirs" => vec![Artifact::Fig3Dirs],
+            "fig4" => vec![Artifact::Fig4],
+            "fig5" => vec![Artifact::Fig5],
+            "fig6" => vec![Artifact::Fig6a, Artifact::Fig6b],
+            "fig6a" => vec![Artifact::Fig6a],
+            "fig6b" => vec![Artifact::Fig6b],
+            "t410" => vec![Artifact::T410],
+            "maintenance" => vec![Artifact::Maintenance],
+            "churnfail" => vec![Artifact::ChurnFail],
+            "hopdist" => vec![Artifact::HopDist],
+            "latency" => vec![Artifact::Latency],
+            "theorems" => vec![Artifact::Theorems],
+            "loadbalance" => vec![Artifact::LoadBalance],
+            "fig3sweep" => vec![Artifact::Fig3Sweep],
+            "ablations" => vec![Artifact::Ablations],
+            "all" => Artifact::ALL.to_vec(),
+            _ => return None,
+        })
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReproConfig {
+    /// Scale the experiments down for a smoke run.
+    pub quick: bool,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        Self { quick: false, seed: 0x1C99 }
+    }
+}
+
+impl ReproConfig {
+    fn sim(&self) -> SimConfig {
+        let base = if self.quick { SimConfig::quick() } else { SimConfig::default() };
+        SimConfig { seed: self.seed, ..base }
+    }
+
+    fn fig3a_dims(&self) -> Vec<u8> {
+        if self.quick {
+            vec![5, 6, 7]
+        } else {
+            vec![5, 6, 7, 8, 9, 10, 11]
+        }
+    }
+
+    fn queries(&self) -> usize {
+        if self.quick {
+            100
+        } else {
+            1000
+        }
+    }
+
+    fn churn_setup(&self) -> fig6::ChurnSetup {
+        if self.quick {
+            fig6::ChurnSetup::quick()
+        } else {
+            fig6::ChurnSetup::default()
+        }
+    }
+}
+
+/// Run one artifact and render its report.
+pub fn run_artifact(a: Artifact, cfg: &ReproConfig) -> String {
+    let sim_cfg = cfg.sim();
+    match a {
+        Artifact::Fig3a => fig3::fig3a(&cfg.fig3a_dims(), sim_cfg.attrs, cfg.seed).to_string(),
+        Artifact::Fig3Dirs => {
+            let bed = TestBed::new(sim_cfg);
+            fig3::fig3_directories(&bed).to_string()
+        }
+        Artifact::Fig4 => {
+            let bed = TestBed::new(sim_cfg);
+            // paper: 100 nodes × 10 queries each
+            let (origins, per) = if cfg.quick { (20, 5) } else { (100, 10) };
+            fig4::fig4(&bed, 1..=10, origins, per).to_string()
+        }
+        Artifact::Fig5 => {
+            let bed = TestBed::new(sim_cfg);
+            fig5::fig5(&bed, 1..=10, cfg.queries()).to_string()
+        }
+        Artifact::Fig6a => {
+            fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Hops).to_string()
+        }
+        Artifact::Fig6b => {
+            fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Visited)
+                .to_string()
+        }
+        Artifact::T410 => {
+            let bed = TestBed::new(sim_cfg);
+            let queries = if cfg.quick { 5 } else { 20 };
+            worstcase::worstcase(&bed, 1, queries).to_string()
+        }
+        Artifact::ChurnFail => {
+            // range queries return many matches, so lost directory entries
+            // are actually observable as stale answers
+            let setup = fig6::ChurnSetup { graceful: false, ..cfg.churn_setup() };
+            let mut out =
+                fig6::fig6(&sim_cfg, &setup, sim::experiments::Metric::Visited).to_string();
+            out.push_str(
+                "(extension: departures are abrupt failures; stale links and lost \
+                 directory entries persist until the next maintenance round)\n",
+            );
+            out
+        }
+        Artifact::HopDist => {
+            let bed = TestBed::new(sim_cfg);
+            let queries = if cfg.quick { 400 } else { 3000 };
+            sim::experiments::hopdist::hop_distribution(&bed, queries).to_string()
+        }
+        Artifact::Theorems => {
+            theorem_table(&sim_cfg.params())
+        }
+        Artifact::Latency => {
+            let bed = TestBed::new(sim_cfg);
+            let queries = if cfg.quick { 60 } else { 300 };
+            sim::experiments::latency::latency(
+                &bed,
+                queries,
+                3,
+                dht_core::LatencyModel::wan(),
+            )
+            .to_string()
+        }
+        Artifact::Maintenance => {
+            sim::experiments::maintenance::registration_cost(&sim_cfg).to_string()
+        }
+        Artifact::LoadBalance => {
+            let bed = TestBed::new(sim_cfg);
+            let queries = cfg.queries();
+            sim::experiments::maintenance::query_load_balance(&bed, queries, 3).to_string()
+        }
+        Artifact::Fig3Sweep => {
+            let dims: &[u8] = if cfg.quick { &[5, 6] } else { &[6, 7, 8, 9] };
+            let rows = fig3::fig3_directory_sweep(dims, &sim_cfg);
+            fig3::render_sweep(&rows, &sim_cfg)
+        }
+        Artifact::Ablations => {
+            let queries = cfg.queries();
+            let mut out = String::new();
+            out.push_str(&ablation::ablate_placement(&sim_cfg, queries).to_string());
+            out.push('\n');
+            out.push_str(&ablation::ablate_value_skew(&sim_cfg).to_string());
+            out.push('\n');
+            let (n, lk) = if cfg.quick { (300, 300) } else { (2048, 2000) };
+            out.push_str(&ablation::ablate_succ_list(n, 0.15, lk, cfg.seed).to_string());
+            out.push('\n');
+            let pop_queries = if cfg.quick { 150 } else { 600 };
+            out.push_str(&ablation::ablate_attr_popularity(&sim_cfg, pop_queries).to_string());
+            out.push('\n');
+            out.push_str(&ablation::ablate_query_plan(&sim_cfg, queries, 4).to_string());
+            out.push('\n');
+            out.push_str(&ablation::ablate_flat_lorm(&sim_cfg, queries).to_string());
+            out.push('\n');
+            let dims: &[u8] = if cfg.quick { &[5, 6, 7] } else { &[5, 6, 7, 8, 9, 10] };
+            out.push_str(&ablation::ablate_dimension(dims, lk, cfg.seed).to_string());
+            out
+        }
+    }
+}
+
+/// Render the ten theorems' closed forms at the given parameters — the
+/// paper's §IV as one table.
+pub fn theorem_table(p: &analysis::Params) -> String {
+    use analysis as th;
+    use analysis::System;
+    use sim::Table;
+    let mut t = Table::new(
+        format!(
+            "Theorems 4.1-4.10 at n = {}, m = {}, k = {}, d = {} (log2 n = {:.0})",
+            p.n, p.m, p.k, p.d, p.log2_n()
+        ),
+        &["theorem", "claim", "value"],
+    );
+    let mut row = |a: &str, b: &str, v: f64| {
+        t.row(vec![a.to_string(), b.to_string(), Table::fmt_f(v)]);
+    };
+    row("4.1", "LORM structure overhead >= m x below multi-DHT", th::t41_structure_factor(p));
+    row("4.2", "MAAN total information multiplier", th::t42_maan_total_factor());
+    row("4.3", "MAAN/LORM directory percentiles: d(1 + m/n)", th::t43_maan_over_lorm(p));
+    row("4.4", "SWORD/LORM directory percentiles: d", th::t44_sword_over_lorm(p));
+    row("4.5", "Mercury/LORM balance: n/(d m)", th::t45_mercury_balance_factor(p));
+    row("4.7", "MAAN/LORM non-range hops: log2(n)/d", th::t47_maan_over_lorm_hops(p));
+    row("4.8", "MAAN/(Mercury,SWORD) non-range hops", th::t48_maan_over_single_lookup());
+    for s in System::ALL {
+        row("4.9", &format!("avg range visited/attr, {}", s.name()), th::range_visited(p, 1, s));
+    }
+    for s in System::ALL {
+        row(
+            "4.10",
+            &format!("worst-case contacted/attr, {}", s.name()),
+            th::worstcase_range_contacted(p, 1, s),
+        );
+    }
+    row("4.10", "guaranteed LORM saving (>= n per attr)", th::t410_min_saving(p, 1));
+    let mut out = t.to_string();
+    out.push_str("(4.6 is the qualitative balance ordering implied by 4.3-4.5)
+");
+    out
+}
+
+/// Parse CLI arguments into a run plan. Returns `Err` with a usage string
+/// on bad input.
+pub fn parse_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<(ReproConfig, Vec<Artifact>), String> {
+    let mut cfg = ReproConfig::default();
+    let mut artifacts: Vec<Artifact> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--quick" | "-q" => cfg.quick = true,
+            s if s.starts_with("--seed=") => {
+                cfg.seed = s["--seed=".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad seed in {s:?}"))?;
+            }
+            s => match Artifact::parse(s) {
+                Some(mut v) => artifacts.append(&mut v),
+                None => {
+                    return Err(format!(
+                        "unknown target {s:?}\nusage: repro [--quick] [--seed=N] \
+                         [fig3a fig3 fig3sweep fig4 fig5 fig6a fig6b t410 \
+                          maintenance loadbalance ablations | all]"
+                    ))
+                }
+            },
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts = Artifact::ALL.to_vec();
+    }
+    artifacts.dedup();
+    Ok((cfg, artifacts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_to_all() {
+        let (cfg, arts) = parse_args(Vec::<String>::new()).unwrap();
+        assert!(!cfg.quick);
+        assert_eq!(arts.len(), Artifact::ALL.len());
+    }
+
+    #[test]
+    fn parse_quick_and_targets() {
+        let (cfg, arts) =
+            parse_args(["--quick".into(), "fig4".into(), "t410".into()]).unwrap();
+        assert!(cfg.quick);
+        assert_eq!(arts, vec![Artifact::Fig4, Artifact::T410]);
+    }
+
+    #[test]
+    fn parse_seed() {
+        let (cfg, _) = parse_args(["--seed=42".into()]).unwrap();
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(parse_args(["fig9".into()]).is_err());
+        assert!(parse_args(["--seed=x".into()]).is_err());
+    }
+
+    #[test]
+    fn fig3_group_expands() {
+        let (_, arts) = parse_args(["fig3".into()]).unwrap();
+        assert_eq!(arts, vec![Artifact::Fig3a, Artifact::Fig3Dirs]);
+    }
+
+    #[test]
+    fn quick_fig3a_renders_table() {
+        let cfg = ReproConfig { quick: true, seed: 7 };
+        // trim the sweep further for the unit test
+        let out = fig3::fig3a(&[5], 8, 7).to_string();
+        assert!(out.contains("Figure 3(a)"));
+        assert!(out.contains("Mercury"));
+        let _ = cfg;
+    }
+
+    #[test]
+    fn quick_t410_renders_table() {
+        let cfg = ReproConfig { quick: true, seed: 7 };
+        let out = run_artifact(Artifact::T410, &cfg);
+        assert!(out.contains("Theorem 4.10"), "got: {out}");
+        assert!(out.contains("LORM"));
+    }
+
+    #[test]
+    fn every_artifact_runs_end_to_end_in_quick_mode() {
+        // The full-scale run is recorded in EXPERIMENTS.md; this guards
+        // that every artifact stays runnable. Quick mode, tiny batches.
+        let cfg = ReproConfig { quick: true, seed: 3 };
+        for a in Artifact::ALL {
+            let out = run_artifact(a, &cfg);
+            assert!(out.contains('|'), "{a:?} produced no table:\n{out}");
+            assert!(out.contains("##"), "{a:?} produced no title");
+        }
+    }
+
+    #[test]
+    fn theorem_table_shows_papers_headline_numbers() {
+        let out = theorem_table(&analysis::Params::paper());
+        // §V.A quotes 8.78 (T4.3) and 1.28 (T4.5); §V.B quotes 513/514/3/1.
+        assert!(out.contains("8.78"), "{out}");
+        assert!(out.contains("1.28"));
+        assert!(out.contains("513.0"));
+        assert!(out.contains("514.0"));
+        assert!(out.contains("Theorems 4.1-4.10 at n = 2048"));
+    }
+
+    #[test]
+    fn fig6_group_expands_to_both_metrics() {
+        let (_, arts) = parse_args(["fig6".into()]).unwrap();
+        assert_eq!(arts, vec![Artifact::Fig6a, Artifact::Fig6b]);
+        let (_, all) = parse_args(["all".into()]).unwrap();
+        assert_eq!(all.len(), Artifact::ALL.len());
+    }
+}

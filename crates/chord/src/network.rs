@@ -1,0 +1,569 @@
+//! The Chord network: arena of nodes, construction, churn, repair.
+
+use crate::node::{ChordNode, FINGER_BITS};
+use dht_core::{ConsistentHash, DhtError, NodeIdx, Overlay, RouteResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Construction parameters for a [`Chord`] overlay.
+#[derive(Debug, Clone, Copy)]
+pub struct ChordConfig {
+    /// Successor-list length `r` (Chord survives up to `r-1` consecutive
+    /// failures between repairs). The paper's static experiments are
+    /// insensitive to this; churn experiments use the default.
+    pub succ_list_len: usize,
+    /// Seed for identifier assignment.
+    pub seed: u64,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        Self { succ_list_len: 4, seed: 0x1CEB00DA }
+    }
+}
+
+/// A Chord overlay network.
+///
+/// Nodes live in an arena; departed nodes are tomb-stoned, never reused,
+/// so `NodeIdx` values stay valid for the lifetime of an experiment.
+///
+/// ```
+/// use chord::{Chord, ChordConfig};
+/// use dht_core::Overlay;
+///
+/// let net = Chord::build(64, ChordConfig::default());
+/// let from = net.nodes_by_id()[0];
+/// let route = net.route(from, 0xDEADBEEF).unwrap();
+/// assert!(route.exact, "stabilized lookups land on the owner");
+/// assert_eq!(route.terminal, net.owner_of(0xDEADBEEF).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chord {
+    pub(crate) nodes: Vec<ChordNode>,
+    cfg: ChordConfig,
+    /// Live node indices sorted by ring id — ground truth for `owner_of`
+    /// and for fast bulk construction. Never consulted by routing.
+    sorted: Vec<NodeIdx>,
+    used_ids: HashSet<u64>,
+    rng: SmallRng,
+}
+
+impl Chord {
+    /// An empty overlay.
+    pub fn new(cfg: ChordConfig) -> Self {
+        Self {
+            nodes: Vec::new(),
+            cfg,
+            sorted: Vec::new(),
+            used_ids: HashSet::new(),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0xC0FFEE),
+        }
+    }
+
+    /// Bulk-construct a fully stabilized network of `n` nodes with random
+    /// distinct identifiers. This is the fast path used to set up static
+    /// experiments; incremental joins exercise the protocol path.
+    pub fn build(n: usize, cfg: ChordConfig) -> Self {
+        let mut net = Self::new(cfg);
+        let hash = ConsistentHash::new(cfg.seed);
+        for i in 0..n {
+            let mut id = hash.hash_u64(i as u64);
+            while net.used_ids.contains(&id) {
+                id = id.wrapping_add(0x9e3779b97f4a7c15);
+            }
+            net.push_node(id);
+        }
+        net.rebuild_all_state();
+        net
+    }
+
+    /// Size of the node arena (live + tomb-stoned slots). Directory
+    /// bookkeeping in higher layers indexes by arena slot.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Configuration the network was built with.
+    pub fn config(&self) -> &ChordConfig {
+        &self.cfg
+    }
+
+    /// Reserve an arena slot as a tombstone: the slot counts towards
+    /// `arena_len` but never participates in the ring. Used to keep
+    /// multiple overlays' arenas in lock-step when a coordinated join
+    /// partially fails (see Mercury's join rollback).
+    pub fn reserve_tombstone(&mut self) -> NodeIdx {
+        let idx = NodeIdx(self.nodes.len());
+        let mut node = ChordNode::new(self.rng.gen());
+        node.alive = false;
+        self.nodes.push(node);
+        idx
+    }
+
+    fn push_node(&mut self, id: u64) -> NodeIdx {
+        let idx = NodeIdx(self.nodes.len());
+        self.nodes.push(ChordNode::new(id));
+        self.used_ids.insert(id);
+        let pos = self.sorted.partition_point(|&j| self.nodes[j.0].id < id);
+        self.sorted.insert(pos, idx);
+        idx
+    }
+
+    /// Recompute every node's successor list, predecessor and fingers from
+    /// ground truth (perfect stabilization). Used by `build` and by tests.
+    pub fn rebuild_all_state(&mut self) {
+        let live: Vec<NodeIdx> = self.sorted.clone();
+        let n = live.len();
+        if n == 0 {
+            return;
+        }
+        for (pos, &idx) in live.iter().enumerate() {
+            let mut succs = Vec::with_capacity(self.cfg.succ_list_len);
+            for k in 1..=self.cfg.succ_list_len.min(n.saturating_sub(1)).max(1) {
+                succs.push(live[(pos + k) % n]);
+            }
+            let pred = live[(pos + n - 1) % n];
+            let id = self.nodes[idx.0].id;
+            let mut fingers = Vec::with_capacity(FINGER_BITS);
+            for i in 0..FINGER_BITS {
+                let target = id.wrapping_add(1u64 << i);
+                fingers.push(self.true_owner(target));
+            }
+            let node = &mut self.nodes[idx.0];
+            node.successors = succs;
+            node.predecessor = Some(pred);
+            node.fingers = fingers;
+        }
+    }
+
+    /// Ground-truth owner (first live node clockwise from `key`, the node
+    /// whose interval `(pred, id]` contains `key`).
+    fn true_owner(&self, key: u64) -> NodeIdx {
+        debug_assert!(!self.sorted.is_empty());
+        let pos = self.sorted.partition_point(|&j| self.nodes[j.0].id < key);
+        self.sorted[pos % self.sorted.len()]
+    }
+
+    /// Borrow a node's state.
+    pub fn node(&self, idx: NodeIdx) -> Result<&ChordNode, DhtError> {
+        self.nodes.get(idx.0).ok_or(DhtError::NodeNotFound { index: idx.0 })
+    }
+
+    fn live_node(&self, idx: NodeIdx) -> Result<&ChordNode, DhtError> {
+        let n = self.node(idx)?;
+        if n.alive {
+            Ok(n)
+        } else {
+            Err(DhtError::NodeNotFound { index: idx.0 })
+        }
+    }
+
+    /// Identifier of `idx`.
+    pub fn id_of(&self, idx: NodeIdx) -> Result<u64, DhtError> {
+        Ok(self.node(idx)?.id)
+    }
+
+    /// First *alive* entry of `idx`'s successor list (node-local view).
+    pub fn next_clockwise(&self, idx: NodeIdx) -> Result<NodeIdx, DhtError> {
+        let n = self.live_node(idx)?;
+        n.successors
+            .iter()
+            .copied()
+            .find(|&s| self.nodes[s.0].alive)
+            .ok_or(DhtError::EmptyOverlay)
+    }
+
+    /// Predecessor pointer if alive (node-local view). Range probes that
+    /// walk counter-clockwise use this; a dead predecessor stalls the walk
+    /// until stabilization, exactly as in the real protocol.
+    pub fn next_counterclockwise(&self, idx: NodeIdx) -> Result<NodeIdx, DhtError> {
+        let n = self.live_node(idx)?;
+        match n.predecessor {
+            Some(p) if self.nodes[p.0].alive => Ok(p),
+            _ => Err(DhtError::EmptyOverlay),
+        }
+    }
+
+    /// Join a new node with a random identifier, bootstrapping through
+    /// `bootstrap`. Returns the new node's index.
+    ///
+    /// Only the new node's state and its neighbors' immediate pointers are
+    /// updated — everyone else's fingers stay stale until [`Self::stabilize_all`]
+    /// or per-node repair runs, as in the real protocol.
+    pub fn join(&mut self, bootstrap: NodeIdx) -> Result<NodeIdx, DhtError> {
+        let mut id = self.rng.gen::<u64>();
+        while self.used_ids.contains(&id) {
+            id = id.wrapping_add(0x9e3779b97f4a7c15);
+        }
+        self.join_with_id(bootstrap, id)
+    }
+
+    /// Join with an explicit identifier (tests, adversarial placements).
+    pub fn join_with_id(&mut self, bootstrap: NodeIdx, id: u64) -> Result<NodeIdx, DhtError> {
+        if self.used_ids.contains(&id) {
+            return Err(DhtError::IdSpaceExhausted);
+        }
+        self.live_node(bootstrap)?;
+        // Find the successor of the new id by routing from the bootstrap.
+        let succ = {
+            let r = self.route_from(bootstrap, id)?;
+            r.terminal
+        };
+        let idx = self.push_node(id);
+        // Splice: new node's successor list comes from succ.
+        let succ_node = &self.nodes[succ.0];
+        let mut slist = Vec::with_capacity(self.cfg.succ_list_len);
+        slist.push(succ);
+        slist.extend(succ_node.successors.iter().copied().take(self.cfg.succ_list_len - 1));
+        let pred = succ_node.predecessor;
+        {
+            let node = &mut self.nodes[idx.0];
+            node.successors = slist;
+            node.predecessor = pred;
+        }
+        self.nodes[succ.0].predecessor = Some(idx);
+        if let Some(p) = pred {
+            if self.nodes[p.0].alive {
+                let pnode = &mut self.nodes[p.0];
+                pnode.successors.insert(0, idx);
+                pnode.successors.truncate(self.cfg.succ_list_len);
+            }
+        }
+        // Initialize fingers by routing (the joining node's own lookups).
+        let mut fingers = Vec::with_capacity(FINGER_BITS);
+        for i in 0..FINGER_BITS {
+            let target = id.wrapping_add(1u64 << i);
+            let f = self.route_from(succ, target).map(|r| r.terminal).unwrap_or(succ);
+            fingers.push(f);
+        }
+        self.nodes[idx.0].fingers = fingers;
+        Ok(idx)
+    }
+
+    fn retire(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
+        self.live_node(idx)?;
+        self.nodes[idx.0].alive = false;
+        let id = self.nodes[idx.0].id;
+        self.used_ids.remove(&id);
+        if let Ok(pos) = self.sorted.binary_search_by(|&j| self.nodes[j.0].id.cmp(&id)) {
+            self.sorted.remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Graceful departure: the node tells its neighbors, who splice it out
+    /// immediately. Other nodes' fingers stay stale until repair.
+    pub fn leave(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
+        let node = self.live_node(idx)?.clone();
+        self.retire(idx)?;
+        let succ = node.successors.iter().copied().find(|&s| self.nodes[s.0].alive);
+        let pred = node.predecessor.filter(|&p| self.nodes[p.0].alive);
+        if let (Some(s), Some(p)) = (succ, pred) {
+            if s != idx && p != idx {
+                self.nodes[s.0].predecessor = Some(p);
+                let pnode = &mut self.nodes[p.0];
+                pnode.successors.retain(|&x| x != idx);
+                pnode.successors.insert(0, s);
+                pnode.successors.dedup();
+                pnode.successors.truncate(self.cfg.succ_list_len);
+            }
+        }
+        Ok(())
+    }
+
+    /// Abrupt failure: the node vanishes without notifying anyone.
+    pub fn fail(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
+        self.retire(idx)
+    }
+
+    /// One round of the Chord stabilization protocol for `idx`:
+    /// refresh the successor (adopting the successor's predecessor when it
+    /// sits between), repair the successor list, and re-notify.
+    pub fn stabilize(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
+        let me = self.live_node(idx)?;
+        let my_id = me.id;
+        // First alive successor-list entry becomes the working successor.
+        let Some(mut succ) = me.successors.iter().copied().find(|&s| self.nodes[s.0].alive)
+        else {
+            // Total successor loss: re-bootstrap from ground truth would be
+            // cheating; the real protocol falls back to the finger table.
+            let fallback = me.fingers.iter().copied().find(|&f| self.nodes[f.0].alive && f != idx);
+            match fallback {
+                Some(f) => {
+                    self.nodes[idx.0].successors = vec![f];
+                    return Ok(());
+                }
+                None => return Err(DhtError::EmptyOverlay),
+            }
+        };
+        // Adopt successor's predecessor if it lies in (me, succ).
+        if let Some(p) = self.nodes[succ.0].predecessor {
+            if p != idx
+                && self.nodes[p.0].alive
+                && dht_core::in_interval_oo(my_id, self.nodes[succ.0].id, self.nodes[p.0].id)
+            {
+                succ = p;
+            }
+        }
+        // Rebuild successor list from succ's list.
+        let mut slist = Vec::with_capacity(self.cfg.succ_list_len);
+        slist.push(succ);
+        for &s in &self.nodes[succ.0].successors {
+            if slist.len() >= self.cfg.succ_list_len {
+                break;
+            }
+            if self.nodes[s.0].alive && s != idx && !slist.contains(&s) {
+                slist.push(s);
+            }
+        }
+        self.nodes[idx.0].successors = slist;
+        // Notify: succ adopts me as predecessor if better.
+        let adopt = match self.nodes[succ.0].predecessor {
+            None => true,
+            Some(p) if !self.nodes[p.0].alive => true,
+            Some(p) => dht_core::in_interval_oo(self.nodes[p.0].id, self.nodes[succ.0].id, my_id),
+        };
+        if adopt {
+            self.nodes[succ.0].predecessor = Some(idx);
+        }
+        Ok(())
+    }
+
+    /// Recompute every finger of `idx` by issuing lookups through the
+    /// current (possibly stale) overlay state.
+    pub fn fix_fingers(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
+        let id = self.live_node(idx)?.id;
+        for i in 0..FINGER_BITS {
+            let target = id.wrapping_add(1u64 << i);
+            if let Ok(r) = self.route_from(idx, target) {
+                self.nodes[idx.0].fingers[i] = r.terminal;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one stabilization + finger-repair round on every live node.
+    pub fn stabilize_all(&mut self) {
+        let live: Vec<NodeIdx> = self.live_nodes();
+        for &idx in &live {
+            if self.nodes[idx.0].alive {
+                let _ = self.stabilize(idx);
+            }
+        }
+        for &idx in &live {
+            if self.nodes[idx.0].alive {
+                let _ = self.fix_fingers(idx);
+            }
+        }
+    }
+
+    /// Live node indices sorted by ring identifier.
+    pub fn nodes_by_id(&self) -> &[NodeIdx] {
+        &self.sorted
+    }
+
+    /// Pick a uniformly random live node.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeIdx> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted[rng.gen_range(0..self.sorted.len())])
+        }
+    }
+}
+
+impl Overlay for Chord {
+    type Key = u64;
+
+    fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    fn live_nodes(&self) -> Vec<NodeIdx> {
+        self.sorted.clone()
+    }
+
+    fn owner_of(&self, key: u64) -> Result<NodeIdx, DhtError> {
+        if self.sorted.is_empty() {
+            return Err(DhtError::EmptyOverlay);
+        }
+        Ok(self.true_owner(key))
+    }
+
+    fn route(&self, from: NodeIdx, key: u64) -> Result<RouteResult, DhtError> {
+        self.route_from(from, key)
+    }
+
+    fn outlinks(&self, node: NodeIdx) -> Result<usize, DhtError> {
+        let n = self.live_node(node)?;
+        Ok(n.distinct_neighbors().iter().filter(|&&x| self.nodes[x.0].alive && x != node).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> Chord {
+        Chord::build(n, ChordConfig::default())
+    }
+
+    #[test]
+    fn build_sets_ring_invariants() {
+        let c = net(64);
+        assert_eq!(c.len(), 64);
+        for &idx in c.nodes_by_id() {
+            let node = c.node(idx).unwrap();
+            assert!(node.is_alive());
+            assert!(node.successor().is_some());
+            assert!(node.predecessor().is_some());
+            assert_eq!(node.fingers().len(), FINGER_BITS);
+        }
+    }
+
+    #[test]
+    fn successor_is_next_by_id() {
+        let c = net(32);
+        let ids = c.nodes_by_id();
+        for (pos, &idx) in ids.iter().enumerate() {
+            let succ = c.node(idx).unwrap().successor().unwrap();
+            assert_eq!(succ, ids[(pos + 1) % ids.len()]);
+        }
+    }
+
+    #[test]
+    fn predecessor_is_prev_by_id() {
+        let c = net(32);
+        let ids = c.nodes_by_id();
+        for (pos, &idx) in ids.iter().enumerate() {
+            let pred = c.node(idx).unwrap().predecessor().unwrap();
+            assert_eq!(pred, ids[(pos + ids.len() - 1) % ids.len()]);
+        }
+    }
+
+    #[test]
+    fn owner_of_is_clockwise_successor_of_key() {
+        let c = net(16);
+        for &idx in c.nodes_by_id() {
+            let id = c.id_of(idx).unwrap();
+            assert_eq!(c.owner_of(id).unwrap(), idx, "node owns its own id");
+            // key one past a node belongs to the next node
+            let next = c.next_clockwise(idx).unwrap();
+            assert_eq!(c.owner_of(id.wrapping_add(1)).unwrap(), next);
+        }
+    }
+
+    #[test]
+    fn outlinks_scale_logarithmically() {
+        let small = net(64);
+        let large = net(4096);
+        let avg = |c: &Chord| {
+            let total: usize = c.live_nodes().iter().map(|&i| c.outlinks(i).unwrap()).sum();
+            total as f64 / c.len() as f64
+        };
+        let a = avg(&small);
+        let b = avg(&large);
+        // log2(64)=6, log2(4096)=12: expect roughly doubled, clearly not 64x.
+        assert!(b > a + 2.0, "outlinks should grow with log n: {a} -> {b}");
+        assert!(b < a * 4.0, "outlinks must stay logarithmic: {a} -> {b}");
+    }
+
+    #[test]
+    fn clockwise_walk_visits_every_node_once() {
+        let c = net(40);
+        let start = c.nodes_by_id()[0];
+        let mut cur = start;
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            assert!(seen.insert(cur), "walk revisited {cur}");
+            cur = c.next_clockwise(cur).unwrap();
+            if cur == start {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 40);
+    }
+
+    #[test]
+    fn graceful_leave_splices_ring() {
+        let mut c = net(10);
+        let victim = c.nodes_by_id()[3];
+        let pred = c.node(victim).unwrap().predecessor().unwrap();
+        let succ = c.node(victim).unwrap().successor().unwrap();
+        c.leave(victim).unwrap();
+        assert_eq!(c.len(), 9);
+        assert_eq!(c.next_clockwise(pred).unwrap(), succ);
+        assert_eq!(c.node(succ).unwrap().predecessor().unwrap(), pred);
+        assert!(!c.node(victim).unwrap().is_alive());
+    }
+
+    #[test]
+    fn leave_twice_errors() {
+        let mut c = net(5);
+        let v = c.nodes_by_id()[0];
+        c.leave(v).unwrap();
+        assert!(c.leave(v).is_err());
+    }
+
+    #[test]
+    fn join_inserts_in_order() {
+        let mut c = net(8);
+        let boot = c.nodes_by_id()[0];
+        let idx = c.join(boot).unwrap();
+        assert_eq!(c.len(), 9);
+        let id = c.id_of(idx).unwrap();
+        assert_eq!(c.owner_of(id).unwrap(), idx);
+        // ring pointers around the new node are consistent
+        let succ = c.node(idx).unwrap().successor().unwrap();
+        assert_eq!(c.node(succ).unwrap().predecessor().unwrap(), idx);
+    }
+
+    #[test]
+    fn join_with_duplicate_id_rejected() {
+        let mut c = net(4);
+        let boot = c.nodes_by_id()[0];
+        let id = c.id_of(boot).unwrap();
+        assert_eq!(c.join_with_id(boot, id), Err(DhtError::IdSpaceExhausted));
+    }
+
+    #[test]
+    fn stabilize_recovers_from_abrupt_failure() {
+        let mut c = net(30);
+        let victim = c.nodes_by_id()[7];
+        let pred = c.node(victim).unwrap().predecessor().unwrap();
+        c.fail(victim).unwrap();
+        // pred's immediate successor pointer is now dead; next_clockwise
+        // must skip it through the successor list.
+        let after = c.next_clockwise(pred).unwrap();
+        assert_ne!(after, victim);
+        c.stabilize_all();
+        // after repair, pred's first successor entry is alive and correct
+        let s = c.node(pred).unwrap().successor().unwrap();
+        assert!(c.node(s).unwrap().is_alive());
+        assert_eq!(s, after);
+    }
+
+    #[test]
+    fn random_node_is_live() {
+        let mut c = net(12);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = c.random_node(&mut rng).unwrap();
+            assert!(c.node(n).unwrap().is_alive());
+        }
+        for idx in c.live_nodes() {
+            if c.len() > 1 {
+                let _ = c.leave(idx);
+            }
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn empty_overlay_owner_errors() {
+        let c = Chord::new(ChordConfig::default());
+        assert_eq!(c.owner_of(5), Err(DhtError::EmptyOverlay));
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-node Chord state.
+
+use dht_core::NodeIdx;
+
+/// Number of finger-table entries (the identifier space is 64 bits wide).
+pub const FINGER_BITS: usize = 64;
+
+/// The complete local state of one Chord node.
+///
+/// Everything a node uses to route must live here: the routing code only
+/// ever reads the state of the node currently holding the message.
+#[derive(Debug, Clone)]
+pub struct ChordNode {
+    /// Ring identifier.
+    pub(crate) id: u64,
+    /// False once the node departed (slot tomb-stoned).
+    pub(crate) alive: bool,
+    /// `fingers[i]` targets `successor(id + 2^i)`. Entries may be stale
+    /// after churn until `fix_fingers` runs.
+    pub(crate) fingers: Vec<NodeIdx>,
+    /// First `r` successors on the ring (repair chain under churn).
+    pub(crate) successors: Vec<NodeIdx>,
+    /// Immediate predecessor, if known.
+    pub(crate) predecessor: Option<NodeIdx>,
+}
+
+impl ChordNode {
+    pub(crate) fn new(id: u64) -> Self {
+        Self { id, alive: true, fingers: Vec::new(), successors: Vec::new(), predecessor: None }
+    }
+
+    /// Ring identifier of this node.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Is the node currently part of the overlay?
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Immediate successor (first entry of the successor list).
+    pub fn successor(&self) -> Option<NodeIdx> {
+        self.successors.first().copied()
+    }
+
+    /// The successor list.
+    pub fn successor_list(&self) -> &[NodeIdx] {
+        &self.successors
+    }
+
+    /// Immediate predecessor, if known.
+    pub fn predecessor(&self) -> Option<NodeIdx> {
+        self.predecessor
+    }
+
+    /// Finger table (may contain duplicates; see
+    /// [`Chord::outlinks`](crate::Chord) for the distinct count).
+    pub fn fingers(&self) -> &[NodeIdx] {
+        &self.fingers
+    }
+
+    /// Distinct live outlinks: fingers ∪ successor list ∪ predecessor.
+    pub(crate) fn distinct_neighbors(&self) -> Vec<NodeIdx> {
+        let mut v: Vec<NodeIdx> = self
+            .fingers
+            .iter()
+            .chain(self.successors.iter())
+            .chain(self.predecessor.iter())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_has_no_links() {
+        let n = ChordNode::new(42);
+        assert_eq!(n.id(), 42);
+        assert!(n.is_alive());
+        assert!(n.successor().is_none());
+        assert!(n.predecessor().is_none());
+        assert!(n.distinct_neighbors().is_empty());
+    }
+
+    #[test]
+    fn distinct_neighbors_dedupes() {
+        let mut n = ChordNode::new(1);
+        n.fingers = vec![NodeIdx(2), NodeIdx(2), NodeIdx(3)];
+        n.successors = vec![NodeIdx(2), NodeIdx(4)];
+        n.predecessor = Some(NodeIdx(3));
+        assert_eq!(n.distinct_neighbors(), vec![NodeIdx(2), NodeIdx(3), NodeIdx(4)]);
+    }
+}

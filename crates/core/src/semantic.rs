@@ -1,0 +1,218 @@
+//! Semantic resource discovery — the paper's stated future work.
+//!
+//! §VI: *"We plan to further explore and elaborate upon the LORM design to
+//! discover resources based on semantic information."* The paper's model
+//! already allows string descriptions ("OS=Linux") wherever values appear;
+//! this module makes them first-class:
+//!
+//! * a description is encoded with an **order-preserving string code**
+//!   ([`dht_core::lex_hash`]: first eight bytes, big-endian), scaled
+//!   monotonically into the attribute's numeric value domain;
+//! * lexicographic order is preserved end-to-end, so a **prefix query**
+//!   ("every resource whose OS starts with `linux`") is exactly a LORM
+//!   range query over `[code(prefix), code(prefix⁺)]` — one lookup plus an
+//!   intra-cluster walk, never a broadcast;
+//! * descriptions sharing their first eight bytes land on the same
+//!   directory position. That coarsens *placement*, not correctness: the
+//!   caller keeps the description table ([`SemanticDirectory`]) and
+//!   filters candidates exactly.
+//!
+//! The encoding brings string attributes into the same machinery that
+//! Proposition 3.1 covers, so every theorem about range queries applies
+//! unchanged to prefix queries.
+
+use dht_core::{lex_hash, lex_prefix_end};
+use grid_resource::{AttrId, AttributeSpace, Query, SubQuery, ValueTarget};
+use std::collections::HashMap;
+
+/// Encodes string descriptions into an attribute's value domain, order
+/// preserved.
+///
+/// ```
+/// use grid_resource::AttributeSpace;
+/// use lorm::semantic::SemanticCodec;
+///
+/// let space = AttributeSpace::from_names(["os"], 1.0, 1000.0).unwrap();
+/// let codec = SemanticCodec::new(&space);
+/// assert!(codec.encode("linux") < codec.encode("windows"));
+/// let (lo, hi) = codec.prefix_range("linux");
+/// let v = codec.encode("linux-6.1");
+/// assert!(v >= lo && v <= hi);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SemanticCodec {
+    min: f64,
+    max: f64,
+}
+
+impl SemanticCodec {
+    /// A codec for the attribute space's shared value domain.
+    pub fn new(space: &AttributeSpace) -> Self {
+        let (min, max) = space.domain();
+        Self { min, max }
+    }
+
+    /// Encode a description as a value in `[min, max]`, monotone in
+    /// lexicographic order.
+    pub fn encode(&self, desc: &str) -> f64 {
+        let frac = lex_hash(desc) as f64 / u64::MAX as f64;
+        self.min + frac * (self.max - self.min)
+    }
+
+    /// The value range covering every description with this prefix.
+    pub fn prefix_range(&self, prefix: &str) -> (f64, f64) {
+        let lo = lex_hash(prefix) as f64 / u64::MAX as f64;
+        let hi = lex_prefix_end(prefix) as f64 / u64::MAX as f64;
+        (self.min + lo * (self.max - self.min), self.min + hi * (self.max - self.min))
+    }
+
+    /// Build the sub-query matching descriptions with the given prefix.
+    pub fn prefix_subquery(&self, attr: AttrId, prefix: &str) -> SubQuery {
+        let (low, high) = self.prefix_range(prefix);
+        SubQuery { attr, target: ValueTarget::Range { low, high } }
+    }
+
+    /// Build a whole prefix query over several described attributes.
+    pub fn prefix_query(&self, parts: &[(AttrId, &str)]) -> Query {
+        Query::new(parts.iter().map(|&(a, p)| self.prefix_subquery(a, p)).collect())
+            .expect("prefix ranges are well-formed")
+    }
+}
+
+/// The requester-side description table: remembers what each owner
+/// advertised so candidate sets coming back from the DHT can be filtered
+/// exactly (the eight-byte code horizon makes the DHT-side match
+/// conservative, never lossy).
+#[derive(Debug, Clone, Default)]
+pub struct SemanticDirectory {
+    descs: HashMap<(u32, usize), String>,
+}
+
+impl SemanticDirectory {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `owner` advertised `desc` for `attr`.
+    pub fn record(&mut self, attr: AttrId, owner: usize, desc: impl Into<String>) {
+        self.descs.insert((attr.0, owner), desc.into());
+    }
+
+    /// The description `owner` advertised for `attr`, if any.
+    pub fn description(&self, attr: AttrId, owner: usize) -> Option<&str> {
+        self.descs.get(&(attr.0, owner)).map(String::as_str)
+    }
+
+    /// Exact-filter a DHT candidate set down to owners whose description
+    /// really starts with `prefix`.
+    pub fn filter_prefix(&self, attr: AttrId, prefix: &str, candidates: &[usize]) -> Vec<usize> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&o| {
+                self.description(attr, o).is_some_and(|d| d.starts_with(prefix))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lorm, LormConfig};
+    use grid_resource::{ResourceDiscovery, ResourceInfo};
+
+    fn space() -> AttributeSpace {
+        AttributeSpace::from_names(["os", "arch"], 1.0, 1000.0).unwrap()
+    }
+
+    #[test]
+    fn encoding_preserves_order_within_domain() {
+        let s = space();
+        let c = SemanticCodec::new(&s);
+        let names = ["aix", "darwin", "freebsd", "linux", "solaris", "windows"];
+        let mut prev = f64::NEG_INFINITY;
+        for n in names {
+            let v = c.encode(n);
+            assert!(v > prev, "order broken at {n}");
+            assert!((1.0..=1000.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn prefix_range_covers_matching_descriptions() {
+        let c = SemanticCodec::new(&space());
+        let (lo, hi) = c.prefix_range("linux");
+        for d in ["linux", "linux-5.4", "linux-6.1-rt"] {
+            let v = c.encode(d);
+            assert!(v >= lo && v <= hi, "{d} must fall in the prefix range");
+        }
+        for d in ["windows", "lin", "freebsd"] {
+            let v = c.encode(d);
+            assert!(v < lo || v > hi, "{d} must fall outside");
+        }
+    }
+
+    #[test]
+    fn prefix_queries_resolve_through_lorm() {
+        let s = space();
+        let os = s.by_name("os").unwrap();
+        let codec = SemanticCodec::new(&s);
+        let mut table = SemanticDirectory::new();
+        let mut grid =
+            Lorm::new(160, &s, LormConfig { dimension: 5, ..LormConfig::default() });
+
+        let machines = [
+            (1usize, "linux-5.4"),
+            (2, "linux-6.1"),
+            (3, "windows-11"),
+            (4, "freebsd-14"),
+            (5, "linux-4.19"),
+        ];
+        for (owner, desc) in machines {
+            grid.register(ResourceInfo { attr: os, value: codec.encode(desc), owner }).unwrap();
+            table.record(os, owner, desc);
+        }
+
+        let q = codec.prefix_query(&[(os, "linux")]);
+        let out = grid.query_from(0, &q).unwrap();
+        let mut got = table.filter_prefix(os, "linux", &out.owners);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 5]);
+        // and the walk stayed inside one cluster
+        assert!(out.tally.visited <= 5);
+    }
+
+    #[test]
+    fn dht_candidates_are_a_superset_of_exact_matches() {
+        // The 8-byte horizon can only add candidates, never drop them.
+        let s = space();
+        let os = s.by_name("os").unwrap();
+        let codec = SemanticCodec::new(&s);
+        let mut grid =
+            Lorm::new(160, &s, LormConfig { dimension: 5, ..LormConfig::default() });
+        let descs = ["linuxmachine-a", "linuxmachine-b", "linuxotherkind"];
+        for (i, d) in descs.iter().enumerate() {
+            grid.register(ResourceInfo { attr: os, value: codec.encode(d), owner: i }).unwrap();
+        }
+        // all three share 8 bytes ("linuxmac" vs "linuxoth" differ — the
+        // first two collide, the third doesn't)
+        let q = codec.prefix_query(&[(os, "linuxmachine")]);
+        let out = grid.query_from(0, &q).unwrap();
+        assert!(out.owners.contains(&0) && out.owners.contains(&1));
+    }
+
+    #[test]
+    fn directory_filter_is_exact() {
+        let mut t = SemanticDirectory::new();
+        let a = AttrId(0);
+        t.record(a, 1, "linux-5.4");
+        t.record(a, 2, "lin");
+        t.record(a, 3, "windows");
+        assert_eq!(t.filter_prefix(a, "linux", &[1, 2, 3, 99]), vec![1]);
+        assert_eq!(t.description(a, 2), Some("lin"));
+        assert_eq!(t.description(a, 9), None);
+    }
+}

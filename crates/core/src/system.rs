@@ -1,0 +1,574 @@
+//! The LORM resource discovery service.
+
+use crate::keys::{KeyDeriver, Placement};
+use cycloid::{Cycloid, CycloidConfig, CycloidId};
+use dht_core::{DhtError, LoadDist, LookupTally, NodeIdx, Overlay};
+use grid_resource::{
+    discovery::join_owners, AttributeSpace, Directory, Query, QueryOutcome, ResourceDiscovery,
+    ResourceInfo, ValueTarget,
+};
+use rand::rngs::SmallRng;
+
+/// Construction parameters for [`Lorm`].
+#[derive(Debug, Clone, Copy)]
+pub struct LormConfig {
+    /// Cycloid dimension `d` (the paper's evaluation: 8, i.e. 2048 slots).
+    pub dimension: u8,
+    /// Experiment seed (drives identifier assignment and hashing).
+    pub seed: u64,
+    /// Value-placement strategy (`Lph` is the paper's design; `Hashed` is
+    /// the ablation that destroys range locality).
+    pub placement: Placement,
+}
+
+impl Default for LormConfig {
+    fn default() -> Self {
+        Self { dimension: 8, seed: 0x10124, placement: Placement::Lph }
+    }
+}
+
+/// LORM: multi-attribute range-query resource discovery over one Cycloid.
+///
+/// Physical node `p` of the grid is Cycloid node `NodeIdx(p)` at
+/// construction; nodes joining later get fresh indices. Every node keeps a
+/// *directory*: the resource information pieces whose `rescID` it is the
+/// root of.
+pub struct Lorm {
+    overlay: Cycloid,
+    keys: KeyDeriver,
+    /// Directory per arena slot.
+    directories: Vec<Directory>,
+    /// Physical node -> overlay node (`None` after departure).
+    phys_node: Vec<Option<NodeIdx>>,
+    total_pieces: usize,
+}
+
+impl Lorm {
+    /// Build a LORM system of `n` physical nodes over the attribute space.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the Cycloid capacity `d·2^d`.
+    pub fn new(n: usize, space: &AttributeSpace, cfg: LormConfig) -> Self {
+        let overlay = Cycloid::build(n, CycloidConfig { dimension: cfg.dimension, seed: cfg.seed });
+        let keys = KeyDeriver::with_placement(space, cfg.dimension, cfg.seed, cfg.placement);
+        let arena = overlay.arena_len();
+        Self {
+            overlay,
+            keys,
+            directories: vec![Directory::new(); arena],
+            phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(),
+            total_pieces: 0,
+        }
+    }
+
+    /// The underlying Cycloid overlay (read-only).
+    pub fn overlay(&self) -> &Cycloid {
+        &self.overlay
+    }
+
+    /// The key deriver (rescID computation).
+    pub fn keys(&self) -> &KeyDeriver {
+        &self.keys
+    }
+
+    /// Directory of a specific overlay node (for inspection).
+    pub fn directory(&self, node: NodeIdx) -> &Directory {
+        &self.directories[node.0]
+    }
+
+    fn node_of(&self, phys: usize) -> Result<NodeIdx, DhtError> {
+        self.phys_node
+            .get(phys)
+            .copied()
+            .flatten()
+            .ok_or(DhtError::NodeNotFound { index: phys })
+    }
+
+    fn store(&mut self, node: NodeIdx, info: ResourceInfo) {
+        if self.directories.len() < self.overlay.arena_len() {
+            self.directories.resize(self.overlay.arena_len(), Directory::new());
+        }
+        self.directories[node.0].push(info);
+        self.total_pieces += 1;
+    }
+
+    /// Probe the intra-cluster walk of a range query: starting at the root
+    /// of `ℋ(low)`, follow inside-leaf successors while the next member\'s
+    /// value sector still intersects the queried arc `[ℋ(low), ℋ(high)]`
+    /// (Proposition 3.1). Returns the probed nodes in walk order,
+    /// including the start.
+    ///
+    /// The stop rule is the *sector transition*: a successor is probed iff
+    /// the first cyclic position it owns (rather than the current node)
+    /// lies within the arc. This stays correct when nearest-neighbor
+    /// ownership wraps — e.g. a two-member cluster where `root(low)` and
+    /// `root(high)` coincide but the member in between owns interior
+    /// positions.
+    fn range_walk(&self, start: NodeIdx, lo_pos: u8, hi_pos: u8) -> Vec<NodeIdx> {
+        let d = self.overlay.dimension();
+        let span = CycloidId::cw_cyclic_dist(lo_pos, hi_pos, d);
+        let mut probed = vec![start];
+        let mut cur = start;
+        for _ in 0..d {
+            let Some(next) = self.overlay.cluster_successor(cur).ok().flatten() else {
+                break;
+            };
+            if next == start {
+                break;
+            }
+            let Some(p) = self.transition_position(cur, next) else {
+                break;
+            };
+            if CycloidId::cw_cyclic_dist(lo_pos, p, d) > span {
+                break;
+            }
+            probed.push(next);
+            cur = next;
+        }
+        probed
+    }
+
+    /// First cyclic position, walking clockwise from `cur`, that is owned
+    /// by `next` rather than `cur` (the boundary between their sectors
+    /// under the nearest-with-clockwise-tie ownership rule).
+    fn transition_position(&self, cur: NodeIdx, next: NodeIdx) -> Option<u8> {
+        let d = self.overlay.dimension();
+        let ck = self.overlay.id_of(cur).ok()?.cyclic;
+        let nk = self.overlay.id_of(next).ok()?.cyclic;
+        for step in 1..=d {
+            let p = (ck + step) % d;
+            let dc = CycloidId::cyclic_dist(ck, p, d);
+            let dn = CycloidId::cyclic_dist(nk, p, d);
+            let next_wins = dn < dc
+                || (dn == dc
+                    && CycloidId::cw_cyclic_dist(p, nk, d) == dn
+                    && CycloidId::cw_cyclic_dist(p, ck, d) != dc);
+            if next_wins {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Probe every member of `start`'s cluster (ablation mode: a range
+    /// query without locality-preserving placement cannot stop early).
+    fn full_cluster_walk(&self, start: NodeIdx) -> Vec<NodeIdx> {
+        let d = self.overlay.dimension();
+        let mut probed = vec![start];
+        let mut cur = start;
+        for _ in 0..d {
+            match self.overlay.cluster_successor(cur).ok().flatten() {
+                Some(next) if next != start => {
+                    probed.push(next);
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        probed
+    }
+
+    fn matches_in(&self, node: NodeIdx, attr: grid_resource::AttrId, t: &ValueTarget) -> Vec<usize> {
+        self.directories[node.0].matching_owners(attr, t)
+    }
+}
+
+impl ResourceDiscovery for Lorm {
+    fn name(&self) -> &'static str {
+        "LORM"
+    }
+
+    fn num_physical(&self) -> usize {
+        self.phys_node.iter().filter(|n| n.is_some()).count()
+    }
+
+    fn is_live(&self, phys: usize) -> bool {
+        self.phys_node.get(phys).copied().flatten().is_some()
+    }
+
+    fn place_all(&mut self, reports: &[ResourceInfo]) {
+        self.directories = vec![Directory::new(); self.overlay.arena_len()];
+        self.total_pieces = 0;
+        for &r in reports {
+            let id = self.keys.resc_id(r.attr, r.value);
+            if let Ok(root) = self.overlay.owner_of(id) {
+                self.store(root, r);
+            }
+        }
+    }
+
+    fn register(&mut self, info: ResourceInfo) -> Result<LookupTally, DhtError> {
+        let from = self.node_of(info.owner)?;
+        let id = self.keys.resc_id(info.attr, info.value);
+        let route = self.overlay.route(from, id)?;
+        self.store(route.terminal, info);
+        Ok(LookupTally { hops: route.hops(), lookups: 1, visited: 1, matches: 0 })
+    }
+
+    fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut per_sub: Vec<Vec<usize>> = Vec::with_capacity(q.subs.len());
+        let mut probed_all: Vec<NodeIdx> = Vec::new();
+        for sub in &q.subs {
+            let (lookup_value, bounds) = match sub.target {
+                ValueTarget::Point(v) => (v, None),
+                ValueTarget::Range { low, high } => {
+                    (low, Some((self.keys.cyclic_of(low), self.keys.cyclic_of(high))))
+                }
+            };
+            let resc_id = self.keys.resc_id(sub.attr, lookup_value);
+            let route = self.overlay.route(from, resc_id)?;
+            tally.lookups += 1;
+            tally.hops += route.hops();
+            let probed = match bounds {
+                None => vec![route.terminal],
+                Some((lo, hi)) => {
+                    
+                    match self.keys.placement() {
+                        // Proposition 3.1: matching roots are contiguous.
+                        Placement::Lph => self.range_walk(route.terminal, lo, hi),
+                        // Ablation: without locality preservation, matches
+                        // can sit anywhere in the cluster — probe it all.
+                        Placement::Hashed => self.full_cluster_walk(route.terminal),
+                    }
+                }
+            };
+            tally.visited += probed.len();
+            let mut owners = Vec::new();
+            for node in probed {
+                owners.extend(self.matches_in(node, sub.attr, &sub.target));
+                probed_all.push(node);
+            }
+            tally.matches += owners.len();
+            per_sub.push(owners);
+        }
+        Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn directory_loads(&self) -> LoadDist {
+        let counts: Vec<usize> =
+            self.overlay.live_nodes().iter().map(|&n| self.directories[n.0].len()).collect();
+        LoadDist::from_counts(&counts)
+    }
+
+    fn total_pieces(&self) -> usize {
+        self.total_pieces
+    }
+
+    fn outlinks_per_node(&self) -> LoadDist {
+        let links: Vec<usize> = self
+            .overlay
+            .live_nodes()
+            .iter()
+            .map(|&n| self.overlay.outlinks(n).unwrap_or(0))
+            .collect();
+        LoadDist::from_counts(&links)
+    }
+
+    fn join_physical(&mut self, rng: &mut SmallRng) -> Result<usize, DhtError> {
+        let slot = self.overlay.random_free_slot(rng).ok_or(DhtError::IdSpaceExhausted)?;
+        let idx = self.overlay.join_with_id(slot)?;
+        self.directories.resize(self.overlay.arena_len(), Directory::new());
+        let phys = self.phys_node.len();
+        self.phys_node.push(Some(idx));
+        Ok(phys)
+    }
+
+    fn leave_physical(&mut self, phys: usize) -> Result<(), DhtError> {
+        let node = self.node_of(phys)?;
+        // Hand off stored objects before departing (Cycloid's
+        // self-organization keeps stored objects available).
+        let handoff = self.directories[node.0].drain();
+        self.overlay.leave(node)?;
+        self.phys_node[phys] = None;
+        self.total_pieces -= handoff.len();
+        for info in handoff {
+            let id = self.keys.resc_id(info.attr, info.value);
+            if let Ok(root) = self.overlay.owner_of(id) {
+                self.store(root, info);
+            }
+        }
+        Ok(())
+    }
+
+    fn fail_physical(&mut self, phys: usize) -> Result<(), DhtError> {
+        let node = self.node_of(phys)?;
+        let lost = self.directories[node.0].drain();
+        self.total_pieces -= lost.len();
+        self.overlay.fail(node)?;
+        self.phys_node[phys] = None;
+        Ok(())
+    }
+
+    fn stabilize(&mut self) {
+        self.overlay.rebuild_all_links();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid_resource::{AttrId, QueryMix, SubQuery, Workload, WorkloadConfig};
+    use rand::SeedableRng;
+
+    fn small_workload() -> (Workload, Lorm) {
+        let mut rng = SmallRng::seed_from_u64(0xAB);
+        let cfg = WorkloadConfig {
+            num_attrs: 30,
+            values_per_attr: 100,
+            num_nodes: 512,
+            ..Default::default()
+        };
+        let w = Workload::generate(cfg, &mut rng).unwrap();
+        let mut l = Lorm::new(512, &w.space, LormConfig { dimension: 8, seed: 0xD0, ..Default::default() });
+        l.place_all(&w.reports);
+        (w, l)
+    }
+
+    /// Full-population fixture: every Cycloid slot occupied, so clusters
+    /// have all `d = 8` members (the paper's 2048-node setup).
+    fn full_workload() -> (Workload, Lorm) {
+        let mut rng = SmallRng::seed_from_u64(0xAC);
+        let cfg = WorkloadConfig {
+            num_attrs: 30,
+            values_per_attr: 100,
+            num_nodes: 2048,
+            ..Default::default()
+        };
+        let w = Workload::generate(cfg, &mut rng).unwrap();
+        let mut l = Lorm::new(2048, &w.space, LormConfig { dimension: 8, seed: 0xD1, ..Default::default() });
+        l.place_all(&w.reports);
+        (w, l)
+    }
+
+    /// Brute-force reference: owners whose reports satisfy the target.
+    fn brute(w: &Workload, attr: AttrId, t: &ValueTarget) -> Vec<usize> {
+        let mut v: Vec<usize> = w
+            .reports
+            .iter()
+            .filter(|r| r.attr == attr && t.matches(r.value))
+            .map(|r| r.owner)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn placement_conserves_pieces() {
+        let (w, l) = small_workload();
+        assert_eq!(l.total_pieces(), w.reports.len());
+        assert_eq!(l.directory_loads().total() as usize, w.reports.len());
+    }
+
+    #[test]
+    fn attribute_lives_in_one_cluster() {
+        let (w, l) = small_workload();
+        for attr in w.space.ids() {
+            let mut clusters: Vec<u32> = l
+                .overlay()
+                .live_nodes()
+                .iter()
+                .filter(|&&n| l.directory(n).iter().any(|r| r.attr == attr))
+                .map(|&n| l.overlay().id_of(n).unwrap().cubical)
+                .collect();
+            clusters.sort_unstable();
+            clusters.dedup();
+            assert!(clusters.len() <= 1, "attribute {attr} spread over {clusters:?}");
+        }
+    }
+
+    #[test]
+    fn point_query_finds_exactly_matching_owners() {
+        let (w, l) = small_workload();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let q = w.random_query(1, QueryMix::NonRange, &mut rng);
+            let sub = q.subs[0];
+            let out = l.query_from(3, &q).unwrap();
+            let mut got = out.owners.clone();
+            got.sort_unstable();
+            assert_eq!(got, brute(&w, sub.attr, &sub.target), "point query {sub:?}");
+        }
+    }
+
+    #[test]
+    fn range_query_is_complete() {
+        let (w, l) = small_workload();
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let q = w.random_query(1, QueryMix::Range, &mut rng);
+            let sub = q.subs[0];
+            let out = l.query_from(5, &q).unwrap();
+            let mut got = out.owners.clone();
+            got.sort_unstable();
+            assert_eq!(got, brute(&w, sub.attr, &sub.target), "range query {sub:?}");
+        }
+    }
+
+    #[test]
+    fn multi_attribute_join_intersects() {
+        let (w, l) = small_workload();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let q = w.random_query(3, QueryMix::Range, &mut rng);
+            let out = l.query_from(0, &q).unwrap();
+            let expected = grid_resource::discovery::join_owners(
+                q.subs.iter().map(|s| brute(&w, s.attr, &s.target)).collect(),
+            );
+            let mut got = out.owners.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn point_query_visits_one_node_per_attribute() {
+        let (w, l) = small_workload();
+        let mut rng = SmallRng::seed_from_u64(10);
+        for arity in [1usize, 4, 8] {
+            let q = w.random_query(arity, QueryMix::NonRange, &mut rng);
+            let out = l.query_from(1, &q).unwrap();
+            assert_eq!(out.tally.visited, arity);
+            assert_eq!(out.tally.lookups, arity);
+        }
+    }
+
+    #[test]
+    fn range_visits_bounded_by_cluster_size() {
+        let (w, l) = small_workload();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let q = w.random_query(1, QueryMix::Range, &mut rng);
+            let out = l.query_from(2, &q).unwrap();
+            assert!(
+                out.tally.visited <= 8,
+                "range probes {} exceed cluster size d=8",
+                out.tally.visited
+            );
+        }
+    }
+
+    #[test]
+    fn average_range_visits_near_one_plus_quarter_d() {
+        // Theorem 4.9: LORM visits 1 + d/4 nodes per attribute on average
+        // (3 for d = 8). Requires full clusters, as in the paper's setup.
+        let (w, l) = full_workload();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut total = 0usize;
+        let trials = 1000;
+        for _ in 0..trials {
+            let q = w.random_query(1, QueryMix::Range, &mut rng);
+            total += l.query_from(0, &q).unwrap().tally.visited;
+        }
+        let avg = total as f64 / trials as f64;
+        assert!((2.0..4.2).contains(&avg), "avg range visits {avg}, expected ≈3");
+    }
+
+    #[test]
+    fn full_domain_range_is_complete() {
+        // Regression: when root(low) == root(high) but the range arc
+        // covers the whole sector ring (e.g. two-member clusters), the
+        // walk must still probe the interior members.
+        let (w, l) = small_workload();
+        let (dmin, dmax) = w.space.domain();
+        for attr in w.space.ids() {
+            let q = Query::new(vec![SubQuery {
+                attr,
+                target: ValueTarget::Range { low: dmin, high: dmax },
+            }])
+            .unwrap();
+            let out = l.query_from(0, &q).unwrap();
+            let mut got = out.owners.clone();
+            got.sort_unstable();
+            let t = ValueTarget::Range { low: dmin, high: dmax };
+            assert_eq!(got, brute(&w, attr, &t), "full-domain range on {attr}");
+        }
+    }
+
+    #[test]
+    fn register_routes_and_stores() {
+        let (w, mut l) = small_workload();
+        let before = l.total_pieces();
+        let info = ResourceInfo { attr: AttrId(0), value: 42.0, owner: 17 };
+        let t = l.register(info).unwrap();
+        assert_eq!(l.total_pieces(), before + 1);
+        assert_eq!(t.lookups, 1);
+        // the new piece is findable
+        let q = Query::new(vec![SubQuery { attr: AttrId(0), target: ValueTarget::Point(42.0) }])
+            .unwrap();
+        let out = l.query_from(0, &q).unwrap();
+        assert!(out.owners.contains(&17));
+        let _ = w;
+    }
+
+    #[test]
+    fn register_from_departed_owner_errors() {
+        let (_, mut l) = small_workload();
+        l.leave_physical(100).unwrap();
+        let info = ResourceInfo { attr: AttrId(1), value: 5.0, owner: 100 };
+        assert!(l.register(info).is_err());
+    }
+
+    #[test]
+    fn leave_hands_off_directory() {
+        let (w, mut l) = small_workload();
+        let victim_node = l.node_of(200).unwrap();
+        let victim_load = l.directory(victim_node).len();
+        let total = l.total_pieces();
+        l.leave_physical(200).unwrap();
+        assert_eq!(l.total_pieces(), total, "handoff must not lose pieces");
+        assert!(!l.is_live(200));
+        assert_eq!(l.num_physical(), 511);
+        let _ = (victim_load, w);
+    }
+
+    #[test]
+    fn queries_survive_churn_with_repair() {
+        let (w, mut l) = small_workload();
+        let mut rng = SmallRng::seed_from_u64(13);
+        for i in 0..30 {
+            if i % 2 == 0 {
+                let _ = l.join_physical(&mut rng);
+            } else {
+                // pick a live physical node to remove
+                let phys = (0..l.phys_node.len()).find(|&p| l.is_live(p)).unwrap();
+                l.leave_physical(phys).unwrap();
+            }
+        }
+        l.stabilize();
+        l.place_all(&w.reports);
+        let mut rng2 = SmallRng::seed_from_u64(14);
+        for _ in 0..50 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng2);
+            let phys = (0..l.phys_node.len()).rev().find(|&p| l.is_live(p)).unwrap();
+            let out = l.query_from(phys, &q).unwrap();
+            let expected = grid_resource::discovery::join_owners(
+                q.subs.iter().map(|s| brute(&w, s.attr, &s.target)).collect(),
+            );
+            let mut got = out.owners.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn outlinks_stay_constant() {
+        let (_, l) = small_workload();
+        let links = l.outlinks_per_node();
+        assert!(links.max() <= 8.0, "constant degree violated: {}", links.max());
+        assert!(links.mean() > 3.0);
+    }
+
+    #[test]
+    fn directory_balance_beats_centralization() {
+        // All information of an attribute spreads over its cluster's d
+        // nodes, so the 99th percentile stays well below "everything on
+        // one node" (k pieces, what SWORD would do). Theorem 4.4.
+        let (w, l) = full_workload();
+        let loads = l.directory_loads();
+        let k = w.config().values_per_attr as f64;
+        assert!(loads.p99() < k / 2.0, "p99 {} should be well below k = {k}", loads.p99());
+    }
+}

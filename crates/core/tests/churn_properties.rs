@@ -1,0 +1,125 @@
+//! Property-based churn testing of LORM: arbitrary interleavings of
+//! joins, graceful leaves, abrupt failures, maintenance and queries keep
+//! the system's invariants intact.
+
+use grid_resource::{QueryMix, ResourceDiscovery, Workload, WorkloadConfig};
+use lorm::{Lorm, LormConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One step of a random churn script.
+#[derive(Debug, Clone)]
+enum Op {
+    Join,
+    Leave,
+    Fail,
+    Maintain,
+    Query(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Join),
+        3 => Just(Op::Leave),
+        2 => Just(Op::Fail),
+        1 => Just(Op::Maintain),
+        3 => (1u8..4).prop_map(Op::Query),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_churn_scripts_preserve_invariants(
+        seed: u64,
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let d = 6u8;
+        let n = 300usize; // below capacity (384) so joins can land
+        let cfg = WorkloadConfig {
+            num_attrs: 10,
+            values_per_attr: 30,
+            num_nodes: n,
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let workload = Workload::generate(cfg, &mut rng).unwrap();
+        let mut sys = Lorm::new(n, &workload.space, LormConfig { dimension: d, seed, ..Default::default() });
+        sys.place_all(&workload.reports);
+
+        let mut max_phys = n;
+        let mut expected_live = n;
+        let mut dirty = false; // directories stale since last place_all?
+        for op in ops {
+            match op {
+                Op::Join => {
+                    if sys.join_physical(&mut rng).is_ok() {
+                        max_phys += 1;
+                        expected_live += 1;
+                    }
+                }
+                Op::Leave => {
+                    if expected_live > 2 {
+                        for _ in 0..32 {
+                            let p = rng.gen_range(0..max_phys);
+                            if sys.is_live(p) {
+                                prop_assert!(sys.leave_physical(p).is_ok());
+                                expected_live -= 1;
+                                // graceful leave hands its directory off
+                                break;
+                            }
+                        }
+                    }
+                }
+                Op::Fail => {
+                    if expected_live > 2 {
+                        for _ in 0..32 {
+                            let p = rng.gen_range(0..max_phys);
+                            if sys.is_live(p) {
+                                prop_assert!(sys.fail_physical(p).is_ok());
+                                expected_live -= 1;
+                                dirty = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Op::Maintain => {
+                    sys.stabilize();
+                    sys.place_all(&workload.reports);
+                    dirty = false;
+                }
+                Op::Query(arity) => {
+                    let origin = loop {
+                        let p = rng.gen_range(0..max_phys);
+                        if sys.is_live(p) {
+                            break p;
+                        }
+                    };
+                    let q = workload.random_query(arity as usize, QueryMix::Range, &mut rng);
+                    // Queries may be incomplete while dirty, but they must
+                    // resolve and never fabricate owners.
+                    let out = sys.query_from(origin, &q);
+                    prop_assert!(out.is_ok(), "query errored under churn");
+                    let owners = out.unwrap().owners;
+                    for o in &owners {
+                        let satisfies_all = q.subs.iter().all(|sub| {
+                            workload.reports.iter().any(|r| {
+                                r.owner == *o && r.attr == sub.attr && sub.target.matches(r.value)
+                            })
+                        });
+                        prop_assert!(satisfies_all, "fabricated owner {o}");
+                    }
+                }
+            }
+            prop_assert_eq!(sys.num_physical(), expected_live);
+        }
+        // a final maintenance round restores full conservation
+        sys.stabilize();
+        sys.place_all(&workload.reports);
+        prop_assert_eq!(sys.total_pieces(), workload.reports.len());
+        let _ = dirty;
+    }
+}

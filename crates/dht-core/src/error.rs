@@ -1,0 +1,104 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised by overlay and discovery operations.
+///
+/// The simulators are deliberately strict: operations that a real deployed
+/// DHT would silently retry (routing from a departed node, joining a full
+/// identifier space) are surfaced as errors so tests can assert on them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DhtError {
+    /// The referenced node is not (or no longer) part of the overlay.
+    NodeNotFound {
+        /// Arena index of the missing node.
+        index: usize,
+    },
+    /// The overlay has no live nodes, so the operation cannot be routed.
+    EmptyOverlay,
+    /// The identifier space is fully populated; no fresh ID can be assigned.
+    IdSpaceExhausted,
+    /// A routing loop was detected (the hop budget was exceeded).
+    RoutingLoop {
+        /// Number of hops taken before the loop was declared.
+        hops: usize,
+    },
+    /// A query referenced an attribute unknown to the discovery system.
+    UnknownAttribute {
+        /// The attribute name as supplied by the caller.
+        name: String,
+    },
+    /// A range query had an inverted or out-of-domain range.
+    InvalidRange {
+        /// Lower bound supplied by the caller.
+        low: f64,
+        /// Upper bound supplied by the caller.
+        high: f64,
+    },
+    /// Parameters outside the supported domain (e.g. Pareto with alpha <= 0).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtError::NodeNotFound { index } => write!(f, "node #{index} is not in the overlay"),
+            DhtError::EmptyOverlay => write!(f, "overlay has no live nodes"),
+            DhtError::IdSpaceExhausted => write!(f, "identifier space is fully populated"),
+            DhtError::RoutingLoop { hops } => {
+                write!(f, "routing did not converge after {hops} hops")
+            }
+            DhtError::UnknownAttribute { name } => write!(f, "unknown attribute {name:?}"),
+            DhtError::InvalidRange { low, high } => {
+                write!(f, "invalid range [{low}, {high}]")
+            }
+            DhtError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_node_not_found() {
+        let e = DhtError::NodeNotFound { index: 7 };
+        assert_eq!(e.to_string(), "node #7 is not in the overlay");
+    }
+
+    #[test]
+    fn display_empty_overlay() {
+        assert_eq!(DhtError::EmptyOverlay.to_string(), "overlay has no live nodes");
+    }
+
+    #[test]
+    fn display_routing_loop_mentions_hops() {
+        let e = DhtError::RoutingLoop { hops: 128 };
+        assert!(e.to_string().contains("128"));
+    }
+
+    #[test]
+    fn display_unknown_attribute_quotes_name() {
+        let e = DhtError::UnknownAttribute { name: "cpu".into() };
+        assert!(e.to_string().contains("\"cpu\""));
+    }
+
+    #[test]
+    fn display_invalid_range_shows_bounds() {
+        let e = DhtError::InvalidRange { low: 3.0, high: 1.0 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('1'));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(DhtError::EmptyOverlay);
+        assert!(!e.to_string().is_empty());
+    }
+}

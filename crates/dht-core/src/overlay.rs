@@ -1,0 +1,77 @@
+//! The overlay interface the experiment engine drives.
+//!
+//! Both simulators (Chord and Cycloid) store their nodes in a generational
+//! arena and expose routing through this trait, so the discovery systems
+//! and the measurement harness are agnostic to which DHT is underneath.
+
+use crate::error::DhtError;
+use crate::trace::RouteResult;
+
+/// Arena index of a node within an overlay.
+///
+/// Indices are stable for the lifetime of a node; a departed node's slot is
+/// tomb-stoned (never reused within one experiment) so traces and directory
+/// references can always be attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIdx(pub usize);
+
+impl NodeIdx {
+    /// The raw arena slot.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A structured DHT overlay, as seen by the discovery layer.
+///
+/// The associated `Key` type is the overlay's identifier: a plain `u64` for
+/// Chord, a (cyclic, cubical) pair for Cycloid.
+pub trait Overlay {
+    /// Identifier type of keys and nodes.
+    type Key: Copy + std::fmt::Debug;
+
+    /// Number of live nodes.
+    fn len(&self) -> usize;
+
+    /// True when the overlay has no live nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arena indices of all live nodes.
+    fn live_nodes(&self) -> Vec<NodeIdx>;
+
+    /// Ground-truth owner of a key (consistent-hashing assignment), without
+    /// routing. Used to verify that routed lookups are exact.
+    fn owner_of(&self, key: Self::Key) -> Result<NodeIdx, DhtError>;
+
+    /// Route a lookup for `key` from `from`, tracing every hop.
+    fn route(&self, from: NodeIdx, key: Self::Key) -> Result<RouteResult, DhtError>;
+
+    /// Number of *distinct* outgoing links `node` currently maintains.
+    /// This is the structure-maintenance-overhead metric of Figure 3(a).
+    fn outlinks(&self, node: NodeIdx) -> Result<usize, DhtError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_idx_display() {
+        assert_eq!(NodeIdx(17).to_string(), "n17");
+    }
+
+    #[test]
+    fn node_idx_ordering_follows_slot() {
+        assert!(NodeIdx(1) < NodeIdx(2));
+        assert_eq!(NodeIdx(3).index(), 3);
+    }
+}

@@ -1,0 +1,317 @@
+//! Workload samplers and deterministic RNG plumbing.
+//!
+//! The paper's evaluation (§V) generates resource values "owned by a node
+//! and requested by a node" from a **Bounded Pareto** distribution, picks
+//! query attributes uniformly at random, and models churn as a Poisson
+//! process. This module implements those samplers from first principles on
+//! top of `rand::SmallRng` so the only external dependency is the sanctioned
+//! `rand` crate and every draw is reproducible from a seed.
+
+use crate::error::DhtError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Spawns independent, deterministic RNG streams from one experiment seed.
+///
+/// Each subsystem (workload, churn, query mix, …) gets its own stream so
+/// that changing how many draws one subsystem makes does not perturb the
+/// others — a standard trick for variance-controlled simulation studies.
+#[derive(Debug, Clone)]
+pub struct SeedSpawner {
+    seed: u64,
+    next_stream: u64,
+}
+
+impl SeedSpawner {
+    /// Create a spawner from a root experiment seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, next_stream: 0 }
+    }
+
+    /// Spawn the next independent RNG stream.
+    pub fn spawn(&mut self) -> SmallRng {
+        let stream = self.next_stream;
+        self.next_stream += 1;
+        self.labelled(stream)
+    }
+
+    /// Spawn a stream identified by an explicit label (stable across code
+    /// changes that add or remove other streams).
+    pub fn labelled(&self, label: u64) -> SmallRng {
+        let s = crate::hashing::splitmix64(self.seed ^ label.wrapping_mul(0x9e3779b97f4a7c15));
+        SmallRng::seed_from_u64(s)
+    }
+
+    /// The root seed this spawner was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Bounded Pareto distribution on `[low, high]` with shape `alpha`.
+///
+/// Sampled by inverse-CDF:
+/// `x = L * (1 - U * (1 - (L/H)^alpha))^(-1/alpha)`.
+///
+/// This is the distribution the paper uses to generate attribute values; a
+/// small `alpha` concentrates mass near `low`, which is exactly what makes
+/// locality-preserving placement imbalanced (the effect visible in the 99th
+/// percentile curves of Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    alpha: f64,
+    low: f64,
+    high: f64,
+    /// Precomputed `1 - (L/H)^alpha`.
+    norm: f64,
+}
+
+impl BoundedPareto {
+    /// Construct the distribution.
+    ///
+    /// # Errors
+    /// [`DhtError::InvalidParameter`] if `alpha <= 0`, `low <= 0`, or
+    /// `low >= high`.
+    // `!(x > 0.0)` deliberately rejects NaN along with non-positives.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(alpha: f64, low: f64, high: f64) -> Result<Self, DhtError> {
+        if !(alpha > 0.0) {
+            return Err(DhtError::InvalidParameter { what: "BoundedPareto alpha must be > 0" });
+        }
+        if !(low > 0.0) {
+            return Err(DhtError::InvalidParameter { what: "BoundedPareto low must be > 0" });
+        }
+        if !(low < high) || !high.is_finite() {
+            return Err(DhtError::InvalidParameter { what: "BoundedPareto requires low < high < inf" });
+        }
+        let norm = 1.0 - (low / high).powf(alpha);
+        Ok(Self { alpha, low, high, norm })
+    }
+
+    /// Shape parameter `alpha`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Lower bound `L`.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound `H`.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let x = self.low * (1.0 - u * self.norm).powf(-1.0 / self.alpha);
+        x.clamp(self.low, self.high)
+    }
+
+    /// Cumulative distribution function (used by tests and analysis).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.low {
+            0.0
+        } else if x >= self.high {
+            1.0
+        } else {
+            (1.0 - (self.low / x).powf(self.alpha)) / self.norm
+        }
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Used by the ablation workloads (skewed attribute popularity). Sampling
+/// is by binary search over the precomputed CDF; construction is `O(n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Construct a Zipf distribution over `n` ranks with exponent `s >= 0`.
+    ///
+    /// # Errors
+    /// [`DhtError::InvalidParameter`] if `n == 0` or `s` is negative/NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+    pub fn new(n: usize, s: f64) -> Result<Self, DhtError> {
+        if n == 0 {
+            return Err(DhtError::InvalidParameter { what: "Zipf requires n >= 1" });
+        }
+        if !(s >= 0.0) {
+            return Err(DhtError::InvalidParameter { what: "Zipf exponent must be >= 0" });
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Self { cdf })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the distribution has no ranks (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n` (0-based; rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Sample an exponential inter-arrival time with the given rate (events per
+/// unit time). The building block of the Poisson churn process of §V.C.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xDEADBEEF)
+    }
+
+    #[test]
+    fn spawner_streams_are_independent_and_deterministic() {
+        let mut a = SeedSpawner::new(7);
+        let mut b = SeedSpawner::new(7);
+        let x: u64 = a.spawn().gen();
+        let y: u64 = b.spawn().gen();
+        assert_eq!(x, y, "same seed, same stream order => same draws");
+        let z: u64 = a.spawn().gen();
+        assert_ne!(x, z, "different streams differ");
+    }
+
+    #[test]
+    fn spawner_labelled_is_stable() {
+        let s = SeedSpawner::new(99);
+        let a: u64 = s.labelled(3).gen();
+        let b: u64 = s.labelled(3).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pareto_rejects_bad_params() {
+        assert!(BoundedPareto::new(0.0, 1.0, 10.0).is_err());
+        assert!(BoundedPareto::new(1.0, 0.0, 10.0).is_err());
+        assert!(BoundedPareto::new(1.0, 10.0, 10.0).is_err());
+        assert!(BoundedPareto::new(1.0, 10.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pareto_samples_in_bounds() {
+        let d = BoundedPareto::new(1.0, 1.0, 500.0).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((1.0..=500.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_is_skewed_towards_low() {
+        let d = BoundedPareto::new(1.0, 1.0, 500.0).unwrap();
+        let mut r = rng();
+        let below_median_point = (0..20_000).filter(|_| d.sample(&mut r) < 250.5).count();
+        // With alpha=1 the overwhelming majority of mass is near `low`.
+        assert!(below_median_point > 18_000, "got {below_median_point}");
+    }
+
+    #[test]
+    fn pareto_cdf_matches_empirical() {
+        let d = BoundedPareto::new(1.2, 1.0, 500.0).unwrap();
+        let mut r = rng();
+        let n = 50_000;
+        let hits = (0..n).filter(|_| d.sample(&mut r) <= 10.0).count();
+        let emp = hits as f64 / n as f64;
+        let theory = d.cdf(10.0);
+        assert!((emp - theory).abs() < 0.01, "emp={emp} theory={theory}");
+    }
+
+    #[test]
+    fn pareto_cdf_endpoints() {
+        let d = BoundedPareto::new(2.0, 2.0, 8.0).unwrap();
+        assert_eq!(d.cdf(1.0), 0.0);
+        assert_eq!(d.cdf(2.0), 0.0);
+        assert_eq!(d.cdf(8.0), 1.0);
+        assert_eq!(d.cdf(100.0), 1.0);
+        assert!(d.cdf(4.0) > 0.5); // most mass near low end
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_rank_zero() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let mut r = rng();
+        let mut c0 = 0;
+        let mut c50 = 0;
+        for _ in 0..50_000 {
+            match z.sample(&mut r) {
+                0 => c0 += 1,
+                50 => c50 += 1,
+                _ => {}
+            }
+        }
+        assert!(c0 > 10 * c50.max(1), "c0={c0} c50={c50}");
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(7, 0.8).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let rate = 0.4;
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.05, "mean={mean}");
+    }
+}

@@ -1,0 +1,488 @@
+//! Measurement primitives for the paper's metrics.
+//!
+//! Every figure of the paper reports one of three statistics:
+//!
+//! * **means** (average logical hops, average visited nodes),
+//! * **totals** (total logical hops over a query batch),
+//! * **1st / 99th percentiles** (directory-size distributions, Figure 3).
+//!
+//! [`Summary`] is a streaming (Welford) accumulator for the first two;
+//! [`Percentiles`] gives exact order statistics; [`LoadDist`] wraps a
+//! per-node load vector with the avg/p1/p99 view used by Figure 3.
+
+/// Streaming summary statistics (Welford's algorithm).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    total: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, total: 0.0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.total += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Population variance (`0.0` when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Exact percentiles over a collected sample (nearest-rank method).
+#[derive(Debug, Clone)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Build from an arbitrary sample; `O(n log n)`.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile sample"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 100]`. `NaN` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+/// Per-node load distribution: the avg / 1st-percentile / 99th-percentile
+/// view of directory sizes plotted throughout Figure 3.
+#[derive(Debug, Clone)]
+pub struct LoadDist {
+    loads: Vec<f64>,
+}
+
+impl LoadDist {
+    /// Wrap a per-node load vector (one entry per live node).
+    pub fn new(loads: Vec<f64>) -> Self {
+        Self { loads }
+    }
+
+    /// Wrap integer per-node counts.
+    pub fn from_counts(counts: &[usize]) -> Self {
+        Self { loads: counts.iter().map(|&c| c as f64).collect() }
+    }
+
+    /// Number of nodes measured.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// True when no nodes were measured.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Average load per node.
+    pub fn mean(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.loads.iter().sum::<f64>() / self.loads.len() as f64
+        }
+    }
+
+    /// Total load across all nodes.
+    pub fn total(&self) -> f64 {
+        self.loads.iter().sum()
+    }
+
+    /// 1st percentile of per-node load.
+    pub fn p1(&self) -> f64 {
+        Percentiles::from_samples(self.loads.clone()).percentile(1.0)
+    }
+
+    /// 99th percentile of per-node load.
+    pub fn p99(&self) -> f64 {
+        Percentiles::from_samples(self.loads.clone()).percentile(99.0)
+    }
+
+    /// Maximum per-node load.
+    pub fn max(&self) -> f64 {
+        self.loads.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Coefficient of variation (std/mean) — a compact imbalance measure
+    /// used by the ablation benches.
+    pub fn cv(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self.loads.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
+            / self.loads.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Borrow the raw per-node loads.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+}
+
+/// A fixed-width histogram over `[0, max)` with unit buckets, plus an
+/// overflow bucket — suited to hop counts and probe counts, whose support
+/// is small and discrete. Renders compact distribution tables for the
+/// extension artifacts (`repro hopdist`).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with unit buckets `0..max`.
+    pub fn new(max: usize) -> Self {
+        Self { buckets: vec![0; max], overflow: 0, count: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: usize) {
+        match self.buckets.get_mut(x) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count in bucket `x` (`None` beyond range).
+    pub fn bucket(&self, x: usize) -> Option<u64> {
+        self.buckets.get(x).copied()
+    }
+
+    /// Observations past the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of observations at or below `x` (overflow counts as above).
+    pub fn cdf(&self, x: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.buckets.iter().take(x + 1).sum();
+        upto as f64 / self.count as f64
+    }
+
+    /// Smallest `x` with `cdf(x) >= q` (`None` when it falls in overflow).
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        let q = q.clamp(0.0, 1.0);
+        (0..self.buckets.len()).find(|&x| self.cdf(x) >= q)
+    }
+
+    /// The mode (most frequent in-range value), ties to the smaller.
+    pub fn mode(&self) -> Option<usize> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+
+    /// Non-empty `(value, count)` pairs in order, overflow last as `None`.
+    pub fn entries(&self) -> impl Iterator<Item = (Option<usize>, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Some(i), c))
+            .chain((self.overflow > 0).then_some((None, self.overflow)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.total(), 40.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &data[..33] {
+            a.record(x);
+        }
+        for &x in &data[33..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.record(3.0);
+        let b = Summary::new();
+        let snapshot = a.clone();
+        a.merge(&b);
+        assert_eq!(a, snapshot);
+        let mut c = Summary::new();
+        c.merge(&snapshot);
+        assert_eq!(c, snapshot);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(p.percentile(1.0), 1.0);
+        assert_eq!(p.percentile(50.0), 50.0);
+        assert_eq!(p.percentile(99.0), 99.0);
+        assert_eq!(p.percentile(100.0), 100.0);
+        assert_eq!(p.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn percentiles_small_sample() {
+        let p = Percentiles::from_samples(vec![10.0]);
+        assert_eq!(p.percentile(1.0), 10.0);
+        assert_eq!(p.percentile(99.0), 10.0);
+        assert_eq!(p.median(), 10.0);
+    }
+
+    #[test]
+    fn percentiles_empty_is_nan() {
+        let p = Percentiles::from_samples(vec![]);
+        assert!(p.percentile(50.0).is_nan());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn percentiles_unsorted_input() {
+        let p = Percentiles::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(p.median(), 3.0);
+        assert_eq!(p.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn load_dist_basics() {
+        let d = LoadDist::from_counts(&[0, 0, 10, 10]);
+        assert_eq!(d.mean(), 5.0);
+        assert_eq!(d.total(), 20.0);
+        assert_eq!(d.p1(), 0.0);
+        assert_eq!(d.p99(), 10.0);
+        assert_eq!(d.max(), 10.0);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn load_dist_cv_zero_for_uniform() {
+        let d = LoadDist::new(vec![4.0; 16]);
+        assert_eq!(d.cv(), 0.0);
+    }
+
+    #[test]
+    fn load_dist_cv_positive_for_skew() {
+        let d = LoadDist::new(vec![0.0, 0.0, 0.0, 100.0]);
+        assert!(d.cv() > 1.0);
+    }
+
+    #[test]
+    fn load_dist_empty() {
+        let d = LoadDist::new(vec![]);
+        assert_eq!(d.mean(), 0.0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn histogram_records_and_counts() {
+        let mut h = Histogram::new(10);
+        for x in [1, 1, 2, 5, 12] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket(1), Some(2));
+        assert_eq!(h.bucket(3), Some(0));
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_cdf_and_quantile() {
+        let mut h = Histogram::new(10);
+        for x in 0..10 {
+            h.record(x);
+        }
+        assert!((h.cdf(4) - 0.5).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(1.0), Some(9));
+        assert_eq!(h.quantile(0.0), Some(0));
+    }
+
+    #[test]
+    fn histogram_mode_and_entries() {
+        let mut h = Histogram::new(8);
+        for x in [3, 3, 3, 5, 5, 7] {
+            h.record(x);
+        }
+        assert_eq!(h.mode(), Some(3));
+        let e: Vec<_> = h.entries().collect();
+        assert_eq!(e, vec![(Some(3), 3), (Some(5), 2), (Some(7), 1)]);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(4);
+        assert_eq!(h.cdf(3), 0.0);
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_overflow_blocks_quantile() {
+        let mut h = Histogram::new(2);
+        h.record(0);
+        h.record(99);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(0.9), None, "90th percentile sits in overflow");
+        let e: Vec<_> = h.entries().collect();
+        assert_eq!(e.last(), Some(&(None, 1)));
+    }
+}

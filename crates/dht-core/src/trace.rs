@@ -1,0 +1,101 @@
+//! Hop-accurate routing traces.
+//!
+//! The paper measures *logical hops* (nodes a lookup message traverses) and
+//! *visited nodes* (nodes that receive a query and check their directory).
+//! [`RouteResult`] records a single lookup's path; [`LookupTally`]
+//! aggregates the per-query totals a figure reports.
+
+use crate::overlay::NodeIdx;
+
+/// The outcome of routing one message through an overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteResult {
+    /// Every node the message passed through, *excluding* the origin and
+    /// *including* the terminal node. `path.len()` is therefore the hop
+    /// count of the lookup.
+    pub path: Vec<NodeIdx>,
+    /// The node at which routing terminated (the root of the key).
+    pub terminal: NodeIdx,
+    /// Whether routing converged to the true root of the key. Under churn
+    /// a lookup can land on a stale node; the simulators report rather than
+    /// hide this.
+    pub exact: bool,
+}
+
+impl RouteResult {
+    /// A route that terminated at the origin without any hop (origin is
+    /// itself the root).
+    pub fn local(origin: NodeIdx) -> Self {
+        Self { path: Vec::new(), terminal: origin, exact: true }
+    }
+
+    /// Number of logical hops taken (0 when the origin owned the key).
+    pub fn hops(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// Aggregated cost of resolving one (possibly multi-attribute) query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupTally {
+    /// Total logical *lookup* routing hops over all sub-queries. Range
+    /// walks are accounted in `visited` (each probe is itself one
+    /// forwarding message), so `hops + visited` is the paper's
+    /// "contacted nodes" metric (Theorem 4.10).
+    pub hops: usize,
+    /// Number of DHT lookups issued (the paper counts one per attribute for
+    /// LORM/Mercury/SWORD and two per attribute for MAAN).
+    pub lookups: usize,
+    /// Nodes that received the query and checked their directory —
+    /// the roots plus every node probed while walking a range.
+    pub visited: usize,
+    /// Resource-information pieces returned to the requester.
+    pub matches: usize,
+}
+
+impl LookupTally {
+    /// Fold another tally into this one.
+    pub fn absorb(&mut self, other: LookupTally) {
+        self.hops += other.hops;
+        self.lookups += other.lookups;
+        self.visited += other.visited;
+        self.matches += other.matches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_route_has_zero_hops() {
+        let r = RouteResult::local(NodeIdx(3));
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.terminal, NodeIdx(3));
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn hops_counts_path_length() {
+        let r = RouteResult {
+            path: vec![NodeIdx(1), NodeIdx(2), NodeIdx(5)],
+            terminal: NodeIdx(5),
+            exact: true,
+        };
+        assert_eq!(r.hops(), 3);
+    }
+
+    #[test]
+    fn tally_absorb_sums_fields() {
+        let mut a = LookupTally { hops: 3, lookups: 1, visited: 2, matches: 4 };
+        let b = LookupTally { hops: 5, lookups: 2, visited: 1, matches: 0 };
+        a.absorb(b);
+        assert_eq!(a, LookupTally { hops: 8, lookups: 3, visited: 3, matches: 4 });
+    }
+
+    #[test]
+    fn tally_default_is_zero() {
+        let t = LookupTally::default();
+        assert_eq!(t.hops + t.lookups + t.visited + t.matches, 0);
+    }
+}

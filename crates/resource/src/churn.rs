@@ -1,0 +1,153 @@
+//! Poisson churn schedules (§V.C).
+//!
+//! The paper models the resource join/departure rate `R` as a Poisson
+//! process "as in \[12\]" (the Chord paper): joins arrive at rate `R` per
+//! second and departures independently at rate `R` per second, so e.g.
+//! `R = 0.4` yields one join and one departure every 2.5 seconds on
+//! average. A [`ChurnSchedule`] is the merged, time-ordered event list.
+
+use dht_core::sampling::exponential;
+use rand::Rng;
+
+/// What happens at a churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// A new node joins the overlay.
+    Join,
+    /// A random existing node departs.
+    Leave,
+}
+
+/// One scheduled churn event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Simulated time in seconds.
+    pub time: f64,
+    /// Join or leave.
+    pub kind: ChurnKind,
+}
+
+/// A time-ordered churn event schedule.
+#[derive(Debug, Clone)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+    rate: f64,
+}
+
+impl ChurnSchedule {
+    /// Generate the schedule for `duration` seconds at rate `R` (joins and
+    /// departures each arrive at rate `R`).
+    ///
+    /// # Panics
+    /// Panics if `rate` is not positive or `duration` is negative.
+    pub fn generate<R: Rng + ?Sized>(rate: f64, duration: f64, rng: &mut R) -> Self {
+        assert!(rate > 0.0, "churn rate must be positive");
+        assert!(duration >= 0.0, "duration must be non-negative");
+        let mut events = Vec::new();
+        for kind in [ChurnKind::Join, ChurnKind::Leave] {
+            let mut t = 0.0;
+            loop {
+                t += exponential(rng, rate);
+                if t > duration {
+                    break;
+                }
+                events.push(ChurnEvent { time: t, kind });
+            }
+        }
+        events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        Self { events, rate }
+    }
+
+    /// The rate `R` the schedule was generated with.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events with `time` in the half-open window `[from, to)`.
+    pub fn window(&self, from: f64, to: f64) -> &[ChurnEvent] {
+        let start = self.events.partition_point(|e| e.time < from);
+        let end = self.events.partition_point(|e| e.time < to);
+        &self.events[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0C0)
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let s = ChurnSchedule::generate(0.4, 1000.0, &mut rng());
+        for w in s.events().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn event_count_matches_rate() {
+        // E[#joins] = E[#leaves] = rate * duration
+        let s = ChurnSchedule::generate(0.4, 10_000.0, &mut rng());
+        let joins = s.events().iter().filter(|e| e.kind == ChurnKind::Join).count();
+        let leaves = s.len() - joins;
+        let expect = 0.4 * 10_000.0;
+        assert!((joins as f64 - expect).abs() < 0.1 * expect, "joins={joins}");
+        assert!((leaves as f64 - expect).abs() < 0.1 * expect, "leaves={leaves}");
+    }
+
+    #[test]
+    fn higher_rate_means_more_events() {
+        let slow = ChurnSchedule::generate(0.1, 5000.0, &mut rng());
+        let fast = ChurnSchedule::generate(0.5, 5000.0, &mut rng());
+        assert!(fast.len() > 3 * slow.len());
+        assert_eq!(fast.rate(), 0.5);
+    }
+
+    #[test]
+    fn zero_duration_is_empty() {
+        let s = ChurnSchedule::generate(0.4, 0.0, &mut rng());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = ChurnSchedule::generate(0.0, 10.0, &mut rng());
+    }
+
+    #[test]
+    fn window_slices_by_time() {
+        let s = ChurnSchedule::generate(1.0, 100.0, &mut rng());
+        let w = s.window(10.0, 20.0);
+        assert!(w.iter().all(|e| e.time >= 10.0 && e.time < 20.0));
+        let all: usize =
+            [s.window(0.0, 10.0).len(), w.len(), s.window(20.0, 101.0).len()].iter().sum();
+        assert_eq!(all, s.len());
+    }
+
+    #[test]
+    fn all_times_within_duration() {
+        let s = ChurnSchedule::generate(0.3, 500.0, &mut rng());
+        assert!(s.events().iter().all(|e| e.time > 0.0 && e.time <= 500.0));
+    }
+}

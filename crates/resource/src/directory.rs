@@ -1,0 +1,147 @@
+//! Per-node directory storage, indexed by attribute.
+//!
+//! Every discovery system keeps a directory on each node: the resource
+//! information pieces the node is root of. Directory checks during range
+//! probes filter by attribute first, so the store buckets pieces per
+//! attribute — a probed node answers a sub-query in time proportional to
+//! its *matching* pieces, not its total load (exactly like the inverted
+//! index a real directory node would keep).
+
+use crate::model::{AttrId, ResourceInfo, ValueTarget};
+use std::collections::HashMap;
+
+/// One node's directory: resource information bucketed by attribute.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    by_attr: HashMap<u32, Vec<ResourceInfo>>,
+    len: usize,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store one piece.
+    pub fn push(&mut self, info: ResourceInfo) {
+        self.by_attr.entry(info.attr.0).or_default().push(info);
+        self.len += 1;
+    }
+
+    /// Total stored pieces.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove and return everything (departure handoff).
+    pub fn drain(&mut self) -> Vec<ResourceInfo> {
+        let mut out = Vec::with_capacity(self.len);
+        for (_, mut v) in self.by_attr.drain() {
+            out.append(&mut v);
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.by_attr.clear();
+        self.len = 0;
+    }
+
+    /// Owners of pieces matching `(attr, target)` — the directory check a
+    /// probed node performs.
+    pub fn matching_owners(&self, attr: AttrId, target: &ValueTarget) -> Vec<usize> {
+        match self.by_attr.get(&attr.0) {
+            Some(v) => {
+                v.iter().filter(|r| target.matches(r.value)).map(|r| r.owner).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Iterate over all stored pieces (inspection/tests).
+    pub fn iter(&self) -> impl Iterator<Item = &ResourceInfo> {
+        self.by_attr.values().flatten()
+    }
+
+    /// Does the directory hold any piece of this attribute?
+    pub fn has_attr(&self, attr: AttrId) -> bool {
+        self.by_attr.get(&attr.0).is_some_and(|v| !v.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(attr: u32, value: f64, owner: usize) -> ResourceInfo {
+        ResourceInfo { attr: AttrId(attr), value, owner }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut d = Directory::new();
+        assert!(d.is_empty());
+        d.push(info(1, 2.0, 3));
+        d.push(info(1, 4.0, 5));
+        d.push(info(2, 2.0, 6));
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn matching_filters_by_attr_and_value() {
+        let mut d = Directory::new();
+        d.push(info(1, 10.0, 3));
+        d.push(info(1, 20.0, 4));
+        d.push(info(2, 10.0, 5));
+        let m = d.matching_owners(AttrId(1), &ValueTarget::Range { low: 5.0, high: 15.0 });
+        assert_eq!(m, vec![3]);
+        let none = d.matching_owners(AttrId(9), &ValueTarget::Point(10.0));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_everything_and_empties() {
+        let mut d = Directory::new();
+        d.push(info(1, 1.0, 1));
+        d.push(info(2, 2.0, 2));
+        let mut out = d.drain();
+        out.sort_by_key(|r| r.attr);
+        assert_eq!(out.len(), 2);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut d = Directory::new();
+        d.push(info(1, 1.0, 1));
+        d.clear();
+        assert!(d.is_empty());
+        assert!(!d.has_attr(AttrId(1)));
+    }
+
+    #[test]
+    fn iter_sees_all_pieces() {
+        let mut d = Directory::new();
+        d.push(info(1, 1.0, 1));
+        d.push(info(2, 2.0, 2));
+        assert_eq!(d.iter().count(), 2);
+    }
+
+    #[test]
+    fn has_attr() {
+        let mut d = Directory::new();
+        d.push(info(7, 1.0, 1));
+        assert!(d.has_attr(AttrId(7)));
+        assert!(!d.has_attr(AttrId(8)));
+    }
+}

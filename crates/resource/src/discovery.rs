@@ -1,0 +1,138 @@
+//! The `ResourceDiscovery` interface the experiment engine drives.
+//!
+//! LORM (`lorm` crate) and the three baselines (`baselines` crate) all
+//! implement this trait over a population of *physical nodes* — the grid
+//! machines of the paper, identified by dense `usize` ids standing in for
+//! IP addresses. Each system maps physical nodes onto its own overlay
+//! node(s): one Cycloid node for LORM, one Chord node for SWORD/MAAN, and
+//! `m` hub nodes for Mercury.
+
+use crate::model::{Query, ResourceInfo};
+use dht_core::{DhtError, LoadDist, LookupTally, NodeIdx};
+use rand::rngs::SmallRng;
+
+/// Result of resolving one multi-attribute query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryOutcome {
+    /// Aggregated cost over all sub-queries (hops, lookups, visited
+    /// directory nodes, matched pieces).
+    pub tally: LookupTally,
+    /// Physical nodes that satisfy *every* sub-query — the result of the
+    /// paper's database-like join on `ip_addr`.
+    pub owners: Vec<usize>,
+    /// Every directory node that checked its directory for this query
+    /// (overlay arena indices; repeats allowed when several sub-queries
+    /// hit the same node). Used by the query-load-balance experiment.
+    pub probed: Vec<NodeIdx>,
+}
+
+/// A multi-attribute range-capable resource discovery system under test.
+pub trait ResourceDiscovery {
+    /// Short system name used in reports ("LORM", "Mercury", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of live physical nodes.
+    fn num_physical(&self) -> usize;
+
+    /// Is this physical node currently part of the system?
+    fn is_live(&self, phys: usize) -> bool;
+
+    /// Replace all stored directory state with ground-truth placement of
+    /// `reports` — the steady state after every node's periodic
+    /// `Insert(rescID, rescInfo)` report has been delivered.
+    fn place_all(&mut self, reports: &[ResourceInfo]);
+
+    /// Deliver one availability report through routed inserts from its
+    /// owner, returning the routing cost. (The steady-state experiments
+    /// use [`Self::place_all`]; this is the per-report path.)
+    fn register(&mut self, info: ResourceInfo) -> Result<LookupTally, DhtError>;
+
+    /// Resolve a multi-attribute query issued by physical node `phys`,
+    /// counting every hop and visited directory node.
+    fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError>;
+
+    /// Resource-information pieces currently stored per live physical node
+    /// (the directory-size distribution of Figure 3(b–d)).
+    fn directory_loads(&self) -> LoadDist;
+
+    /// Total stored pieces across all directories (Theorem 4.2's metric:
+    /// MAAN stores two pieces per report, everyone else one).
+    fn total_pieces(&self) -> usize;
+
+    /// Distinct overlay outlinks maintained per live physical node
+    /// (the structure-maintenance metric of Figure 3(a); Mercury pays this
+    /// once per attribute hub).
+    fn outlinks_per_node(&self) -> LoadDist;
+
+    /// A new physical node joins (churn). Returns its id.
+    fn join_physical(&mut self, rng: &mut SmallRng) -> Result<usize, DhtError>;
+
+    /// Physical node `phys` departs gracefully (churn).
+    fn leave_physical(&mut self, phys: usize) -> Result<(), DhtError>;
+
+    /// Physical node `phys` fails abruptly: no handoff, no notifications —
+    /// its directory contents are lost until the next reporting round and
+    /// neighbors' links stay stale until repair.
+    fn fail_physical(&mut self, phys: usize) -> Result<(), DhtError>;
+
+    /// Run one maintenance round (stabilization / link repair) across the
+    /// system's overlay(s).
+    fn stabilize(&mut self);
+}
+
+/// The requester-side "database-like join on `ip_addr`": intersect the
+/// per-sub-query owner sets, returning owners that satisfy every
+/// constraint. Inputs are the matched owners of each sub-query.
+pub fn join_owners(mut per_sub: Vec<Vec<usize>>) -> Vec<usize> {
+    let Some(mut acc) = per_sub.pop() else {
+        return Vec::new();
+    };
+    acc.sort_unstable();
+    acc.dedup();
+    for mut set in per_sub {
+        set.sort_unstable();
+        set.dedup();
+        acc.retain(|o| set.binary_search(o).is_ok());
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_of_nothing_is_empty() {
+        assert!(join_owners(vec![]).is_empty());
+    }
+
+    #[test]
+    fn join_single_set_dedupes() {
+        assert_eq!(join_owners(vec![vec![3, 1, 3, 2]]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn join_intersects() {
+        let r = join_owners(vec![vec![1, 2, 3, 4], vec![2, 4, 6], vec![4, 2, 0]]);
+        assert_eq!(r, vec![2, 4]);
+    }
+
+    #[test]
+    fn join_with_empty_set_is_empty() {
+        let r = join_owners(vec![vec![1, 2], vec![]]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn join_disjoint_is_empty() {
+        let r = join_owners(vec![vec![1, 3], vec![2, 4]]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn query_outcome_default_is_zero() {
+        let o = QueryOutcome::default();
+        assert_eq!(o.tally, LookupTally::default());
+        assert!(o.owners.is_empty());
+    }
+}

@@ -1,0 +1,363 @@
+//! Figure 6 — efficiency under churn.
+//!
+//! The paper models the node join/departure rate `R` as a Poisson process
+//! (one join *and* one departure every `1/R` seconds on average), varies
+//! `R` from 0.1 to 0.5, issues 10000 resource requests, and reports that
+//! the per-query cost barely moves and no queries fail:
+//!
+//! * **6(a)**: average logical hops of non-range queries vs `R`;
+//! * **6(b)**: average visited nodes of range queries vs `R`.
+//!
+//! Reproduction choices (the paper leaves them implicit): requests are
+//! issued at a fixed rate (default 10/s, so 10000 requests span 1000
+//! simulated seconds); each system runs its periodic maintenance
+//! (stabilize + re-report all resources) every `maintenance_period`
+//! simulated seconds, and joins/graceful departures additionally repair
+//! their local neighborhood immediately, as the protocols do.
+
+use crate::experiments::Metric;
+use crate::setup::{build_system, SimConfig};
+use crate::table::Table;
+use analysis::{self as th, System};
+use dht_core::Summary;
+use grid_resource::{ChurnKind, ChurnSchedule, QueryMix, ResourceDiscovery, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Churn experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ChurnSetup {
+    /// Poisson rates `R` to sweep (paper: 0.1 … 0.5).
+    pub rates: Vec<f64>,
+    /// Total resource requests (paper: 10000).
+    pub requests: usize,
+    /// Requests issued per simulated second.
+    pub request_rate: f64,
+    /// Attributes per query.
+    pub arity: usize,
+    /// Seconds between periodic maintenance rounds.
+    pub maintenance_period: f64,
+    /// Graceful departures (the paper's model) vs abrupt failures (an
+    /// extension: no handoff, stale links until maintenance — queries can
+    /// fail or return stale results between rounds).
+    pub graceful: bool,
+}
+
+impl Default for ChurnSetup {
+    fn default() -> Self {
+        Self {
+            rates: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            requests: 10_000,
+            request_rate: 10.0,
+            arity: 5,
+            maintenance_period: 50.0,
+            graceful: true,
+        }
+    }
+}
+
+impl ChurnSetup {
+    /// A scaled-down sweep for tests and quick runs.
+    pub fn quick() -> Self {
+        Self { rates: vec![0.1, 0.4], requests: 400, ..Self::default() }
+    }
+}
+
+/// Result of one (rate, system) churn run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnCell {
+    /// Average of the metric per query.
+    pub avg: f64,
+    /// Queries that failed to resolve (the paper observed none).
+    pub failures: usize,
+    /// Queries issued.
+    pub queries: usize,
+    /// Churn events applied.
+    pub events: usize,
+    /// Of the completeness-sampled queries, how many returned a *stale*
+    /// (incomplete) answer — possible between maintenance rounds when
+    /// departures are abrupt.
+    pub stale: usize,
+    /// Queries sampled for completeness.
+    pub sampled: usize,
+}
+
+/// One churn-rate row across the four systems.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// The Poisson rate `R`.
+    pub rate: f64,
+    /// Cells for LORM, Mercury, SWORD, MAAN.
+    pub cells: [ChurnCell; 4],
+    /// Closed-form expectation per system (Theorems 4.7–4.9).
+    pub analysis: [f64; 4],
+}
+
+/// The Figure 6 series for one query mix.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Which metric/mix this run used.
+    pub mix: QueryMix,
+    /// One row per churn rate.
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Drive one system through one churn run. Returns the metric summary.
+pub fn run_churn_one(
+    sys: &mut (dyn ResourceDiscovery + Send + Sync),
+    workload: &Workload,
+    schedule: &ChurnSchedule,
+    setup: &ChurnSetup,
+    metric: Metric,
+    seed: u64,
+) -> ChurnCell {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mix = match metric {
+        Metric::Hops => QueryMix::NonRange,
+        Metric::Visited => QueryMix::Range,
+    };
+    let mut stats = Summary::new();
+    let mut failures = 0usize;
+    let mut events_applied = 0usize;
+    let mut stale = 0usize;
+    let mut sampled = 0usize;
+    let mut event_iter = schedule.events().iter().peekable();
+    let mut next_maintenance = setup.maintenance_period;
+    let mut max_phys = sys.num_physical();
+    let pick_live = |sys: &(dyn ResourceDiscovery + Send + Sync), max: usize, rng: &mut SmallRng| {
+        for _ in 0..64 {
+            let p = rng.gen_range(0..max);
+            if sys.is_live(p) {
+                return Some(p);
+            }
+        }
+        None
+    };
+    for i in 0..setup.requests {
+        let now = (i + 1) as f64 / setup.request_rate;
+        // apply all churn events up to `now`
+        while let Some(e) = event_iter.peek() {
+            if e.time > now {
+                break;
+            }
+            let e = event_iter.next().expect("peeked");
+            match e.kind {
+                ChurnKind::Join => {
+                    if sys.join_physical(&mut rng).is_ok() {
+                        max_phys += 1;
+                    }
+                }
+                ChurnKind::Leave => {
+                    if sys.num_physical() > 2 {
+                        if let Some(p) = pick_live(sys, max_phys, &mut rng) {
+                            let _ = if setup.graceful {
+                                sys.leave_physical(p)
+                            } else {
+                                sys.fail_physical(p)
+                            };
+                        }
+                    }
+                }
+            }
+            events_applied += 1;
+        }
+        // periodic maintenance: repair links, refresh reports
+        if now >= next_maintenance {
+            sys.stabilize();
+            sys.place_all(&workload.reports);
+            next_maintenance += setup.maintenance_period;
+        }
+        // issue one query from a random live node
+        let Some(origin) = pick_live(sys, max_phys, &mut rng) else {
+            failures += 1;
+            continue;
+        };
+        let q = workload.random_query(setup.arity, mix, &mut rng);
+        match sys.query_from(origin, &q) {
+            Ok(out) => {
+                stats.record(match metric {
+                    Metric::Hops => out.tally.hops as f64,
+                    Metric::Visited => out.tally.visited as f64,
+                });
+                // Sample completeness against the ground-truth reports:
+                // compare matched-piece counts per sub-query (the joined
+                // owner set of a high-arity conjunction is almost always
+                // empty, which would mask losses).
+                if i % 25 == 0 {
+                    sampled += 1;
+                    let expected: usize = q
+                        .subs
+                        .iter()
+                        .map(|sub| {
+                            workload
+                                .reports
+                                .iter()
+                                .filter(|r| r.attr == sub.attr && sub.target.matches(r.value))
+                                .count()
+                        })
+                        .sum();
+                    if out.tally.matches < expected {
+                        stale += 1;
+                    }
+                }
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    ChurnCell {
+        avg: stats.mean(),
+        failures,
+        queries: setup.requests,
+        events: events_applied,
+        stale,
+        sampled,
+    }
+}
+
+/// Run the full Figure 6 sweep for one metric. Builds a fresh system per
+/// (rate, system) pair so runs are independent, running the four systems
+/// concurrently.
+pub fn fig6(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric) -> Fig6 {
+    let p = cfg.params();
+    let mut wl_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xF6);
+    let workload = Workload::generate(cfg.workload_config(), &mut wl_rng).expect("valid config");
+    let duration = setup.requests as f64 / setup.request_rate;
+    let mut rows = Vec::new();
+    for &rate in &setup.rates {
+        let mut sched_rng = SmallRng::seed_from_u64(cfg.seed ^ (rate * 1000.0) as u64);
+        let schedule = ChurnSchedule::generate(rate, duration, &mut sched_rng);
+        let mut cells: Vec<(System, ChurnCell)> = Vec::with_capacity(4);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = System::ALL
+                .iter()
+                .map(|&s| {
+                    let workload = &workload;
+                    let schedule = &schedule;
+                    scope.spawn(move |_| {
+                        let mut sys = build_system(s, workload, cfg);
+                        let cell = run_churn_one(
+                            sys.as_mut(),
+                            workload,
+                            schedule,
+                            setup,
+                            metric,
+                            cfg.seed ^ 0xC6 ^ (rate * 100.0) as u64,
+                        );
+                        (s, cell)
+                    })
+                })
+                .collect();
+            for h in handles {
+                cells.push(h.join().expect("churn worker"));
+            }
+        })
+        .expect("crossbeam scope");
+        let cell_of = |s: System| {
+            cells.iter().find(|(x, _)| *x == s).map(|(_, c)| c.clone()).expect("cell")
+        };
+        let analysis = System::ALL.map(|s| match metric {
+            Metric::Hops => th::nonrange_hops(&p, setup.arity, s),
+            Metric::Visited => th::range_visited(&p, setup.arity, s),
+        });
+        rows.push(Fig6Row {
+            rate,
+            cells: [
+                cell_of(System::Lorm),
+                cell_of(System::Mercury),
+                cell_of(System::Sword),
+                cell_of(System::Maan),
+            ],
+            analysis,
+        });
+    }
+    Fig6 {
+        mix: match metric {
+            Metric::Hops => QueryMix::NonRange,
+            Metric::Visited => QueryMix::Range,
+        },
+        rows,
+    }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (title, what) = match self.mix {
+            QueryMix::NonRange => {
+                ("Figure 6(a): avg logical hops per non-range query under churn", "hops")
+            }
+            QueryMix::Range => {
+                ("Figure 6(b): avg visited nodes per range query under churn", "visited")
+            }
+        };
+        let mut t = Table::new(
+            title,
+            &["R", "LORM", "Mercury", "SWORD", "MAAN", "An-LORM", "An-Mercury", "An-SWORD", "An-MAAN", "failures", "stale%"],
+        );
+        for r in &self.rows {
+            let total_failures: usize = r.cells.iter().map(|c| c.failures).sum();
+            let (stale, sampled) = r
+                .cells
+                .iter()
+                .fold((0usize, 0usize), |(s, n), c| (s + c.stale, n + c.sampled));
+            t.row(vec![
+                format!("{:.1}", r.rate),
+                Table::fmt_f(r.cells[0].avg),
+                Table::fmt_f(r.cells[1].avg),
+                Table::fmt_f(r.cells[2].avg),
+                Table::fmt_f(r.cells[3].avg),
+                Table::fmt_f(r.analysis[0]),
+                Table::fmt_f(r.analysis[1]),
+                Table::fmt_f(r.analysis[2]),
+                Table::fmt_f(r.analysis[3]),
+                total_failures.to_string(),
+                Table::fmt_f(if sampled == 0 { 0.0 } else { 100.0 * stale as f64 / sampled as f64 }),
+            ]);
+        }
+        t.fmt(f)?;
+        writeln!(f, "(metric: {what} per query; analysis columns are the static closed forms)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig { nodes: 384, attrs: 20, values: 50, dimension: 7, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn churn_run_completes_without_failures() {
+        let cfg = small_cfg();
+        let mut wl_rng = SmallRng::seed_from_u64(1);
+        let workload = Workload::generate(cfg.workload_config(), &mut wl_rng).unwrap();
+        let setup = ChurnSetup { requests: 150, ..ChurnSetup::quick() };
+        let mut sched_rng = SmallRng::seed_from_u64(2);
+        let schedule = ChurnSchedule::generate(0.4, 15.0, &mut sched_rng);
+        let mut sys = build_system(System::Lorm, &workload, &cfg);
+        let cell = run_churn_one(sys.as_mut(), &workload, &schedule, &setup, Metric::Hops, 3);
+        assert_eq!(cell.failures, 0, "graceful churn must not fail queries");
+        assert!(cell.avg > 1.0, "avg hops {}", cell.avg);
+        assert!(cell.events > 0, "schedule should produce events");
+    }
+
+    #[test]
+    fn churn_metric_close_to_static_analysis_for_sword() {
+        // SWORD's hops under churn should stay near arity × log2(n)/2.
+        let cfg = small_cfg();
+        let mut wl_rng = SmallRng::seed_from_u64(4);
+        let workload = Workload::generate(cfg.workload_config(), &mut wl_rng).unwrap();
+        let setup = ChurnSetup { requests: 200, arity: 3, ..ChurnSetup::quick() };
+        let mut sched_rng = SmallRng::seed_from_u64(5);
+        let schedule = ChurnSchedule::generate(0.3, 20.0, &mut sched_rng);
+        let mut sys = build_system(System::Sword, &workload, &cfg);
+        let cell = run_churn_one(sys.as_mut(), &workload, &schedule, &setup, Metric::Hops, 6);
+        let expect = 3.0 * (384.0f64).log2() / 2.0;
+        assert!(
+            (cell.avg - expect).abs() < expect * 0.35,
+            "avg {} vs analysis {expect}",
+            cell.avg
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! One module per paper artifact (figure / theorem) plus ablations.
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod hopdist;
+pub mod latency;
+pub mod maintenance;
+pub mod worstcase;
+
+use analysis::System;
+use dht_core::Summary;
+use grid_resource::{Query, QueryMix, ResourceDiscovery, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate the paper's query batch: `origins` random requester nodes,
+/// `per_origin` queries each, all with the given arity and mix.
+pub(crate) fn query_batch(
+    workload: &Workload,
+    num_phys: usize,
+    origins: usize,
+    per_origin: usize,
+    arity: usize,
+    mix: QueryMix,
+    seed: u64,
+) -> Vec<(usize, Query)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut batch = Vec::with_capacity(origins * per_origin);
+    for _ in 0..origins {
+        let phys = rng.gen_range(0..num_phys);
+        for _ in 0..per_origin {
+            batch.push((phys, workload.random_query(arity, mix, &mut rng)));
+        }
+    }
+    batch
+}
+
+/// Run a query batch against one system, summarizing a chosen metric.
+pub(crate) fn run_batch(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+) -> Summary {
+    let mut s = Summary::new();
+    for (phys, q) in batch {
+        if let Ok(out) = sys.query_from(*phys, q) {
+            let v = match metric {
+                Metric::Hops => out.tally.hops as f64,
+                Metric::Visited => out.tally.visited as f64,
+            };
+            s.record(v);
+        }
+    }
+    s
+}
+
+/// Run the same batch against every mounted system in parallel (one thread
+/// per system — they are independent and `query_from` is `&self`).
+pub(crate) fn run_batch_all(
+    systems: &[Box<dyn ResourceDiscovery + Send + Sync>],
+    batch: &[(usize, Query)],
+    metric: Metric,
+) -> Vec<(&'static str, Summary)> {
+    let mut out: Vec<(&'static str, Summary)> = Vec::with_capacity(systems.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = systems
+            .iter()
+            .map(|sys| {
+                let sys = sys.as_ref();
+                scope.spawn(move |_| (sys.name(), run_batch(sys, batch, metric)))
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("batch worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out
+}
+
+/// Which tally field an experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Logical routing hops (Figures 4, 6(a)).
+    Hops,
+    /// Visited directory nodes (Figures 5, 6(b)).
+    Visited,
+}
+
+pub(crate) fn summary_of<'a>(
+    rows: &'a [(&'static str, Summary)],
+    s: System,
+) -> &'a Summary {
+    rows.iter().find(|(n, _)| *n == s.name()).map(|(_, x)| x).expect("system measured")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{SimConfig, TestBed};
+
+    #[test]
+    fn parallel_batch_equals_sequential_batch() {
+        // run_batch_all fans the systems out over threads; each must
+        // produce exactly what a sequential run produces.
+        let cfg = SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 20, 2, 2, QueryMix::Range, 0x77);
+        let parallel = run_batch_all(&bed.systems, &batch, Metric::Visited);
+        for (name, par) in &parallel {
+            let sys = bed.systems.iter().find(|s| s.name() == *name).unwrap();
+            let seq = run_batch(sys.as_ref(), &batch, Metric::Visited);
+            assert_eq!(par.count(), seq.count(), "{name}");
+            assert_eq!(par.total(), seq.total(), "{name}");
+            assert_eq!(par.mean(), seq.mean(), "{name}");
+        }
+    }
+
+    #[test]
+    fn query_batch_is_deterministic_and_sized() {
+        let cfg = SimConfig { nodes: 128, dimension: 6, attrs: 8, values: 20, ..SimConfig::default() };
+        let bed = TestBed::with_systems(cfg, &[]);
+        let a = query_batch(&bed.workload, cfg.nodes, 5, 3, 2, QueryMix::NonRange, 9);
+        let b = query_batch(&bed.workload, cfg.nodes, 5, 3, 2, QueryMix::NonRange, 9);
+        assert_eq!(a.len(), 15);
+        assert_eq!(a, b, "same seed, same batch");
+        let c = query_batch(&bed.workload, cfg.nodes, 5, 3, 2, QueryMix::NonRange, 10);
+        assert_ne!(a, c, "different seed, different batch");
+    }
+
+    #[test]
+    fn summary_of_finds_each_system() {
+        let rows = vec![("LORM", dht_core::Summary::new()), ("MAAN", dht_core::Summary::new())];
+        assert_eq!(summary_of(&rows, analysis::System::Lorm).count(), 0);
+        assert_eq!(summary_of(&rows, analysis::System::Maan).count(), 0);
+    }
+}

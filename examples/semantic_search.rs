@@ -1,0 +1,73 @@
+//! Semantic resource discovery — the paper's future-work direction,
+//! implemented: machines advertise string descriptions ("OS=linux-6.1",
+//! "gpu=a100-80gb") and requesters find them by *prefix*, resolved as
+//! ordinary LORM range queries thanks to an order-preserving string code.
+//!
+//! ```text
+//! cargo run --release --example semantic_search
+//! ```
+
+use lorm::semantic::{SemanticCodec, SemanticDirectory};
+use lorm_repro::prelude::*;
+
+fn main() {
+    let space = AttributeSpace::from_names(["os", "gpu"], 1.0, 1_000_000.0).unwrap();
+    let os = space.by_name("os").unwrap();
+    let gpu = space.by_name("gpu").unwrap();
+    let codec = SemanticCodec::new(&space);
+    let mut table = SemanticDirectory::new();
+    let mut grid = Lorm::new(896, &space, LormConfig { dimension: 7, ..Default::default() });
+
+    let fleet: &[(usize, &str, &str)] = &[
+        (10, "linux-5.15", "a100-40gb"),
+        (11, "linux-6.1", "a100-80gb"),
+        (12, "linux-6.8", "h100-80gb"),
+        (13, "windows-11", "rtx4090"),
+        (14, "linux-4.19", "v100-16gb"),
+        (15, "freebsd-14", "none"),
+        (16, "linux-6.1-rt", "h100-80gb"),
+    ];
+    println!("advertising {} machines (os + gpu descriptions)...", fleet.len());
+    for &(owner, os_desc, gpu_desc) in fleet {
+        grid.register(ResourceInfo { attr: os, value: codec.encode(os_desc), owner }).unwrap();
+        grid.register(ResourceInfo { attr: gpu, value: codec.encode(gpu_desc), owner }).unwrap();
+        table.record(os, owner, os_desc);
+        table.record(gpu, owner, gpu_desc);
+    }
+
+    // Single-attribute prefix search: every linux box.
+    let q = codec.prefix_query(&[(os, "linux")]);
+    let out = grid.query_from(0, &q).unwrap();
+    let linux = table.filter_prefix(os, "linux", &out.owners);
+    println!(
+        "\nos=linux*          -> {linux:?}  ({} lookup hops, {} directory probes)",
+        out.tally.hops, out.tally.visited
+    );
+    assert_eq!(sorted(linux.clone()), vec![10, 11, 12, 14, 16]);
+
+    // Multi-attribute semantic conjunction: linux 6.x with an h100.
+    let q = codec.prefix_query(&[(os, "linux-6"), (gpu, "h100")]);
+    let out = grid.query_from(3, &q).unwrap();
+    let mut hits: Vec<usize> = table
+        .filter_prefix(os, "linux-6", &out.owners)
+        .into_iter()
+        .filter(|&o| table.description(gpu, o).is_some_and(|d| d.starts_with("h100")))
+        .collect();
+    hits.sort_unstable();
+    println!("os=linux-6* & gpu=h100* -> {hits:?}");
+    assert_eq!(hits, vec![12, 16]);
+
+    // The point of the design: a prefix query stays inside one cluster
+    // (1 + d/4 probes on average), instead of broadcasting.
+    println!(
+        "\nprefix queries rode the ordinary LORM range path: {} probes total,\n\
+         bounded by the cluster size d = 7 per attribute — no broadcast.",
+        out.tally.visited
+    );
+    assert!(out.tally.visited <= 14);
+}
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}

@@ -1,0 +1,62 @@
+//! Side-by-side comparison of all four systems on one workload — a
+//! miniature of the paper's §V evaluation, printed as one table.
+//!
+//! ```text
+//! cargo run --release --example system_comparison
+//! ```
+
+use lorm_repro::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Scaled-down paper setting: full d = 7 Cycloid, 50 attributes,
+    // 100 values each.
+    let cfg = SimConfig::quick();
+    println!(
+        "building LORM, Mercury ({} hubs), SWORD, MAAN over {} nodes...",
+        cfg.attrs, cfg.nodes
+    );
+    let bed = TestBed::new(cfg);
+    let mut rng = SmallRng::seed_from_u64(0xC0);
+
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "system", "dir avg", "dir p99", "outlinks", "hops/query", "probes/range", "pieces"
+    );
+    for s in System::ALL {
+        let sys = bed.system(s);
+        let loads = sys.directory_loads();
+        let links = sys.outlinks_per_node();
+
+        // 200 3-attribute point queries.
+        let mut hops = 0usize;
+        for _ in 0..200 {
+            let q = bed.workload.random_query(3, QueryMix::NonRange, &mut rng);
+            hops += sys.query_from(rng.gen_range(0..cfg.nodes), &q).unwrap().tally.hops;
+        }
+        // 100 single-attribute range queries.
+        let mut probes = 0usize;
+        for _ in 0..100 {
+            let q = bed.workload.random_query(1, QueryMix::Range, &mut rng);
+            probes += sys.query_from(rng.gen_range(0..cfg.nodes), &q).unwrap().tally.visited;
+        }
+
+        println!(
+            "{:<8} {:>10.1} {:>10.0} {:>12.1} {:>12.2} {:>14.2} {:>12}",
+            sys.name(),
+            loads.mean(),
+            loads.p99(),
+            links.mean(),
+            hops as f64 / 200.0,
+            probes as f64 / 100.0,
+            sys.total_pieces(),
+        );
+    }
+
+    println!(
+        "\nreading guide (paper's claims): MAAN stores 2x pieces and needs 2x hops;\n\
+         Mercury pays ~m x outlinks; SWORD piles an attribute on one node (p99);\n\
+         LORM keeps constant outlinks, cluster-bounded range probes (~1+d/4)."
+    );
+}

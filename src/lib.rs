@@ -1,0 +1,66 @@
+//! # lorm-repro — facade crate
+//!
+//! A from-scratch reproduction of *"Performance Analysis of DHT Algorithms
+//! for Range-Query and Multi-Attribute Resource Discovery in Grids"*
+//! (Shen & Xu, ICPP 2009). This crate re-exports the whole workspace so
+//! the top-level examples and integration tests exercise the public API
+//! exactly as a downstream user would:
+//!
+//! * [`dht_core`] — key spaces, hashing (consistent + locality-preserving),
+//!   samplers, metrics, the `Overlay` trait;
+//! * [`chord`] — the Chord overlay simulator (substrate of the baselines);
+//! * [`cycloid`] — the Cycloid constant-degree hierarchical overlay
+//!   (substrate of LORM);
+//! * [`grid_resource`] — the grid resource model, workloads, churn, and
+//!   the `ResourceDiscovery` trait;
+//! * [`lorm`] — the paper's contribution: LORM resource discovery;
+//! * [`baselines`] — Mercury, SWORD and MAAN;
+//! * [`analysis`] — closed forms of Theorems 4.1–4.10;
+//! * [`sim`] — the experiment engine regenerating every figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lorm_repro::prelude::*;
+//!
+//! // A small grid: 5·2^5 = 160 machines, 10 attribute types.
+//! let space = AttributeSpace::synthetic(10, 1.0, 100.0).unwrap();
+//! let mut grid = Lorm::new(160, &space, LormConfig { dimension: 5, ..Default::default() });
+//!
+//! // Machine 3 advertises 64 units of attribute 0 ("cpu").
+//! grid.register(ResourceInfo { attr: AttrId(0), value: 64.0, owner: 3 }).unwrap();
+//!
+//! // Machine 7 asks for attribute 0 in [50, 80].
+//! let query = Query::new(vec![SubQuery {
+//!     attr: AttrId(0),
+//!     target: ValueTarget::Range { low: 50.0, high: 80.0 },
+//! }]).unwrap();
+//! let found = grid.query_from(7, &query).unwrap();
+//! assert_eq!(found.owners, vec![3]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use analysis;
+pub use baselines;
+pub use chord;
+pub use cycloid;
+pub use dht_core;
+pub use grid_resource;
+pub use lorm;
+pub use sim;
+
+/// The most common imports for applications using LORM directly.
+pub mod prelude {
+    pub use analysis::{Params, System};
+    pub use baselines::{Maan, MaanConfig, Mercury, MercuryConfig, Sword, SwordConfig};
+    pub use cycloid::{Cycloid, CycloidConfig, CycloidId};
+    pub use dht_core::{LoadDist, NodeIdx, Overlay, Summary};
+    pub use grid_resource::{
+        AttrId, AttributeSpace, ChurnSchedule, Query, QueryMix, QueryOutcome, ResourceDiscovery,
+        ResourceInfo, SubQuery, ValueDist, ValueTarget, Workload, WorkloadConfig,
+    };
+    pub use lorm::{Lorm, LormConfig, Placement};
+    pub use sim::{build_system, SimConfig, TestBed};
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the four discovery systems must return the
+//! *same answers* to the same queries on the same workload — they differ
+//! in cost, never in result. Each is also checked against a brute-force
+//! scan of the raw reports.
+
+use lorm_repro::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn brute_force(w: &Workload, q: &Query) -> Vec<usize> {
+    let per_sub: Vec<Vec<usize>> = q
+        .subs
+        .iter()
+        .map(|s| {
+            w.reports
+                .iter()
+                .filter(|r| r.attr == s.attr && s.target.matches(r.value))
+                .map(|r| r.owner)
+                .collect()
+        })
+        .collect();
+    grid_resource::discovery::join_owners(per_sub)
+}
+
+fn bed() -> TestBed {
+    let cfg = SimConfig {
+        nodes: 896,
+        dimension: 7,
+        attrs: 40,
+        values: 80,
+        ..SimConfig::default()
+    };
+    TestBed::new(cfg)
+}
+
+#[test]
+fn all_systems_agree_on_point_queries() {
+    let bed = bed();
+    let mut rng = SmallRng::seed_from_u64(0x11);
+    for _ in 0..150 {
+        let arity = rng.gen_range(1..=5);
+        let q = bed.workload.random_query(arity, QueryMix::NonRange, &mut rng);
+        let origin = rng.gen_range(0..bed.cfg.nodes);
+        let expected = brute_force(&bed.workload, &q);
+        for s in System::ALL {
+            let mut got = bed.system(s).query_from(origin, &q).unwrap().owners;
+            got.sort_unstable();
+            assert_eq!(got, expected, "{} disagrees on {q:?}", s.name());
+        }
+    }
+}
+
+#[test]
+fn all_systems_agree_on_range_queries() {
+    let bed = bed();
+    let mut rng = SmallRng::seed_from_u64(0x12);
+    for _ in 0..100 {
+        let arity = rng.gen_range(1..=4);
+        let q = bed.workload.random_query(arity, QueryMix::Range, &mut rng);
+        let origin = rng.gen_range(0..bed.cfg.nodes);
+        let expected = brute_force(&bed.workload, &q);
+        for s in System::ALL {
+            let mut got = bed.system(s).query_from(origin, &q).unwrap().owners;
+            got.sort_unstable();
+            assert_eq!(got, expected, "{} disagrees on {q:?}", s.name());
+        }
+    }
+}
+
+#[test]
+fn all_systems_agree_on_full_domain_ranges() {
+    // The adversarial Theorem-4.10 query: the whole value domain.
+    let bed = bed();
+    let (dmin, dmax) = bed.workload.space.domain();
+    for attr in bed.workload.space.ids().take(10) {
+        let q = Query::new(vec![SubQuery {
+            attr,
+            target: ValueTarget::Range { low: dmin, high: dmax },
+        }])
+        .unwrap();
+        let expected = brute_force(&bed.workload, &q);
+        for s in System::ALL {
+            let mut got = bed.system(s).query_from(5, &q).unwrap().owners;
+            got.sort_unstable();
+            assert_eq!(got, expected, "{} incomplete on full-domain {attr}", s.name());
+        }
+    }
+}
+
+#[test]
+fn empty_results_are_consistent() {
+    // Multi-attribute conjunctions that no single owner satisfies must be
+    // empty everywhere (not an error).
+    let bed = bed();
+    let mut rng = SmallRng::seed_from_u64(0x13);
+    let mut found_empty = 0;
+    for _ in 0..60 {
+        let q = bed.workload.random_query(6, QueryMix::NonRange, &mut rng);
+        let expected = brute_force(&bed.workload, &q);
+        if !expected.is_empty() {
+            continue;
+        }
+        found_empty += 1;
+        for s in System::ALL {
+            let out = bed.system(s).query_from(0, &q).unwrap();
+            assert!(out.owners.is_empty(), "{} fabricated owners", s.name());
+        }
+    }
+    assert!(found_empty > 10, "6-attribute conjunctions should mostly be empty");
+}
+
+#[test]
+fn costs_differ_but_match_the_papers_ordering() {
+    let bed = bed();
+    let mut rng = SmallRng::seed_from_u64(0x14);
+    let mut hops = std::collections::HashMap::new();
+    let mut visited = std::collections::HashMap::new();
+    for _ in 0..100 {
+        let qp = bed.workload.random_query(3, QueryMix::NonRange, &mut rng);
+        let qr = bed.workload.random_query(3, QueryMix::Range, &mut rng);
+        let origin = rng.gen_range(0..bed.cfg.nodes);
+        for s in System::ALL {
+            let sys = bed.system(s);
+            *hops.entry(s.name()).or_insert(0usize) +=
+                sys.query_from(origin, &qp).unwrap().tally.hops;
+            *visited.entry(s.name()).or_insert(0usize) +=
+                sys.query_from(origin, &qr).unwrap().tally.visited;
+        }
+    }
+    // Theorems 4.7/4.8: MAAN > LORM > Mercury ≈ SWORD on hops.
+    assert!(hops["MAAN"] > hops["LORM"]);
+    assert!(hops["LORM"] > hops["Mercury"]);
+    // Theorem 4.9: Mercury/MAAN >> LORM > SWORD on range probes.
+    assert!(visited["Mercury"] > 10 * visited["LORM"]);
+    assert!(visited["MAAN"] > 10 * visited["LORM"]);
+    assert!(visited["LORM"] > visited["SWORD"]);
+}

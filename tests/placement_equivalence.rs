@@ -1,0 +1,106 @@
+//! Placement equivalence and determinism invariants.
+//!
+//! * **Routed ≡ ground truth**: delivering every report through routed
+//!   `register` calls must produce byte-identical directory state to the
+//!   ground-truth `place_all` path, in every system — this is exactly the
+//!   statement "routing is exact" lifted to the discovery layer.
+//! * **Determinism**: the same seed reproduces the same experiment
+//!   results, bit for bit.
+
+use lorm_repro::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        nodes: 896,
+        dimension: 7,
+        attrs: 20,
+        values: 50,
+        ..SimConfig::default()
+    }
+}
+
+fn loads_snapshot(sys: &(dyn ResourceDiscovery + Send + Sync)) -> Vec<u64> {
+    sys.directory_loads().loads().iter().map(|&x| x as u64).collect()
+}
+
+#[test]
+fn routed_registration_equals_ground_truth_placement() {
+    let cfg = cfg();
+    let mut rng = SmallRng::seed_from_u64(0xE0);
+    let workload = Workload::generate(cfg.workload_config(), &mut rng).unwrap();
+    for s in System::ALL {
+        let mut routed = build_system(s, &workload, &cfg);
+        routed.place_all(&[]);
+        for &r in &workload.reports {
+            routed.register(r).unwrap();
+        }
+        let mut ground = build_system(s, &workload, &cfg);
+        ground.place_all(&workload.reports);
+        assert_eq!(
+            loads_snapshot(routed.as_ref()),
+            loads_snapshot(ground.as_ref()),
+            "{}: routed inserts landed on different nodes than ownership",
+            routed.name()
+        );
+        assert_eq!(routed.total_pieces(), ground.total_pieces());
+    }
+}
+
+#[test]
+fn routed_and_placed_systems_answer_identically() {
+    let cfg = cfg();
+    let mut rng = SmallRng::seed_from_u64(0xE1);
+    let workload = Workload::generate(cfg.workload_config(), &mut rng).unwrap();
+    let mut routed = build_system(System::Lorm, &workload, &cfg);
+    routed.place_all(&[]);
+    for &r in &workload.reports {
+        routed.register(r).unwrap();
+    }
+    let placed = build_system(System::Lorm, &workload, &cfg);
+    for _ in 0..80 {
+        let q = workload.random_query(2, QueryMix::Range, &mut rng);
+        let origin = rng.gen_range(0..cfg.nodes);
+        let mut a = routed.query_from(origin, &q).unwrap().owners;
+        let mut b = placed.query_from(origin, &q).unwrap().owners;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn same_seed_reproduces_identical_workloads_and_answers() {
+    let cfg = cfg();
+    let run = || {
+        let mut rng = SmallRng::seed_from_u64(0xE2);
+        let workload = Workload::generate(cfg.workload_config(), &mut rng).unwrap();
+        let sys = build_system(System::Maan, &workload, &cfg);
+        let mut qrng = SmallRng::seed_from_u64(0xE3);
+        let mut fingerprint: Vec<(usize, usize, usize)> = Vec::new();
+        for _ in 0..40 {
+            let q = workload.random_query(3, QueryMix::Range, &mut qrng);
+            let out = sys.query_from(qrng.gen_range(0..cfg.nodes), &q).unwrap();
+            fingerprint.push((out.tally.hops, out.tally.visited, out.owners.len()));
+        }
+        fingerprint
+    };
+    assert_eq!(run(), run(), "same seed must reproduce the experiment exactly");
+}
+
+#[test]
+fn different_seeds_produce_different_networks() {
+    let base = cfg();
+    let a = SimConfig { seed: 1, ..base };
+    let b = SimConfig { seed: 2, ..base };
+    let mut rng = SmallRng::seed_from_u64(0xE4);
+    let wa = Workload::generate(a.workload_config(), &mut rng).unwrap();
+    let sys_a = build_system(System::Lorm, &wa, &a);
+    let sys_b = build_system(System::Lorm, &wa, &b);
+    assert_ne!(
+        loads_snapshot(sys_a.as_ref()),
+        loads_snapshot(sys_b.as_ref()),
+        "different seeds should shuffle placement"
+    );
+}

@@ -1,0 +1,233 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * ring-interval algebra (the foundation of Chord routing),
+//! * locality-preserving-hash monotonicity (Proposition 3.1's premise),
+//! * routed lookups always landing on the consistent-hashing owner,
+//! * LORM range-query completeness on arbitrary workloads,
+//! * percentile/summary statistics consistency.
+
+use lorm_repro::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ring_interval_oc_complementary(a: u64, b: u64, x: u64) {
+        // For a != b, exactly one of (a,b] and (b,a] contains x.
+        prop_assume!(a != b);
+        let in_ab = dht_core::in_interval_oc(a, b, x);
+        let in_ba = dht_core::in_interval_oc(b, a, x);
+        prop_assert!(in_ab != in_ba, "x={x} a={a} b={b}");
+    }
+
+    #[test]
+    fn ring_clockwise_distance_additive(a: u64, b: u64, c: u64) {
+        use dht_core::clockwise_dist;
+        let ab = clockwise_dist(a, b);
+        let bc = clockwise_dist(b, c);
+        let ac = clockwise_dist(a, c);
+        prop_assert_eq!(ab.wrapping_add(bc), ac);
+    }
+
+    #[test]
+    fn ring_dist_symmetric_and_bounded(a: u64, b: u64) {
+        let d = dht_core::ring_dist(a, b);
+        prop_assert_eq!(d, dht_core::ring_dist(b, a));
+        prop_assert!(d <= u64::MAX / 2 + 1);
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn lph_preserves_order(lo in 0.0f64..1e6, span in 1.0f64..1e6,
+                           x in 0.0f64..1.0, y in 0.0f64..1.0) {
+        let h = dht_core::LocalityHash::new(lo, lo + span, 1 << 30).unwrap();
+        let (vx, vy) = (lo + x * span, lo + y * span);
+        if vx <= vy {
+            prop_assert!(h.hash(vx) <= h.hash(vy));
+        } else {
+            prop_assert!(h.hash(vx) >= h.hash(vy));
+        }
+    }
+
+    #[test]
+    fn consistent_hash_is_stable_and_seeded(s in "[a-z]{1,16}", seed1: u64, seed2: u64) {
+        let h1 = dht_core::ConsistentHash::new(seed1);
+        prop_assert_eq!(h1.hash_str(&s), h1.hash_str(&s));
+        if seed1 != seed2 {
+            // different seeds virtually never collide on the same input
+            let h2 = dht_core::ConsistentHash::new(seed2);
+            prop_assert_ne!(h1.hash_str(&s), h2.hash_str(&s));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics(mut xs in prop::collection::vec(-1e9f64..1e9, 1..200),
+                                        p in 0.0f64..100.0) {
+        let perc = dht_core::Percentiles::from_samples(xs.clone());
+        let v = perc.percentile(p);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v >= xs[0] && v <= xs[xs.len() - 1]);
+        prop_assert!(xs.contains(&v), "percentile must be an observed sample");
+    }
+
+    #[test]
+    fn summary_mean_within_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = dht_core::Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        prop_assert_eq!(s.count() as usize, xs.len());
+    }
+
+    #[test]
+    fn chord_route_lands_on_owner(n in 2usize..200, key: u64, seed: u64) {
+        let net = chord::Chord::build(n, chord::ChordConfig { seed, ..Default::default() });
+        let mut rng = SmallRng::seed_from_u64(seed ^ 1);
+        let from = net.random_node(&mut rng).unwrap();
+        let r = net.route(from, key).unwrap();
+        prop_assert!(r.exact);
+        prop_assert_eq!(r.terminal, net.owner_of(key).unwrap());
+        // Chord's logarithmic bound with slack
+        prop_assert!(r.hops() <= 2 * (n as f64).log2().ceil() as usize + 2);
+    }
+
+    #[test]
+    fn cycloid_route_lands_on_owner(d in 3u8..9, frac in 0.05f64..1.0,
+                                    cyc: u8, cub: u32, seed: u64) {
+        let cap = d as usize * (1usize << d);
+        let n = ((cap as f64 * frac) as usize).max(2);
+        let net = cycloid::Cycloid::build(n, cycloid::CycloidConfig { dimension: d, seed });
+        let key = CycloidId::new(cyc % d, cub % (1u32 << d), d);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 2);
+        let from = net.random_node(&mut rng).unwrap();
+        let r = net.route(from, key).unwrap();
+        prop_assert!(r.exact, "route to {key} ended off-owner (n={n}, d={d})");
+    }
+
+    #[test]
+    fn join_owners_is_intersection(sets in prop::collection::vec(
+        prop::collection::vec(0usize..50, 0..30), 1..5)) {
+        let joined = grid_resource::discovery::join_owners(sets.clone());
+        for owner in 0..50usize {
+            let in_all = sets.iter().all(|s| s.contains(&owner));
+            prop_assert_eq!(joined.contains(&owner), in_all, "owner {}", owner);
+        }
+        // sorted + deduped
+        let mut sorted = joined.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(joined, sorted);
+    }
+}
+
+proptest! {
+    // LORM completeness is the expensive property: fewer, bigger cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lorm_range_queries_complete_on_arbitrary_workloads(
+        seed: u64,
+        attrs in 1usize..12,
+        values in 2usize..60,
+        frac in 0.1f64..1.0,
+        lo_frac in 0.0f64..1.0,
+        span_frac in 0.0f64..1.0,
+    ) {
+        let d = 6u8;
+        let cap = d as usize * (1usize << d); // 384
+        let n = ((cap as f64 * frac) as usize).max(4);
+        let cfg = WorkloadConfig {
+            num_attrs: attrs,
+            values_per_attr: values,
+            num_nodes: n,
+            value_dist: ValueDist::Uniform,
+            ..WorkloadConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = Workload::generate(cfg, &mut rng).unwrap();
+        let mut sys = Lorm::new(n, &w.space, LormConfig { dimension: d, seed, ..Default::default() });
+        sys.place_all(&w.reports);
+
+        let (dmin, dmax) = w.space.domain();
+        let lo = dmin + lo_frac * (dmax - dmin);
+        let hi = (lo + span_frac * (dmax - lo)).min(dmax);
+        let attr = AttrId((seed % attrs as u64) as u32);
+        let q = Query::new(vec![SubQuery {
+            attr,
+            target: ValueTarget::Range { low: lo, high: hi },
+        }]).unwrap();
+        let out = sys.query_from(0, &q).unwrap();
+        let mut got = out.owners;
+        got.sort_unstable();
+        let mut expected: Vec<usize> = w.reports.iter()
+            .filter(|r| r.attr == attr && r.value >= lo && r.value <= hi)
+            .map(|r| r.owner)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(got, expected, "range [{}, {}] n={} attrs={}", lo, hi, n, attrs);
+    }
+}
+
+proptest! {
+    // Cross-system completeness on arbitrary small workloads: every
+    // system must return exactly the brute-force answer. Mercury builds m
+    // overlays per case, so cases stay small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_system_is_complete_on_arbitrary_workloads(
+        seed: u64,
+        attrs in 2usize..6,
+        values in 3usize..25,
+        arity in 1usize..3,
+        lo_frac in 0.0f64..1.0,
+        span_frac in 0.0f64..1.0,
+    ) {
+        let n = 128usize;
+        let cfg = SimConfig {
+            nodes: n,
+            dimension: 6, // capacity 384 >= n
+            attrs,
+            values,
+            seed,
+            ..SimConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = Workload::generate(cfg.workload_config(), &mut rng).unwrap();
+        let (dmin, dmax) = w.space.domain();
+        let lo = dmin + lo_frac * (dmax - dmin);
+        let hi = (lo + span_frac * (dmax - lo)).min(dmax);
+        let subs: Vec<SubQuery> = (0..arity.min(attrs))
+            .map(|i| SubQuery {
+                attr: AttrId(i as u32),
+                target: ValueTarget::Range { low: lo, high: hi },
+            })
+            .collect();
+        let q = Query::new(subs).unwrap();
+        let expected = {
+            let per: Vec<Vec<usize>> = q
+                .subs
+                .iter()
+                .map(|s| {
+                    w.reports
+                        .iter()
+                        .filter(|r| r.attr == s.attr && s.target.matches(r.value))
+                        .map(|r| r.owner)
+                        .collect()
+                })
+                .collect();
+            grid_resource::discovery::join_owners(per)
+        };
+        for s in System::ALL {
+            let sys = build_system(s, &w, &cfg);
+            let mut got = sys.query_from(0, &q).unwrap().owners;
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "{} on [{}, {}]", sys.name(), lo, hi);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Trace validation: every hop in a routed path must traverse an actual
+//! link of the previous node. This pins down the "routing uses only
+//! node-local state" claim — a regression here would mean the simulator
+//! teleported a message.
+
+use lorm_repro::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn chord_paths_follow_links() {
+    let net = chord::Chord::build(512, chord::ChordConfig::default());
+    let mut rng = SmallRng::seed_from_u64(0xED6E);
+    for _ in 0..300 {
+        let from = net.random_node(&mut rng).unwrap();
+        let key: u64 = rng.gen();
+        let route = net.route(from, key).unwrap();
+        let mut cur = from;
+        for &hop in &route.path {
+            let node = net.node(cur).unwrap();
+            let is_link = node.fingers().contains(&hop)
+                || node.successor_list().contains(&hop)
+                || node.predecessor() == Some(hop);
+            assert!(is_link, "hop {cur} -> {hop} is not a link of {cur}");
+            cur = hop;
+        }
+        assert_eq!(cur, route.terminal);
+    }
+}
+
+#[test]
+fn cycloid_paths_follow_links() {
+    let net = Cycloid::build(2048, CycloidConfig::default());
+    let mut rng = SmallRng::seed_from_u64(0xED6F);
+    for _ in 0..300 {
+        let from = net.random_node(&mut rng).unwrap();
+        let key = CycloidId::new(rng.gen_range(0..8), rng.gen_range(0..256), 8);
+        let route = net.route(from, key).unwrap();
+        let mut cur = from;
+        for &hop in &route.path {
+            let node = net.node(cur).unwrap();
+            let (op, os) = node.outside_leaf();
+            let is_link = node.inside_pred() == Some(hop)
+                || node.inside_succ() == Some(hop)
+                || op == Some(hop)
+                || os == Some(hop)
+                || node.cubical_neighbor() == Some(hop)
+                || node.cyclic_neighbors().contains(&Some(hop))
+                || node.primary() == Some(hop);
+            assert!(
+                is_link,
+                "hop {} -> {} is not a link",
+                net.id_of(cur).unwrap(),
+                net.id_of(hop).unwrap()
+            );
+            cur = hop;
+        }
+        assert_eq!(cur, route.terminal);
+    }
+}
+
+#[test]
+fn sparse_cycloid_paths_follow_links_too() {
+    let net = Cycloid::build(300, CycloidConfig { dimension: 8, seed: 0x51 });
+    let mut rng = SmallRng::seed_from_u64(0xED70);
+    for _ in 0..300 {
+        let from = net.random_node(&mut rng).unwrap();
+        let key = CycloidId::new(rng.gen_range(0..8), rng.gen_range(0..256), 8);
+        let route = net.route(from, key).unwrap();
+        let mut cur = from;
+        for &hop in &route.path {
+            let node = net.node(cur).unwrap();
+            let (op, os) = node.outside_leaf();
+            let is_link = node.inside_pred() == Some(hop)
+                || node.inside_succ() == Some(hop)
+                || op == Some(hop)
+                || os == Some(hop)
+                || node.cubical_neighbor() == Some(hop)
+                || node.cyclic_neighbors().contains(&Some(hop))
+                || node.primary() == Some(hop);
+            assert!(is_link, "sparse: non-link hop");
+            cur = hop;
+        }
+    }
+}

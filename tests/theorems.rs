@@ -1,0 +1,188 @@
+//! Empirical validation of every theorem in §IV against the simulators —
+//! the integration-level counterpart of the paper's §V "analysis matches
+//! experiment" claims, at a scaled-down but fully-populated setting.
+
+use lorm_repro::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Full d = 7 Cycloid, 30 attributes, 100 values.
+fn bed() -> TestBed {
+    let cfg = SimConfig {
+        nodes: 896,
+        dimension: 7,
+        attrs: 30,
+        values: 100,
+        ..SimConfig::default()
+    };
+    TestBed::new(cfg)
+}
+
+#[test]
+fn t4_1_structure_overhead_factor_m() {
+    // LORM improves multi-DHT structure maintenance by >= m times.
+    let bed = bed();
+    let lorm = bed.system(System::Lorm).outlinks_per_node().mean();
+    let mercury = bed.system(System::Mercury).outlinks_per_node().mean();
+    let m = bed.cfg.attrs as f64;
+    assert!(
+        mercury / lorm >= m * 0.8,
+        "Mercury/LORM outlink ratio {} should approach m = {m}",
+        mercury / lorm
+    );
+    // and the w.h.p. bound itself: LORM <= Mercury / m (with slack for the
+    // constant-degree difference d vs log n)
+    assert!(lorm <= mercury / m * 2.0);
+}
+
+#[test]
+fn t4_2_maan_doubles_total_information() {
+    let bed = bed();
+    let maan = bed.system(System::Maan).total_pieces();
+    for s in [System::Lorm, System::Mercury, System::Sword] {
+        assert_eq!(maan, 2 * bed.system(s).total_pieces(), "vs {}", s.name());
+    }
+}
+
+#[test]
+fn t4_3_lorm_beats_maan_directory_percentiles() {
+    let bed = bed();
+    let p = bed.cfg.params();
+    let lorm = bed.system(System::Lorm).directory_loads();
+    let maan = bed.system(System::Maan).directory_loads();
+    let factor = analysis::t43_maan_over_lorm(&p);
+    // measured p99 ratio should be in the ballpark of d(1 + m/n)
+    let ratio = maan.p99() / lorm.p99();
+    assert!(
+        ratio > factor * 0.4 && ratio < factor * 2.5,
+        "MAAN/LORM p99 ratio {ratio} vs theorem factor {factor}"
+    );
+}
+
+#[test]
+fn t4_4_lorm_beats_sword_by_about_d() {
+    let bed = bed();
+    let lorm = bed.system(System::Lorm).directory_loads();
+    let sword = bed.system(System::Sword).directory_loads();
+    let d = bed.cfg.dimension as f64;
+    let ratio = sword.p99() / lorm.p99();
+    assert!(
+        ratio > d * 0.4 && ratio < d * 2.5,
+        "SWORD/LORM p99 ratio {ratio} vs theorem factor d = {d}"
+    );
+    // averages are equal (both store each piece once)
+    assert!((sword.mean() - lorm.mean()).abs() < 1.0);
+}
+
+#[test]
+fn t4_5_mercury_is_more_balanced_than_lorm() {
+    let bed = bed();
+    let lorm = bed.system(System::Lorm).directory_loads();
+    let mercury = bed.system(System::Mercury).directory_loads();
+    // Mercury's spread (p99 - p1) is narrower.
+    assert!(
+        mercury.p99() - mercury.p1() <= lorm.p99() - lorm.p1(),
+        "Mercury spread {}..{} vs LORM {}..{}",
+        mercury.p1(),
+        mercury.p99(),
+        lorm.p1(),
+        lorm.p99()
+    );
+}
+
+#[test]
+fn t4_6_balance_ordering_across_all_four() {
+    // Mercury and LORM more balanced than MAAN and SWORD (by cv).
+    let bed = bed();
+    let cv = |s: System| bed.system(s).directory_loads().cv();
+    let (lorm, mercury, sword, maan) =
+        (cv(System::Lorm), cv(System::Mercury), cv(System::Sword), cv(System::Maan));
+    assert!(mercury < sword && mercury < maan, "mercury {mercury} vs {sword}/{maan}");
+    assert!(lorm < sword, "lorm {lorm} vs sword {sword}");
+}
+
+#[test]
+fn t4_7_t4_8_nonrange_hop_ratios() {
+    let bed = bed();
+    let p = bed.cfg.params();
+    let mut rng = SmallRng::seed_from_u64(0x47);
+    let mut totals = std::collections::HashMap::new();
+    for _ in 0..400 {
+        let q = bed.workload.random_query(2, QueryMix::NonRange, &mut rng);
+        let origin = rng.gen_range(0..bed.cfg.nodes);
+        for s in System::ALL {
+            *totals.entry(s.name()).or_insert(0usize) +=
+                bed.system(s).query_from(origin, &q).unwrap().tally.hops;
+        }
+    }
+    // T4.8: MAAN needs ~2x the hops of Mercury/SWORD.
+    let r = totals["MAAN"] as f64 / totals["Mercury"] as f64;
+    assert!((1.7..2.3).contains(&r), "MAAN/Mercury hop ratio {r}");
+    // T4.7: MAAN/LORM ratio ~ log2(n)/d (with the simulator's Cycloid
+    // constant slightly above the idealized d).
+    let want = analysis::t47_maan_over_lorm_hops(&p);
+    let got = totals["MAAN"] as f64 / totals["LORM"] as f64;
+    assert!(
+        got > want * 0.6 && got < want * 1.6,
+        "MAAN/LORM hop ratio {got} vs theorem {want}"
+    );
+}
+
+#[test]
+fn t4_9_range_visited_counts() {
+    let bed = bed();
+    let p = bed.cfg.params();
+    let mut rng = SmallRng::seed_from_u64(0x49);
+    let mut totals = std::collections::HashMap::new();
+    let queries = 300;
+    for _ in 0..queries {
+        let q = bed.workload.random_query(1, QueryMix::Range, &mut rng);
+        let origin = rng.gen_range(0..bed.cfg.nodes);
+        for s in System::ALL {
+            *totals.entry(s.name()).or_insert(0usize) +=
+                bed.system(s).query_from(origin, &q).unwrap().tally.visited;
+        }
+    }
+    let avg = |name: &str| totals[name] as f64 / queries as f64;
+    // SWORD: exactly m visited (1 per attribute).
+    assert_eq!(totals["SWORD"], queries);
+    // LORM: ~ 1 + d/4.
+    let lorm_expect = analysis::range_visited(&p, 1, System::Lorm);
+    assert!(
+        (avg("LORM") - lorm_expect).abs() < 1.2,
+        "LORM visited {} vs {lorm_expect}",
+        avg("LORM")
+    );
+    // Mercury: ~ 1 + n/4 within 40%.
+    let merc_expect = analysis::range_visited(&p, 1, System::Mercury);
+    assert!(
+        avg("Mercury") > merc_expect * 0.6 && avg("Mercury") < merc_expect * 1.4,
+        "Mercury visited {} vs {merc_expect}",
+        avg("Mercury")
+    );
+    // MAAN ~ Mercury + 1.
+    assert!((avg("MAAN") - avg("Mercury")).abs() < merc_expect * 0.25);
+}
+
+#[test]
+fn t4_10_worst_case_full_domain_range() {
+    let bed = bed();
+    let (dmin, dmax) = bed.workload.space.domain();
+    let q = Query::new(vec![SubQuery {
+        attr: AttrId(3),
+        target: ValueTarget::Range { low: dmin, high: dmax },
+    }])
+    .unwrap();
+    let contacted = |s: System| {
+        let out = bed.system(s).query_from(9, &q).unwrap();
+        out.tally.hops + out.tally.visited
+    };
+    let (lorm, mercury, maan) =
+        (contacted(System::Lorm), contacted(System::Mercury), contacted(System::Maan));
+    // LORM stays within its cluster: <= routing + d probes + d walk hops.
+    assert!(lorm < 40, "LORM worst case contacted {lorm}");
+    // System-wide methods touch ~the whole ring: saving >= n (T4.10).
+    assert!(mercury >= bed.cfg.nodes, "Mercury contacted {mercury}");
+    assert!(maan >= bed.cfg.nodes, "MAAN contacted {maan}");
+    assert!(mercury - lorm >= bed.cfg.nodes - 50);
+}
