@@ -1,6 +1,6 @@
 //! Regenerate the paper's tables and figures. See `bench` crate docs.
 
-use bench::{parse_args, run_artifact};
+use bench::{parse_args, render_json, run_artifact_report, ArtifactRun};
 
 fn main() {
     let (cfg, artifacts) = match parse_args(std::env::args().skip(1)) {
@@ -10,15 +10,27 @@ fn main() {
             std::process::exit(2);
         }
     };
+    sim::experiments::set_default_shards(cfg.shards);
     println!(
         "# LORM reproduction — {} mode (seed {})\n",
         if cfg.quick { "quick" } else { "full (paper §V)" },
         cfg.seed
     );
+    let mut runs: Vec<ArtifactRun> = Vec::with_capacity(artifacts.len());
     for a in artifacts {
         let started = std::time::Instant::now();
-        let report = run_artifact(a, &cfg);
+        let report = run_artifact_report(a, &cfg);
+        let elapsed = started.elapsed();
         println!("{report}");
-        println!("(elapsed: {:.1?})\n", started.elapsed());
+        println!("(elapsed: {elapsed:.1?})\n");
+        runs.push(ArtifactRun { artifact: a, report, elapsed_ms: elapsed.as_secs_f64() * 1e3 });
+    }
+    if let Some(path) = &cfg.json {
+        let json = render_json(&cfg, &runs);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("(metrics written to {})", path.display());
     }
 }

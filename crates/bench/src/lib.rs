@@ -18,7 +18,8 @@
 #![forbid(unsafe_code)]
 
 use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase};
-use sim::{SimConfig, TestBed};
+use sim::{Report, SimConfig, TestBed};
+use std::path::PathBuf;
 
 /// Which artifacts to regenerate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +77,28 @@ impl Artifact {
         Artifact::Ablations,
     ];
 
+    /// Stable machine-readable name, used as the CLI target and as the
+    /// `name` field of the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Artifact::Theorems => "theorems",
+            Artifact::Fig3a => "fig3a",
+            Artifact::Fig3Dirs => "fig3dirs",
+            Artifact::Fig3Sweep => "fig3sweep",
+            Artifact::Fig4 => "fig4",
+            Artifact::Fig5 => "fig5",
+            Artifact::Fig6a => "fig6a",
+            Artifact::Fig6b => "fig6b",
+            Artifact::ChurnFail => "churnfail",
+            Artifact::HopDist => "hopdist",
+            Artifact::Latency => "latency",
+            Artifact::T410 => "t410",
+            Artifact::Maintenance => "maintenance",
+            Artifact::LoadBalance => "loadbalance",
+            Artifact::Ablations => "ablations",
+        }
+    }
+
     /// Parse a command-line target name.
     pub fn parse(s: &str) -> Option<Vec<Artifact>> {
         Some(match s {
@@ -103,17 +126,21 @@ impl Artifact {
 }
 
 /// Harness configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReproConfig {
     /// Scale the experiments down for a smoke run.
     pub quick: bool,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads per query batch (0 = auto-detect).
+    pub shards: usize,
+    /// Write the machine-readable metrics export here.
+    pub json: Option<PathBuf>,
 }
 
 impl Default for ReproConfig {
     fn default() -> Self {
-        Self { quick: false, seed: 0x1C99 }
+        Self { quick: false, seed: 0x1C99, shards: 0, json: None }
     }
 }
 
@@ -148,57 +175,55 @@ impl ReproConfig {
     }
 }
 
-/// Run one artifact and render its report.
-pub fn run_artifact(a: Artifact, cfg: &ReproConfig) -> String {
+/// Run one artifact and build its structured report.
+pub fn run_artifact_report(a: Artifact, cfg: &ReproConfig) -> Report {
     let sim_cfg = cfg.sim();
     match a {
-        Artifact::Fig3a => fig3::fig3a(&cfg.fig3a_dims(), sim_cfg.attrs, cfg.seed).to_string(),
+        Artifact::Fig3a => fig3::fig3a(&cfg.fig3a_dims(), sim_cfg.attrs, cfg.seed).report(),
         Artifact::Fig3Dirs => {
             let bed = TestBed::new(sim_cfg);
-            fig3::fig3_directories(&bed).to_string()
+            fig3::fig3_directories(&bed).report()
         }
         Artifact::Fig4 => {
             let bed = TestBed::new(sim_cfg);
             // paper: 100 nodes × 10 queries each
             let (origins, per) = if cfg.quick { (20, 5) } else { (100, 10) };
-            fig4::fig4(&bed, 1..=10, origins, per).to_string()
+            fig4::fig4(&bed, 1..=10, origins, per).report()
         }
         Artifact::Fig5 => {
             let bed = TestBed::new(sim_cfg);
-            fig5::fig5(&bed, 1..=10, cfg.queries()).to_string()
+            fig5::fig5(&bed, 1..=10, cfg.queries()).report()
         }
         Artifact::Fig6a => {
-            fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Hops).to_string()
+            fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Hops).report()
         }
         Artifact::Fig6b => {
             fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Visited)
-                .to_string()
+                .report()
         }
         Artifact::T410 => {
             let bed = TestBed::new(sim_cfg);
             let queries = if cfg.quick { 5 } else { 20 };
-            worstcase::worstcase(&bed, 1, queries).to_string()
+            worstcase::worstcase(&bed, 1, queries).report()
         }
         Artifact::ChurnFail => {
             // range queries return many matches, so lost directory entries
             // are actually observable as stale answers
             let setup = fig6::ChurnSetup { graceful: false, ..cfg.churn_setup() };
-            let mut out =
-                fig6::fig6(&sim_cfg, &setup, sim::experiments::Metric::Visited).to_string();
-            out.push_str(
+            let mut rep =
+                fig6::fig6(&sim_cfg, &setup, sim::experiments::Metric::Visited).report();
+            rep.note(
                 "(extension: departures are abrupt failures; stale links and lost \
-                 directory entries persist until the next maintenance round)\n",
+                 directory entries persist until the next maintenance round)",
             );
-            out
+            rep
         }
         Artifact::HopDist => {
             let bed = TestBed::new(sim_cfg);
             let queries = if cfg.quick { 400 } else { 3000 };
-            sim::experiments::hopdist::hop_distribution(&bed, queries).to_string()
+            sim::experiments::hopdist::hop_distribution(&bed, queries).report()
         }
-        Artifact::Theorems => {
-            theorem_table(&sim_cfg.params())
-        }
+        Artifact::Theorems => theorem_report(&sim_cfg.params()),
         Artifact::Latency => {
             let bed = TestBed::new(sim_cfg);
             let queries = if cfg.quick { 60 } else { 300 };
@@ -208,48 +233,47 @@ pub fn run_artifact(a: Artifact, cfg: &ReproConfig) -> String {
                 3,
                 dht_core::LatencyModel::wan(),
             )
-            .to_string()
+            .report()
         }
         Artifact::Maintenance => {
-            sim::experiments::maintenance::registration_cost(&sim_cfg).to_string()
+            sim::experiments::maintenance::registration_cost(&sim_cfg).report()
         }
         Artifact::LoadBalance => {
             let bed = TestBed::new(sim_cfg);
             let queries = cfg.queries();
-            sim::experiments::maintenance::query_load_balance(&bed, queries, 3).to_string()
+            sim::experiments::maintenance::query_load_balance(&bed, queries, 3).report()
         }
         Artifact::Fig3Sweep => {
             let dims: &[u8] = if cfg.quick { &[5, 6] } else { &[6, 7, 8, 9] };
             let rows = fig3::fig3_directory_sweep(dims, &sim_cfg);
-            fig3::render_sweep(&rows, &sim_cfg)
+            fig3::sweep_report(&rows, &sim_cfg)
         }
         Artifact::Ablations => {
             let queries = cfg.queries();
-            let mut out = String::new();
-            out.push_str(&ablation::ablate_placement(&sim_cfg, queries).to_string());
-            out.push('\n');
-            out.push_str(&ablation::ablate_value_skew(&sim_cfg).to_string());
-            out.push('\n');
+            let mut rep = Report::new();
+            rep.append(ablation::ablate_placement(&sim_cfg, queries).report());
+            rep.append(ablation::ablate_value_skew(&sim_cfg).report());
             let (n, lk) = if cfg.quick { (300, 300) } else { (2048, 2000) };
-            out.push_str(&ablation::ablate_succ_list(n, 0.15, lk, cfg.seed).to_string());
-            out.push('\n');
+            rep.append(ablation::ablate_succ_list(n, 0.15, lk, cfg.seed).report());
             let pop_queries = if cfg.quick { 150 } else { 600 };
-            out.push_str(&ablation::ablate_attr_popularity(&sim_cfg, pop_queries).to_string());
-            out.push('\n');
-            out.push_str(&ablation::ablate_query_plan(&sim_cfg, queries, 4).to_string());
-            out.push('\n');
-            out.push_str(&ablation::ablate_flat_lorm(&sim_cfg, queries).to_string());
-            out.push('\n');
+            rep.append(ablation::ablate_attr_popularity(&sim_cfg, pop_queries).report());
+            rep.append(ablation::ablate_query_plan(&sim_cfg, queries, 4).report());
+            rep.append(ablation::ablate_flat_lorm(&sim_cfg, queries).report());
             let dims: &[u8] = if cfg.quick { &[5, 6, 7] } else { &[5, 6, 7, 8, 9, 10] };
-            out.push_str(&ablation::ablate_dimension(dims, lk, cfg.seed).to_string());
-            out
+            rep.append(ablation::ablate_dimension(dims, lk, cfg.seed).report());
+            rep
         }
     }
 }
 
-/// Render the ten theorems' closed forms at the given parameters — the
-/// paper's §IV as one table.
-pub fn theorem_table(p: &analysis::Params) -> String {
+/// Run one artifact and render its report as text.
+pub fn run_artifact(a: Artifact, cfg: &ReproConfig) -> String {
+    run_artifact_report(a, cfg).to_string()
+}
+
+/// The ten theorems' closed forms at the given parameters — the paper's
+/// §IV as one structured report.
+pub fn theorem_report(p: &analysis::Params) -> Report {
     use analysis as th;
     use analysis::System;
     use sim::Table;
@@ -281,10 +305,15 @@ pub fn theorem_table(p: &analysis::Params) -> String {
         );
     }
     row("4.10", "guaranteed LORM saving (>= n per attr)", th::t410_min_saving(p, 1));
-    let mut out = t.to_string();
-    out.push_str("(4.6 is the qualitative balance ordering implied by 4.3-4.5)
-");
-    out
+    let mut rep = Report::new();
+    rep.table(t);
+    rep.note("(4.6 is the qualitative balance ordering implied by 4.3-4.5)");
+    rep
+}
+
+/// Render the theorem report as text.
+pub fn theorem_table(p: &analysis::Params) -> String {
+    theorem_report(p).to_string()
 }
 
 /// Parse CLI arguments into a run plan. Returns `Err` with a usage string
@@ -292,25 +321,36 @@ pub fn theorem_table(p: &analysis::Params) -> String {
 pub fn parse_args<I: IntoIterator<Item = String>>(
     args: I,
 ) -> Result<(ReproConfig, Vec<Artifact>), String> {
+    const USAGE: &str = "usage: repro [--quick] [--seed=N] [--shards=N] \
+                         [--json <path>] [theorems fig3a fig3bcd fig3sweep \
+                          fig4 fig5 fig6a fig6b t410 maintenance churnfail \
+                          hopdist latency loadbalance ablations | all]";
     let mut cfg = ReproConfig::default();
     let mut artifacts: Vec<Artifact> = Vec::new();
-    for a in args {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" | "-q" => cfg.quick = true,
+            "--json" => {
+                let path = args.next().ok_or(format!("--json needs a path\n{USAGE}"))?;
+                cfg.json = Some(PathBuf::from(path));
+            }
+            s if s.starts_with("--json=") => {
+                cfg.json = Some(PathBuf::from(&s["--json=".len()..]));
+            }
             s if s.starts_with("--seed=") => {
                 cfg.seed = s["--seed=".len()..]
                     .parse()
                     .map_err(|_| format!("bad seed in {s:?}"))?;
             }
+            s if s.starts_with("--shards=") => {
+                cfg.shards = s["--shards=".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad shard count in {s:?}"))?;
+            }
             s => match Artifact::parse(s) {
                 Some(mut v) => artifacts.append(&mut v),
-                None => {
-                    return Err(format!(
-                        "unknown target {s:?}\nusage: repro [--quick] [--seed=N] \
-                         [fig3a fig3 fig3sweep fig4 fig5 fig6a fig6b t410 \
-                          maintenance loadbalance ablations | all]"
-                    ))
-                }
+                None => return Err(format!("unknown target {s:?}\n{USAGE}")),
             },
         }
     }
@@ -319,6 +359,47 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
     }
     artifacts.dedup();
     Ok((cfg, artifacts))
+}
+
+/// One completed artifact run, ready for the JSON export.
+#[derive(Debug, Clone)]
+pub struct ArtifactRun {
+    /// The artifact regenerated.
+    pub artifact: Artifact,
+    /// Its structured report.
+    pub report: Report,
+    /// Wall-clock milliseconds the run took.
+    pub elapsed_ms: f64,
+}
+
+/// Serialize a full repro run against the stable `lorm-repro/bench-v1`
+/// schema (documented in README.md): config, then one object per
+/// artifact with its tables, full-precision summaries, and notes.
+pub fn render_json(cfg: &ReproConfig, runs: &[ArtifactRun]) -> String {
+    use sim::report::{json_num, json_str};
+    let sim_cfg = cfg.sim();
+    let p = sim_cfg.params();
+    let mut out = String::from("{\"schema\":\"lorm-repro/bench-v1\",\"config\":{");
+    out.push_str(&format!(
+        "\"quick\":{},\"seed\":{},\"shards\":{},\"n\":{},\"m\":{},\"k\":{},\"d\":{}}}",
+        cfg.quick, cfg.seed, cfg.shards, p.n, p.m, p.k, p.d
+    ));
+    out.push_str(",\"artifacts\":[");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"elapsed_ms\":{},",
+            json_str(r.artifact.name()),
+            json_num(r.elapsed_ms)
+        ));
+        // splice the report object's fields into this artifact object
+        let body = r.report.to_json();
+        out.push_str(&body[1..]);
+    }
+    out.push_str("]}");
+    out
 }
 
 #[cfg(test)]
@@ -360,7 +441,7 @@ mod tests {
 
     #[test]
     fn quick_fig3a_renders_table() {
-        let cfg = ReproConfig { quick: true, seed: 7 };
+        let cfg = ReproConfig { quick: true, seed: 7, ..ReproConfig::default() };
         // trim the sweep further for the unit test
         let out = fig3::fig3a(&[5], 8, 7).to_string();
         assert!(out.contains("Figure 3(a)"));
@@ -370,7 +451,7 @@ mod tests {
 
     #[test]
     fn quick_t410_renders_table() {
-        let cfg = ReproConfig { quick: true, seed: 7 };
+        let cfg = ReproConfig { quick: true, seed: 7, ..ReproConfig::default() };
         let out = run_artifact(Artifact::T410, &cfg);
         assert!(out.contains("Theorem 4.10"), "got: {out}");
         assert!(out.contains("LORM"));
@@ -380,11 +461,15 @@ mod tests {
     fn every_artifact_runs_end_to_end_in_quick_mode() {
         // The full-scale run is recorded in EXPERIMENTS.md; this guards
         // that every artifact stays runnable. Quick mode, tiny batches.
-        let cfg = ReproConfig { quick: true, seed: 3 };
+        let cfg = ReproConfig { quick: true, seed: 3, ..ReproConfig::default() };
         for a in Artifact::ALL {
-            let out = run_artifact(a, &cfg);
+            let rep = run_artifact_report(a, &cfg);
+            let out = rep.to_string();
             assert!(out.contains('|'), "{a:?} produced no table:\n{out}");
             assert!(out.contains("##"), "{a:?} produced no title");
+            assert!(!rep.tables().is_empty(), "{a:?} report has no tables");
+            let j = rep.to_json();
+            assert!(j.starts_with("{\"tables\":["), "{a:?} bad json head: {j}");
         }
     }
 
@@ -405,5 +490,69 @@ mod tests {
         assert_eq!(arts, vec![Artifact::Fig6a, Artifact::Fig6b]);
         let (_, all) = parse_args(["all".into()]).unwrap();
         assert_eq!(all.len(), Artifact::ALL.len());
+    }
+
+    #[test]
+    fn parse_json_flag_both_forms() {
+        // space-separated form
+        let (cfg, arts) =
+            parse_args(["--quick".into(), "fig4".into(), "--json".into(), "out.json".into()])
+                .unwrap();
+        assert_eq!(cfg.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(arts, vec![Artifact::Fig4]);
+        // = form
+        let (cfg, _) = parse_args(["--json=metrics.json".into()]).unwrap();
+        assert_eq!(cfg.json.as_deref(), Some(std::path::Path::new("metrics.json")));
+        // missing path is an error
+        assert!(parse_args(["--json".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_shards_flag() {
+        let (cfg, _) = parse_args(["--shards=4".into()]).unwrap();
+        assert_eq!(cfg.shards, 4);
+        assert!(parse_args(["--shards=x".into()]).is_err());
+        let (cfg, _) = parse_args(Vec::<String>::new()).unwrap();
+        assert_eq!(cfg.shards, 0, "default auto-detects");
+    }
+
+    #[test]
+    fn artifact_names_are_stable_and_parseable() {
+        for a in Artifact::ALL {
+            assert_eq!(Artifact::parse(a.name()), Some(vec![a]), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn render_json_emits_schema_config_and_artifacts() {
+        let cfg = ReproConfig { quick: true, seed: 3, ..ReproConfig::default() };
+        let runs = vec![
+            ArtifactRun {
+                artifact: Artifact::Theorems,
+                report: theorem_report(&cfg.sim().params()),
+                elapsed_ms: 1.5,
+            },
+            ArtifactRun {
+                artifact: Artifact::T410,
+                report: run_artifact_report(Artifact::T410, &cfg),
+                elapsed_ms: 20.0,
+            },
+        ];
+        let j = render_json(&cfg, &runs);
+        assert!(j.starts_with("{\"schema\":\"lorm-repro/bench-v1\",\"config\":{"), "{j}");
+        assert!(j.contains("\"quick\":true"));
+        assert!(j.contains("\"seed\":3"));
+        assert!(j.contains("\"name\":\"theorems\",\"elapsed_ms\":1.5,\"tables\":["));
+        assert!(j.contains("\"name\":\"t410\""));
+        // the t410 report carries per-system summaries with failure counts
+        assert!(j.contains("\"label\":\"LORM\""), "{j}");
+        assert!(j.contains("\"failures\":0"));
+        // balanced braces/brackets (outside strings there are no quotes to
+        // confuse this rough check: table cells never contain braces)
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced JSON object braces");
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.ends_with("]}"));
     }
 }

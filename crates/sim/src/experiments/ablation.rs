@@ -15,6 +15,7 @@
 //!    range-probe count grow with `d` while per-node state stays constant
 //!    — the trade the paper's `d = 8` sits on.
 
+use crate::report::Report;
 use crate::setup::SimConfig;
 use crate::table::Table;
 use chord::{Chord, ChordConfig};
@@ -48,8 +49,9 @@ pub struct Ablation {
     pub rows: Vec<AblationRow>,
 }
 
-impl fmt::Display for Ablation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Ablation {
+    /// Build the structured report.
+    pub fn report(&self) -> Report {
         let mut header = vec!["setting"];
         header.extend(self.columns.iter());
         let mut t = Table::new(self.title.clone(), &header);
@@ -58,7 +60,15 @@ impl fmt::Display for Ablation {
             cells.extend(r.values.iter().map(|&v| Table::fmt_f(v)));
             t.row(cells);
         }
-        t.fmt(f)
+        let mut rep = Report::new();
+        rep.table(t);
+        rep
+    }
+}
+
+impl fmt::Display for Ablation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 

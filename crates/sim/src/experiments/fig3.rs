@@ -8,6 +8,7 @@
 //! * **3(c)**: SWORD vs LORM vs analysis (Theorems 4.2/4.4).
 //! * **3(d)**: Mercury vs LORM vs analysis (Theorems 4.2/4.5).
 
+use crate::report::Report;
 use crate::setup::{SimConfig, TestBed};
 use crate::table::Table;
 use analysis::{self as th, System};
@@ -89,8 +90,9 @@ pub fn fig3a(dimensions: &[u8], attrs: usize, seed: u64) -> Fig3a {
     Fig3a { rows, attrs }
 }
 
-impl fmt::Display for Fig3a {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Fig3a {
+    /// Build the structured report.
+    pub fn report(&self) -> Report {
         let mut t = Table::new(
             format!("Figure 3(a): outlinks per node vs network size (m = {})", self.attrs),
             &["n", "d", "Mercury", "Analysis>LORM", "LORM"],
@@ -104,7 +106,15 @@ impl fmt::Display for Fig3a {
                 Table::fmt_f(r.lorm),
             ]);
         }
-        t.fmt(f)
+        let mut rep = Report::new();
+        rep.table(t);
+        rep
+    }
+}
+
+impl fmt::Display for Fig3a {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 
@@ -178,8 +188,9 @@ pub fn fig3_directories(bed: &TestBed) -> Fig3Directories {
     Fig3Directories { measured, analysis, cfg: bed.cfg }
 }
 
-impl fmt::Display for Fig3Directories {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Fig3Directories {
+    /// Build the structured report.
+    pub fn report(&self) -> Report {
         let mut t = Table::new(
             format!(
                 "Figure 3(b-d): directory size per node (n = {}, m = {}, k = {})",
@@ -195,7 +206,15 @@ impl fmt::Display for Fig3Directories {
                 Table::fmt_f(r.p99),
             ]);
         }
-        t.fmt(f)
+        let mut rep = Report::new();
+        rep.table(t);
+        rep
+    }
+}
+
+impl fmt::Display for Fig3Directories {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 
@@ -242,8 +261,8 @@ pub fn fig3_directory_sweep(dimensions: &[u8], cfg: &SimConfig) -> Vec<SweepRow>
     rows
 }
 
-/// Render the sweep as one table (rows = size × system).
-pub fn render_sweep(rows: &[SweepRow], cfg: &SimConfig) -> String {
+/// Build the sweep report (one table, rows = size × system).
+pub fn sweep_report(rows: &[SweepRow], cfg: &SimConfig) -> Report {
     let mut t = Table::new(
         format!(
             "Figure 3(b-d) sweep: directory size vs network size (m = {}, k = {})",
@@ -262,7 +281,14 @@ pub fn render_sweep(rows: &[SweepRow], cfg: &SimConfig) -> String {
             ]);
         }
     }
-    t.to_string()
+    let mut rep = Report::new();
+    rep.table(t);
+    rep
+}
+
+/// Render the sweep as one table (rows = size × system).
+pub fn render_sweep(rows: &[SweepRow], cfg: &SimConfig) -> String {
+    sweep_report(rows, cfg).to_string()
 }
 
 #[cfg(test)]

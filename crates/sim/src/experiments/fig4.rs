@@ -8,9 +8,11 @@
 //! measured MAAN.
 
 use crate::experiments::{query_batch, run_batch_all, summary_of, Metric};
+use crate::report::Report;
 use crate::setup::TestBed;
 use crate::table::Table;
 use analysis::{self as th, System};
+use dht_core::Summary;
 use grid_resource::QueryMix;
 use std::fmt;
 
@@ -36,12 +38,17 @@ pub struct Fig4Row {
 pub struct Fig4 {
     /// One row per arity.
     pub rows: Vec<Fig4Row>,
+    /// Per-system hop summaries merged over every arity batch
+    /// (`System::ALL` order) — full precision for the JSON export.
+    pub summaries: Vec<(&'static str, Summary)>,
 }
 
 /// Run the Figure 4 experiment on a mounted test bed.
 pub fn fig4(bed: &TestBed, arities: impl IntoIterator<Item = usize>, origins: usize, per_origin: usize) -> Fig4 {
     let p = bed.cfg.params();
     let mut rows = Vec::new();
+    let mut summaries: Vec<(&'static str, Summary)> =
+        System::ALL.map(|s| (s.name(), Summary::new())).to_vec();
     for arity in arities {
         let batch = query_batch(
             &bed.workload,
@@ -53,6 +60,9 @@ pub fn fig4(bed: &TestBed, arities: impl IntoIterator<Item = usize>, origins: us
             bed.seeds.seed() ^ 0xF400 ^ arity as u64,
         );
         let measured = run_batch_all(&bed.systems, &batch, Metric::Hops);
+        for (i, s) in System::ALL.iter().enumerate() {
+            summaries[i].1.merge(summary_of(&measured, *s));
+        }
         let avg = System::ALL.map(|s| summary_of(&measured, s).mean());
         let total = System::ALL.map(|s| summary_of(&measured, s).total());
         let maan_avg = avg[3];
@@ -65,11 +75,13 @@ pub fn fig4(bed: &TestBed, arities: impl IntoIterator<Item = usize>, origins: us
             queries: batch.len(),
         });
     }
-    Fig4 { rows }
+    Fig4 { rows, summaries }
 }
 
-impl fmt::Display for Fig4 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Fig4 {
+    /// Build the structured report (both sub-figure tables plus the
+    /// full-precision per-system summaries).
+    pub fn report(&self) -> Report {
         let mut a = Table::new(
             "Figure 4(a): average logical hops per non-range query",
             &["attrs", "LORM", "Mercury", "SWORD", "MAAN", "Analysis-LORM", "Analysis-S/M"],
@@ -85,8 +97,6 @@ impl fmt::Display for Fig4 {
                 Table::fmt_f(r.analysis_single),
             ]);
         }
-        a.fmt(f)?;
-        writeln!(f)?;
         let mut b = Table::new(
             "Figure 4(b): total logical hops over the query batch",
             &["attrs", "queries", "LORM", "Mercury", "SWORD", "MAAN"],
@@ -101,7 +111,18 @@ impl fmt::Display for Fig4 {
                 Table::fmt_f(r.total[3]),
             ]);
         }
-        b.fmt(f)
+        let mut rep = Report::new();
+        rep.table(a).table(b);
+        for (name, s) in &self.summaries {
+            rep.summary(*name, s.clone());
+        }
+        rep
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 

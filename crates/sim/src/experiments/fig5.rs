@@ -7,9 +7,11 @@
 //! (513m / 514m / 3m / m for the paper's parameters).
 
 use crate::experiments::{query_batch, run_batch_all, summary_of, Metric};
+use crate::report::Report;
 use crate::setup::TestBed;
 use crate::table::Table;
 use analysis::{self as th, System};
+use dht_core::Summary;
 use grid_resource::QueryMix;
 use std::fmt;
 
@@ -34,12 +36,17 @@ pub struct Fig5Row {
 pub struct Fig5 {
     /// One row per arity.
     pub rows: Vec<Fig5Row>,
+    /// Per-system visited-node summaries merged over every arity batch
+    /// (`System::ALL` order) — full precision for the JSON export.
+    pub summaries: Vec<(&'static str, Summary)>,
 }
 
 /// Run the Figure 5 experiment.
 pub fn fig5(bed: &TestBed, arities: impl IntoIterator<Item = usize>, queries: usize) -> Fig5 {
     let p = bed.cfg.params();
     let mut rows = Vec::new();
+    let mut summaries: Vec<(&'static str, Summary)> =
+        System::ALL.map(|s| (s.name(), Summary::new())).to_vec();
     for arity in arities {
         let batch = query_batch(
             &bed.workload,
@@ -51,17 +58,22 @@ pub fn fig5(bed: &TestBed, arities: impl IntoIterator<Item = usize>, queries: us
             bed.seeds.seed() ^ 0xF500 ^ arity as u64,
         );
         let measured = run_batch_all(&bed.systems, &batch, Metric::Visited);
+        for (i, s) in System::ALL.iter().enumerate() {
+            summaries[i].1.merge(summary_of(&measured, *s));
+        }
         let total = System::ALL.map(|s| summary_of(&measured, s).total());
         let avg = System::ALL.map(|s| summary_of(&measured, s).mean());
         let analysis_total =
             System::ALL.map(|s| th::range_visited(&p, arity, s) * batch.len() as f64);
         rows.push(Fig5Row { arity, total, avg, analysis_total, queries: batch.len() });
     }
-    Fig5 { rows }
+    Fig5 { rows, summaries }
 }
 
-impl fmt::Display for Fig5 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Fig5 {
+    /// Build the structured report (both sub-figure tables plus the
+    /// full-precision per-system summaries).
+    pub fn report(&self) -> Report {
         let mut a = Table::new(
             "Figure 5(a): total visited nodes, range queries (system-wide methods)",
             &["attrs", "queries", "Mercury", "MAAN", "Analysis-Mercury", "Analysis-MAAN"],
@@ -76,8 +88,6 @@ impl fmt::Display for Fig5 {
                 Table::fmt_f(r.analysis_total[3]),
             ]);
         }
-        a.fmt(f)?;
-        writeln!(f)?;
         let mut b = Table::new(
             "Figure 5(b): total visited nodes, range queries (SWORD vs LORM)",
             &["attrs", "queries", "SWORD", "LORM", "Analysis-SWORD", "Analysis-LORM"],
@@ -92,7 +102,18 @@ impl fmt::Display for Fig5 {
                 Table::fmt_f(r.analysis_total[0]),
             ]);
         }
-        b.fmt(f)
+        let mut rep = Report::new();
+        rep.table(a).table(b);
+        for (name, s) in &self.summaries {
+            rep.summary(*name, s.clone());
+        }
+        rep
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 

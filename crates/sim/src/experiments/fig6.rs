@@ -16,6 +16,7 @@
 //! their local neighborhood immediately, as the protocols do.
 
 use crate::experiments::Metric;
+use crate::report::Report;
 use crate::setup::{build_system, SimConfig};
 use crate::table::Table;
 use analysis::{self as th, System};
@@ -69,6 +70,9 @@ impl ChurnSetup {
 pub struct ChurnCell {
     /// Average of the metric per query.
     pub avg: f64,
+    /// Full metric summary (count / mean / std / min / max, plus the
+    /// failure count) — full precision for the JSON export.
+    pub stats: Summary,
     /// Queries that failed to resolve (the paper observed none).
     pub failures: usize,
     /// Queries issued.
@@ -118,7 +122,6 @@ pub fn run_churn_one(
         Metric::Visited => QueryMix::Range,
     };
     let mut stats = Summary::new();
-    let mut failures = 0usize;
     let mut events_applied = 0usize;
     let mut stale = 0usize;
     let mut sampled = 0usize;
@@ -170,7 +173,7 @@ pub fn run_churn_one(
         }
         // issue one query from a random live node
         let Some(origin) = pick_live(sys, max_phys, &mut rng) else {
-            failures += 1;
+            stats.record_failure();
             continue;
         };
         let q = workload.random_query(setup.arity, mix, &mut rng);
@@ -202,12 +205,13 @@ pub fn run_churn_one(
                     }
                 }
             }
-            Err(_) => failures += 1,
+            Err(_) => stats.record_failure(),
         }
     }
     ChurnCell {
         avg: stats.mean(),
-        failures,
+        failures: stats.failures() as usize,
+        stats,
         queries: setup.requests,
         events: events_applied,
         stale,
@@ -280,8 +284,10 @@ pub fn fig6(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric) -> Fig6 {
     }
 }
 
-impl fmt::Display for Fig6 {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Fig6 {
+    /// Build the structured report (the sweep table, the metric note, and
+    /// per-system summaries merged over every churn rate).
+    pub fn report(&self) -> Report {
         let (title, what) = match self.mix {
             QueryMix::NonRange => {
                 ("Figure 6(a): avg logical hops per non-range query under churn", "hops")
@@ -314,8 +320,28 @@ impl fmt::Display for Fig6 {
                 Table::fmt_f(if sampled == 0 { 0.0 } else { 100.0 * stale as f64 / sampled as f64 }),
             ]);
         }
-        t.fmt(f)?;
-        writeln!(f, "(metric: {what} per query; analysis columns are the static closed forms)")
+        let mut rep = Report::new();
+        rep.table(t);
+        rep.note(format!(
+            "(metric: {what} per query; analysis columns are the static closed forms)"
+        ));
+        let mut summaries: Vec<(&'static str, Summary)> =
+            System::ALL.map(|s| (s.name(), Summary::new())).to_vec();
+        for r in &self.rows {
+            for (i, c) in r.cells.iter().enumerate() {
+                summaries[i].1.merge(&c.stats);
+            }
+        }
+        for (name, s) in summaries {
+            rep.summary(name, s);
+        }
+        rep
+    }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 

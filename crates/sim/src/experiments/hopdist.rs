@@ -7,10 +7,11 @@
 //! attribute convolve the Chord distribution with itself.
 
 use crate::experiments::query_batch;
+use crate::report::Report;
 use crate::setup::TestBed;
 use crate::table::Table;
 use analysis::System;
-use dht_core::Histogram;
+use dht_core::{Histogram, Summary};
 use grid_resource::QueryMix;
 use std::fmt;
 
@@ -19,6 +20,9 @@ use std::fmt;
 pub struct HopDist {
     /// One histogram per system, `System::ALL` order.
     pub hists: Vec<(&'static str, Histogram)>,
+    /// Per-system hop summaries (same order) — full precision, including
+    /// the count of queries that failed to resolve.
+    pub summaries: Vec<(&'static str, Summary)>,
     /// Queries measured.
     pub queries: usize,
 }
@@ -36,21 +40,30 @@ pub fn hop_distribution(bed: &TestBed, queries: usize) -> HopDist {
     );
     let max_bucket = 4 * bed.cfg.dimension as usize + 8;
     let mut hists = Vec::new();
+    let mut summaries = Vec::new();
     for s in System::ALL {
         let sys = bed.system(s);
         let mut h = Histogram::new(max_bucket);
+        let mut sum = Summary::new();
         for (phys, q) in &batch {
-            if let Ok(out) = sys.query_from(*phys, q) {
-                h.record(out.tally.hops);
+            match sys.query_from(*phys, q) {
+                Ok(out) => {
+                    h.record(out.tally.hops);
+                    sum.record(out.tally.hops as f64);
+                }
+                Err(_) => sum.record_failure(),
             }
         }
         hists.push((s.name(), h));
+        summaries.push((s.name(), sum));
     }
-    HopDist { hists, queries: batch.len() }
+    HopDist { hists, summaries, queries: batch.len() }
 }
 
-impl fmt::Display for HopDist {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl HopDist {
+    /// Build the structured report (quantile table, per-hop frequency
+    /// table, and the full-precision per-system summaries).
+    pub fn report(&self) -> Report {
         let mut t = Table::new(
             format!(
                 "Extension: hop distribution of single-attribute lookups ({} queries)",
@@ -76,9 +89,7 @@ impl fmt::Display for HopDist {
                 max_seen,
             ]);
         }
-        t.fmt(f)?;
         // compact per-hop rows for the two substrates' shapes
-        writeln!(f)?;
         let mut d = Table::new(
             "hop-count frequencies (% of queries)",
             &["hops", "LORM", "Mercury", "SWORD", "MAAN"],
@@ -106,7 +117,18 @@ impl fmt::Display for HopDist {
             row.extend(cells);
             d.row(row);
         }
-        d.fmt(f)
+        let mut rep = Report::new();
+        rep.table(t).table(d);
+        for (name, s) in &self.summaries {
+            rep.summary(*name, s.clone());
+        }
+        rep
+    }
+}
+
+impl fmt::Display for HopDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 
@@ -135,5 +157,11 @@ mod tests {
         // rendering works and includes the frequency block
         let s = dist.to_string();
         assert!(s.contains("hop-count frequencies"));
+        // no query silently dropped: every query is either an observation
+        // or a counted failure, and a static bed fails none
+        for (name, sum) in &dist.summaries {
+            assert_eq!(sum.failures(), 0, "{name} queries failed");
+            assert_eq!(sum.count() as usize, dist.queries, "{name} lost observations");
+        }
     }
 }

@@ -13,10 +13,11 @@
 //!   query-planning ablation measures.
 
 use crate::experiments::query_batch;
+use crate::report::Report;
 use crate::setup::TestBed;
 use crate::table::Table;
 use analysis::System;
-use dht_core::{LatencyModel, Percentiles};
+use dht_core::{LatencyModel, Percentiles, Summary};
 use grid_resource::{Query, QueryMix};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -40,6 +41,9 @@ pub struct LatencyRow {
 pub struct Latency {
     /// One row per system (parallel resolution, the paper's model).
     pub systems: Vec<LatencyRow>,
+    /// Per-system latency summaries (`System::ALL` order) — full
+    /// precision, including the count of sub-queries that errored.
+    pub summaries: Vec<(&'static str, Summary)>,
     /// LORM under both query plans.
     pub lorm_plans: Vec<LatencyRow>,
     /// The hop-delay model used.
@@ -81,6 +85,8 @@ pub fn latency(bed: &TestBed, queries: usize, arity: usize, model: LatencyModel)
     // Per-sub-query costs: issue each sub alone, then combine per plan.
     let mut per_system: Vec<(String, Vec<f64>)> =
         System::ALL.iter().map(|s| (s.name().to_string(), Vec::new())).collect();
+    let mut summaries: Vec<(&'static str, Summary)> =
+        System::ALL.map(|s| (s.name(), Summary::new())).to_vec();
     let mut lorm_parallel: Vec<f64> = Vec::new();
     let mut lorm_sequential: Vec<f64> = Vec::new();
 
@@ -91,14 +97,18 @@ pub fn latency(bed: &TestBed, queries: usize, arity: usize, model: LatencyModel)
             let mut sub_latencies = Vec::with_capacity(q.subs.len());
             for sub in &q.subs {
                 let single = Query { subs: vec![*sub] };
-                if let Ok(out) = sys.query_from(*phys, &single) {
-                    // lookup hops + walk forwards + one response hop
-                    let hops = out.tally.hops + out.tally.visited.saturating_sub(1) + 1;
-                    sub_latencies.push(model.sample_path(hops, &mut rng));
+                match sys.query_from(*phys, &single) {
+                    Ok(out) => {
+                        // lookup hops + walk forwards + one response hop
+                        let hops = out.tally.hops + out.tally.visited.saturating_sub(1) + 1;
+                        sub_latencies.push(model.sample_path(hops, &mut rng));
+                    }
+                    Err(_) => summaries[si].1.record_failure(),
                 }
             }
             let parallel = sub_latencies.iter().copied().fold(0.0f64, f64::max);
             per_system[si].1.push(parallel);
+            summaries[si].1.record(parallel);
             if *s == System::Lorm {
                 lorm_subs = sub_latencies;
             }
@@ -109,6 +119,7 @@ pub fn latency(bed: &TestBed, queries: usize, arity: usize, model: LatencyModel)
 
     Latency {
         systems: per_system.into_iter().map(|(l, v)| stats(l, v)).collect(),
+        summaries,
         lorm_plans: vec![
             stats("LORM parallel (max of subs)", lorm_parallel),
             stats("LORM sequential (sum of subs)", lorm_sequential),
@@ -119,8 +130,9 @@ pub fn latency(bed: &TestBed, queries: usize, arity: usize, model: LatencyModel)
     }
 }
 
-impl fmt::Display for Latency {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Latency {
+    /// Build the structured report.
+    pub fn report(&self) -> Report {
         let mut t = Table::new(
             format!(
                 "Extension: query latency, {}-attribute range queries ({} queries, {:?})",
@@ -136,7 +148,18 @@ impl fmt::Display for Latency {
                 Table::fmt_f(r.p95_ms),
             ]);
         }
-        t.fmt(f)
+        let mut rep = Report::new();
+        rep.table(t);
+        for (name, s) in &self.summaries {
+            rep.summary(*name, s.clone());
+        }
+        rep
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 

@@ -15,6 +15,7 @@
 //! bottlenecks" claim around Theorem 4.6).
 
 use crate::experiments::query_batch;
+use crate::report::Report;
 use crate::setup::{build_system, SimConfig, TestBed};
 use crate::table::Table;
 use analysis::System;
@@ -44,6 +45,9 @@ pub struct RegistrationRow {
 pub struct Registration {
     /// One row per system.
     pub rows: Vec<RegistrationRow>,
+    /// Per-system routing-hop summaries (`System::ALL` order) — full
+    /// precision, including the count of reports that failed to deliver.
+    pub summaries: Vec<(&'static str, Summary)>,
 }
 
 /// Deliver every report of a fresh workload through the routed insert
@@ -52,6 +56,7 @@ pub fn registration_cost(cfg: &SimConfig) -> Registration {
     let mut wl_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x4E6);
     let workload = Workload::generate(cfg.workload_config(), &mut wl_rng).expect("valid config");
     let mut rows = Vec::new();
+    let mut summaries = Vec::new();
     for s in System::ALL {
         let mut sys = build_system(s, &workload, cfg);
         // build_system pre-places; start the measured round from scratch
@@ -59,9 +64,12 @@ pub fn registration_cost(cfg: &SimConfig) -> Registration {
         let mut hops = Summary::new();
         let mut lookups = Summary::new();
         for &r in &workload.reports {
-            if let Ok(t) = sys.register(r) {
-                hops.record(t.hops as f64);
-                lookups.record(t.lookups as f64);
+            match sys.register(r) {
+                Ok(t) => {
+                    hops.record(t.hops as f64);
+                    lookups.record(t.lookups as f64);
+                }
+                Err(_) => hops.record_failure(),
             }
         }
         rows.push(RegistrationRow {
@@ -71,12 +79,14 @@ pub fn registration_cost(cfg: &SimConfig) -> Registration {
             avg_lookups: lookups.mean(),
             total_hops: hops.total(),
         });
+        summaries.push((s.name(), hops));
     }
-    Registration { rows }
+    Registration { rows, summaries }
 }
 
-impl fmt::Display for Registration {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Registration {
+    /// Build the structured report.
+    pub fn report(&self) -> Report {
         let mut t = Table::new(
             "Maintenance: routed cost of one full reporting round (Insert per rescInfo)",
             &["system", "reports", "avg hops", "avg lookups", "total hops"],
@@ -90,7 +100,18 @@ impl fmt::Display for Registration {
                 Table::fmt_f(r.total_hops),
             ]);
         }
-        t.fmt(f)
+        let mut rep = Report::new();
+        rep.table(t);
+        for (name, s) in &self.summaries {
+            rep.summary(*name, s.clone());
+        }
+        rep
+    }
+}
+
+impl fmt::Display for Registration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 
@@ -114,6 +135,9 @@ pub struct QueryLoadRow {
 pub struct QueryLoad {
     /// One row per system.
     pub rows: Vec<QueryLoadRow>,
+    /// Per-system probes-per-query summaries (`System::ALL` order) —
+    /// full precision, including the count of queries that errored.
+    pub summaries: Vec<(&'static str, Summary)>,
     /// Queries in the batch.
     pub queries: usize,
 }
@@ -131,17 +155,23 @@ pub fn query_load_balance(bed: &TestBed, queries: usize, arity: usize) -> QueryL
         bed.cfg.seed ^ 0x10AD,
     );
     let mut rows = Vec::new();
+    let mut summaries = Vec::new();
     for s in System::ALL {
         let sys = bed.system(s);
         let mut counts: Vec<usize> = Vec::new();
+        let mut sum = Summary::new();
         for (phys, q) in &batch {
-            if let Ok(out) = sys.query_from(*phys, q) {
-                for n in out.probed {
-                    if counts.len() <= n.0 {
-                        counts.resize(n.0 + 1, 0);
+            match sys.query_from(*phys, q) {
+                Ok(out) => {
+                    sum.record(out.probed.len() as f64);
+                    for n in out.probed {
+                        if counts.len() <= n.0 {
+                            counts.resize(n.0 + 1, 0);
+                        }
+                        counts[n.0] += 1;
                     }
-                    counts[n.0] += 1;
                 }
+                Err(_) => sum.record_failure(),
             }
         }
         counts.resize(counts.len().max(bed.cfg.nodes), 0);
@@ -153,12 +183,14 @@ pub fn query_load_balance(bed: &TestBed, queries: usize, arity: usize) -> QueryL
             max: dist.max(),
             cv: dist.cv(),
         });
+        summaries.push((s.name(), sum));
     }
-    QueryLoad { rows, queries: batch.len() }
+    QueryLoad { rows, summaries, queries: batch.len() }
 }
 
-impl fmt::Display for QueryLoad {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl QueryLoad {
+    /// Build the structured report.
+    pub fn report(&self) -> Report {
         let mut t = Table::new(
             format!(
                 "Query-processing load per node over {} range queries (Theorem 4.6's balance claim)",
@@ -175,7 +207,18 @@ impl fmt::Display for QueryLoad {
                 Table::fmt_f(r.cv),
             ]);
         }
-        t.fmt(f)
+        let mut rep = Report::new();
+        rep.table(t);
+        for (name, s) in &self.summaries {
+            rep.summary(*name, s.clone());
+        }
+        rep
+    }
+}
+
+impl fmt::Display for QueryLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 

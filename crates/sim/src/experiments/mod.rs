@@ -10,15 +10,36 @@ pub mod latency;
 pub mod maintenance;
 pub mod worstcase;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use analysis::System;
 use dht_core::Summary;
 use grid_resource::{Query, QueryMix, ResourceDiscovery, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Shard-count override for [`run_batch`]; `0` means "auto" (one shard
+/// per available core).
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the number of shards [`run_batch`] splits each query batch into.
+/// `0` restores the default (one shard per available core). Applies
+/// process-wide; the `repro` binary wires its `--shards=N` flag here.
+pub fn set_default_shards(n: usize) {
+    DEFAULT_SHARDS.store(n, Ordering::Relaxed);
+}
+
+/// The shard count [`run_batch`] currently uses.
+pub fn default_shards() -> usize {
+    match DEFAULT_SHARDS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
 /// Generate the paper's query batch: `origins` random requester nodes,
 /// `per_origin` queries each, all with the given arity and mix.
-pub(crate) fn query_batch(
+pub fn query_batch(
     workload: &Workload,
     num_phys: usize,
     origins: usize,
@@ -38,28 +59,76 @@ pub(crate) fn query_batch(
     batch
 }
 
-/// Run a query batch against one system, summarizing a chosen metric.
-pub(crate) fn run_batch(
+/// Run a contiguous slice of a batch sequentially on the calling thread.
+fn run_shard(
     sys: &(dyn ResourceDiscovery + Send + Sync),
-    batch: &[(usize, Query)],
+    shard: &[(usize, Query)],
     metric: Metric,
 ) -> Summary {
     let mut s = Summary::new();
-    for (phys, q) in batch {
-        if let Ok(out) = sys.query_from(*phys, q) {
-            let v = match metric {
-                Metric::Hops => out.tally.hops as f64,
-                Metric::Visited => out.tally.visited as f64,
-            };
-            s.record(v);
+    for (phys, q) in shard {
+        match sys.query_from(*phys, q) {
+            Ok(out) => {
+                let v = match metric {
+                    Metric::Hops => out.tally.hops as f64,
+                    Metric::Visited => out.tally.visited as f64,
+                };
+                s.record(v);
+            }
+            Err(_) => s.record_failure(),
         }
     }
     s
 }
 
+/// Run a query batch against one system, summarizing a chosen metric.
+/// Failed queries are counted via [`Summary::failures`] instead of being
+/// silently dropped.
+///
+/// The batch is split into [`default_shards`] contiguous shards executed
+/// on scoped worker threads and reduced with [`Summary::merge`] in shard
+/// order. Shard boundaries depend only on batch length and shard count,
+/// and each query carries its own origin and RNG-free execution, so the
+/// merged summary's `count`/`total`/`mean`/`min`/`max` are bit-identical
+/// for every shard count (see `Summary::mean`).
+pub fn run_batch(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+) -> Summary {
+    run_batch_sharded(sys, batch, metric, default_shards())
+}
+
+/// [`run_batch`] with an explicit shard count (`0` or `1` runs inline on
+/// the calling thread).
+pub fn run_batch_sharded(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    shards: usize,
+) -> Summary {
+    let chunk = batch.len().div_ceil(shards.max(1)).max(1);
+    if shards <= 1 || batch.len() <= chunk {
+        return run_shard(sys, batch, metric);
+    }
+    let mut merged = Summary::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = batch
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move |_| run_shard(sys, shard, metric)))
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().expect("shard worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    merged
+}
+
 /// Run the same batch against every mounted system in parallel (one thread
-/// per system — they are independent and `query_from` is `&self`).
-pub(crate) fn run_batch_all(
+/// per system — they are independent and `query_from` is `&self` — each of
+/// which shards its batch further, for `systems × shards` total workers).
+pub fn run_batch_all(
     systems: &[Box<dyn ResourceDiscovery + Send + Sync>],
     batch: &[(usize, Query)],
     metric: Metric,
@@ -104,18 +173,42 @@ mod tests {
 
     #[test]
     fn parallel_batch_equals_sequential_batch() {
-        // run_batch_all fans the systems out over threads; each must
-        // produce exactly what a sequential run produces.
+        // run_batch_all fans the systems out over threads (and each system
+        // shards its batch); every summary must be bit-identical to a
+        // single-threaded, single-shard run.
         let cfg = SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let batch = query_batch(&bed.workload, cfg.nodes, 20, 2, 2, QueryMix::Range, 0x77);
         let parallel = run_batch_all(&bed.systems, &batch, Metric::Visited);
         for (name, par) in &parallel {
             let sys = bed.systems.iter().find(|s| s.name() == *name).unwrap();
-            let seq = run_batch(sys.as_ref(), &batch, Metric::Visited);
+            let seq = run_batch_sharded(sys.as_ref(), &batch, Metric::Visited, 1);
             assert_eq!(par.count(), seq.count(), "{name}");
-            assert_eq!(par.total(), seq.total(), "{name}");
-            assert_eq!(par.mean(), seq.mean(), "{name}");
+            assert_eq!(par.failures(), seq.failures(), "{name}");
+            assert_eq!(par.total().to_bits(), seq.total().to_bits(), "{name}");
+            assert_eq!(par.mean().to_bits(), seq.mean().to_bits(), "{name}");
+            assert_eq!(par.min().to_bits(), seq.min().to_bits(), "{name}");
+            assert_eq!(par.max().to_bits(), seq.max().to_bits(), "{name}");
+        }
+    }
+
+    #[test]
+    fn sharded_batch_is_bit_identical_for_every_shard_count() {
+        let cfg = SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 15, 3, 3, QueryMix::Range, 0x3A);
+        for sys in &bed.systems {
+            let seq = run_batch_sharded(sys.as_ref(), &batch, Metric::Hops, 1);
+            for shards in [2usize, 3, 4, 7, 16, 64, batch.len(), batch.len() + 5] {
+                let par = run_batch_sharded(sys.as_ref(), &batch, Metric::Hops, shards);
+                let name = sys.name();
+                assert_eq!(par.count(), seq.count(), "{name} shards={shards}");
+                assert_eq!(par.failures(), seq.failures(), "{name} shards={shards}");
+                assert_eq!(par.total().to_bits(), seq.total().to_bits(), "{name} shards={shards}");
+                assert_eq!(par.mean().to_bits(), seq.mean().to_bits(), "{name} shards={shards}");
+                assert_eq!(par.min().to_bits(), seq.min().to_bits(), "{name} shards={shards}");
+                assert_eq!(par.max().to_bits(), seq.max().to_bits(), "{name} shards={shards}");
+            }
         }
     }
 

@@ -8,9 +8,11 @@
 //! contacted-node counts (routing hops + probed directories) against the
 //! closed forms.
 
+use crate::report::Report;
 use crate::setup::TestBed;
 use crate::table::Table;
 use analysis::{self as th, System};
+use dht_core::Summary;
 use grid_resource::{Query, SubQuery, ValueTarget};
 use std::fmt;
 
@@ -24,6 +26,8 @@ pub struct WorstCaseRow {
     pub measured: f64,
     /// Theorem 4.10's closed form.
     pub analysis: f64,
+    /// Queries that returned an error (excluded from `measured`).
+    pub failures: u64,
 }
 
 /// The Theorem 4.10 experiment result.
@@ -31,6 +35,9 @@ pub struct WorstCaseRow {
 pub struct WorstCase {
     /// One row per system.
     pub rows: Vec<WorstCaseRow>,
+    /// Per-system contacted-node summaries (`System::ALL` order) — full
+    /// precision for the JSON export.
+    pub summaries: Vec<(&'static str, Summary)>,
     /// Attributes per query used.
     pub arity: usize,
 }
@@ -42,9 +49,10 @@ pub fn worstcase(bed: &TestBed, arity: usize, queries: usize) -> WorstCase {
     let (dmin, dmax) = bed.workload.space.domain();
     let m = bed.workload.space.len();
     let mut rows = Vec::new();
+    let mut summaries = Vec::new();
     for &s in &System::ALL {
         let sys = bed.system(s);
-        let mut total = 0.0;
+        let mut sum = Summary::new();
         for i in 0..queries {
             // distinct attributes, rotating so different clusters are hit
             let subs = (0..arity)
@@ -55,36 +63,52 @@ pub fn worstcase(bed: &TestBed, arity: usize, queries: usize) -> WorstCase {
                 .collect();
             let q = Query::new(subs).expect("valid range");
             let origin = i % bed.cfg.nodes;
-            if let Ok(out) = sys.query_from(origin, &q) {
-                total += (out.tally.hops + out.tally.visited) as f64;
+            match sys.query_from(origin, &q) {
+                Ok(out) => sum.record((out.tally.hops + out.tally.visited) as f64),
+                Err(_) => sum.record_failure(),
             }
         }
         rows.push(WorstCaseRow {
             system: s.name(),
-            measured: total / queries as f64,
+            measured: sum.mean(),
             analysis: th::worstcase_range_contacted(&p, arity, s),
+            failures: sum.failures(),
         });
+        summaries.push((s.name(), sum));
     }
-    WorstCase { rows, arity }
+    WorstCase { rows, summaries, arity }
 }
 
-impl fmt::Display for WorstCase {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl WorstCase {
+    /// Build the structured report.
+    pub fn report(&self) -> Report {
         let mut t = Table::new(
             format!(
                 "Theorem 4.10: worst-case contacted nodes, full-domain range query (arity {})",
                 self.arity
             ),
-            &["system", "measured", "analysis (T4.10)"],
+            &["system", "measured", "analysis (T4.10)", "failed"],
         );
         for r in &self.rows {
             t.row(vec![
                 r.system.to_string(),
                 Table::fmt_f(r.measured),
                 Table::fmt_f(r.analysis),
+                r.failures.to_string(),
             ]);
         }
-        t.fmt(f)
+        let mut rep = Report::new();
+        rep.table(t);
+        for (name, s) in &self.summaries {
+            rep.summary(*name, s.clone());
+        }
+        rep
+    }
+}
+
+impl fmt::Display for WorstCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report().fmt(f)
     }
 }
 
@@ -104,6 +128,9 @@ mod tests {
         };
         let bed = TestBed::new(cfg);
         let wc = worstcase(&bed, 1, 10);
+        for r in &wc.rows {
+            assert_eq!(r.failures, 0, "{} failed queries on a stable network", r.system);
+        }
         let get = |name: &str| wc.rows.iter().find(|r| r.system == name).expect("row");
         let lorm = get("LORM");
         let mercury = get("Mercury");

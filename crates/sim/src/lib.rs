@@ -23,8 +23,10 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod report;
 pub mod setup;
 pub mod table;
 
+pub use report::Report;
 pub use setup::{build_system, SimConfig, TestBed};
 pub use table::Table;

@@ -40,6 +40,52 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Serialize as a JSON object:
+    /// `{"title": ..., "header": [...], "rows": [[...], ...]}`.
+    pub fn to_json(&self) -> String {
+        use crate::report::json_str;
+        let mut out = String::from("{\"title\":");
+        out.push_str(&json_str(&self.title));
+        out.push_str(",\"header\":[");
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, c) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(c));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Format a float with sensible precision for report tables.
     pub fn fmt_f(x: f64) -> String {
         if !x.is_finite() {
@@ -135,6 +181,22 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("| a-very-long-cell |"));
         assert!(s.contains("|                x |"), "header right-aligns to widest cell");
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let mut t = Table::new("ti\"tle", &["a", "b"]);
+        t.row(vec!["1".into(), "x y".into()]);
+        t.row(vec!["2".into(), "z".into()]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"ti\\\"tle\",\"header\":[\"a\",\"b\"],\
+             \"rows\":[[\"1\",\"x y\"],[\"2\",\"z\"]]}"
+        );
+        assert_eq!(t.title(), "ti\"tle");
+        assert_eq!(t.header(), ["a", "b"]);
+        assert_eq!(t.rows().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset the workspace benches use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter` —
+//! with simple wall-clock median timing and a plain-text report instead
+//! of criterion's statistical machinery. Good enough to keep `cargo
+//! bench` runnable and comparable run-to-run on the same machine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the median of `samples` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up, then size batches so each takes roughly >= 1ms.
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup_start.elapsed();
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 10_000) as u32;
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed() / batch
+            })
+            .collect();
+        per_iter.sort();
+        self.last = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut bencher);
+        self.criterion.report(&self.name, &id.id, bencher.last);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut bencher, input);
+        self.criterion.report(&self.name, &id.id, bencher.last);
+        self
+    }
+
+    /// Finish the group (reporting already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: 20, last: None };
+        f(&mut bencher);
+        self.report("bench", &id.id, bencher.last);
+        self
+    }
+
+    fn report(&mut self, group: &str, id: &str, median: Option<Duration>) {
+        match median {
+            Some(d) => println!("bench {group}/{id}: median {d:?} per iter"),
+            None => println!("bench {group}/{id}: no measurement recorded"),
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("plain", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            ran += 1;
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("chord").id, "chord");
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate: the scoped-thread subset
+//! (`crossbeam::thread::scope`), implemented on `std::thread::scope`.
+//! Since Rust 1.63 the standard library provides scoped threads natively,
+//! so this is a thin signature adapter: crossbeam's `scope` returns a
+//! `Result` and its `spawn` closures receive a `&Scope` argument.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result of joining a (possibly panicked) thread, as in `crossbeam`.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle: threads spawned through it may borrow from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again so it can spawn nested threads (crossbeam's
+        /// signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self
+                    .inner
+                    .spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope. All threads spawned inside are joined (by the
+    /// caller or implicitly) before this returns. Unlike crossbeam, a
+    /// panic in an *unjoined* child propagates instead of turning into
+    /// `Err` — every call site in this workspace joins explicitly.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let res = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .expect("scope");
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let v = super::thread::scope(|scope| {
+            let h = scope.spawn(|s| {
+                let inner = s.spawn(|_| 21u32);
+                inner.join().expect("inner") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(v, 42);
+    }
+}

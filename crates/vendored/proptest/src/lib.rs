@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range / tuple /
+//! vector / `Just` / `prop_map` / weighted-union strategies, a
+//! regex-lite string strategy, `any::<T>()`, and the `prop_assert*!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: failing inputs are **not shrunk** — the
+//! failing case's generated values are printed instead — and case
+//! generation is deterministically seeded from the test's module path so
+//! failures reproduce run-to-run.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assume a precondition: rejects the generated case (does not count as
+/// a failure) when the condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Assert inside a proptest body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal (consumes them; prints both on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+/// Assert two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = ($left, $right);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = ($left, $right);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+/// Weighted choice between strategies producing the same `Value`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests. Parameters are either `name: Type` (sampled
+/// with `any::<Type>()`) or `[mut] name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::proptest!(@parse config, $name, $body; (); (); $($params)*);
+            }
+        )*
+    };
+    // ---- parameter muncher: accumulate (pattern tokens) (strategies) ----
+    (@parse $config:ident, $name:ident, $body:block; ($($pat:tt)*); ($($strat:expr,)*);) => {
+        $crate::proptest!(@run $config, $name, $body; ($($pat)*); ($($strat,)*));
+    };
+    (@parse $config:ident, $name:ident, $body:block; ($($pat:tt)*); ($($strat:expr,)*); mut $x:ident in $s:expr, $($rest:tt)*) => {
+        $crate::proptest!(@parse $config, $name, $body; ($($pat)* mut $x,); ($($strat,)* $s,); $($rest)*);
+    };
+    (@parse $config:ident, $name:ident, $body:block; ($($pat:tt)*); ($($strat:expr,)*); mut $x:ident in $s:expr) => {
+        $crate::proptest!(@parse $config, $name, $body; ($($pat)* mut $x,); ($($strat,)* $s,););
+    };
+    (@parse $config:ident, $name:ident, $body:block; ($($pat:tt)*); ($($strat:expr,)*); $x:ident in $s:expr, $($rest:tt)*) => {
+        $crate::proptest!(@parse $config, $name, $body; ($($pat)* $x,); ($($strat,)* $s,); $($rest)*);
+    };
+    (@parse $config:ident, $name:ident, $body:block; ($($pat:tt)*); ($($strat:expr,)*); $x:ident in $s:expr) => {
+        $crate::proptest!(@parse $config, $name, $body; ($($pat)* $x,); ($($strat,)* $s,););
+    };
+    (@parse $config:ident, $name:ident, $body:block; ($($pat:tt)*); ($($strat:expr,)*); $x:ident : $t:ty, $($rest:tt)*) => {
+        $crate::proptest!(@parse $config, $name, $body; ($($pat)* $x,); ($($strat,)* $crate::strategy::any::<$t>(),); $($rest)*);
+    };
+    (@parse $config:ident, $name:ident, $body:block; ($($pat:tt)*); ($($strat:expr,)*); $x:ident : $t:ty) => {
+        $crate::proptest!(@parse $config, $name, $body; ($($pat)* $x,); ($($strat,)* $crate::strategy::any::<$t>(),););
+    };
+    // ---- runner ----
+    (@run $config:ident, $name:ident, $body:block; ($($pat:tt)*); ($($strat:expr,)*)) => {{
+        let strategies = ($($strat,)*);
+        let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+            module_path!(), "::", stringify!($name)
+        ));
+        let mut passed: u32 = 0;
+        let mut rejects: u32 = 0;
+        while passed < $config.cases {
+            let values = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+            let desc = format!("{:?}", values);
+            #[allow(unused_mut, unused_parens)]
+            let ($($pat)*) = values;
+            let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            match outcome {
+                ::std::result::Result::Ok(()) => passed += 1,
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                    rejects += 1;
+                    if rejects > 10 * $config.cases + 1000 {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} rejects, {} passed)",
+                            stringify!($name), rejects, passed
+                        );
+                    }
+                }
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed after {} passing case(s): {}\n  inputs: {}",
+                        stringify!($name), passed, msg, desc
+                    );
+                }
+            }
+        }
+    }};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}

@@ -1,0 +1,66 @@
+//! Configuration, error channel, and the deterministic test RNG.
+
+use rand::{RngCore, SeedableRng, SmallRng};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required before the test succeeds.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` was not satisfied; try another case.
+    Reject,
+    /// An assertion failed; aborts the whole test.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// RNG handed to strategies. Deterministically seeded per test name so a
+/// failure reproduces on rerun without persisted state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (FNV-1a of the test's module path).
+    pub fn deterministic(label: &str) -> Self {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in label.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        Self {
+            inner: SmallRng::seed_from_u64(hash),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
