@@ -328,7 +328,9 @@ mod tests {
         let small = Params { n: 512, ..p() };
         let large = Params { n: 8192, ..p() };
         // more nodes: bigger gap to system-wide probing
-        assert!(range_visited(&large, 1, System::Mercury) > range_visited(&small, 1, System::Mercury));
+        assert!(
+            range_visited(&large, 1, System::Mercury) > range_visited(&small, 1, System::Mercury)
+        );
         // LORM's range cost is independent of n
         assert_eq!(range_visited(&large, 1, System::Lorm), range_visited(&small, 1, System::Lorm));
         // Chord hops grow logarithmically

@@ -64,13 +64,17 @@ impl CompositeFlat {
         let host = ChordHost::build(n, cfg.seed);
         let hash = ConsistentHash::new(cfg.seed);
         let shift = 64 - cfg.prefix_bits as u32;
-        let segment_base = space
-            .ids()
-            .map(|a| (hash.hash_str(space.name(a)) >> shift) << shift)
-            .collect();
+        let segment_base =
+            space.ids().map(|a| (hash.hash_str(space.name(a)) >> shift) << shift).collect();
         // values map onto the in-segment suffix
         let lph = space.lph(1u64 << shift);
-        Self { host, segment_base, lph, prefix_bits: cfg.prefix_bits, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect() }
+        Self {
+            host,
+            segment_base,
+            lph,
+            prefix_bits: cfg.prefix_bits,
+            phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(),
+        }
     }
 
     /// The composite key of an (attribute, value) pair.
@@ -131,9 +135,7 @@ impl ResourceDiscovery for CompositeFlat {
             tally.hops += route.hops();
             let probed = match hi {
                 None => vec![route.terminal],
-                Some(h) => {
-                    self.host.walk_range(route.terminal, lo_key, self.key_of(sub.attr, h))
-                }
+                Some(h) => self.host.walk_range(route.terminal, lo_key, self.key_of(sub.attr, h)),
             };
             tally.visited += probed.len();
             let mut owners = Vec::new();
@@ -160,13 +162,7 @@ impl ResourceDiscovery for CompositeFlat {
     }
 
     fn join_physical(&mut self, _rng: &mut SmallRng) -> Result<usize, DhtError> {
-        let boot = self
-            .phys_node
-            .iter()
-            .copied()
-            .flatten()
-            .next()
-            .ok_or(DhtError::EmptyOverlay)?;
+        let boot = self.phys_node.iter().copied().flatten().next().ok_or(DhtError::EmptyOverlay)?;
         let idx = self.host.net_mut().join(boot)?;
         self.host.sync_arena();
         let phys = self.phys_node.len();
@@ -250,9 +246,8 @@ mod tests {
             for _ in 0..80 {
                 let q = w.random_query(2, mix, &mut rng);
                 let out = c.query_from(rng.gen_range(0..512), &q).unwrap();
-                let expected = join_owners(
-                    q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect(),
-                );
+                let expected =
+                    join_owners(q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect());
                 let mut got = out.owners.clone();
                 got.sort_unstable();
                 assert_eq!(got, expected, "{mix:?}");
@@ -291,8 +286,7 @@ mod tests {
             ..Default::default()
         };
         let w = Workload::generate(wl_cfg, &mut rng).unwrap();
-        let mut c =
-            CompositeFlat::new(512, &w.space, CompositeConfig { prefix_bits: 4, seed: 7 });
+        let mut c = CompositeFlat::new(512, &w.space, CompositeConfig { prefix_bits: 4, seed: 7 });
         c.place_all(&w.reports);
         let (dmin, dmax) = w.space.domain();
         let mut max_visited = 0usize;

@@ -168,7 +168,8 @@ mod tests {
     #[test]
     fn matches_filter_by_attr_and_value() {
         let mut h = ChordHost::build(16, 3);
-        let root = h.store_at_owner(5, ResourceInfo { attr: AttrId(1), value: 10.0, owner: 4 }).unwrap();
+        let root =
+            h.store_at_owner(5, ResourceInfo { attr: AttrId(1), value: 10.0, owner: 4 }).unwrap();
         h.store_at_owner(5, ResourceInfo { attr: AttrId(2), value: 10.0, owner: 9 }).unwrap();
         let m = h.matches_in(root, AttrId(1), &ValueTarget::Point(10.0));
         assert_eq!(m, vec![4]);

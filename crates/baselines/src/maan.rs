@@ -125,9 +125,11 @@ impl ResourceDiscovery for Maan {
             tally.hops += value_route.hops();
             let probed = match hi {
                 None => vec![value_route.terminal],
-                Some(h) => {
-                    self.host.walk_range(value_route.terminal, self.value_key(lo), self.value_key(h))
-                }
+                Some(h) => self.host.walk_range(
+                    value_route.terminal,
+                    self.value_key(lo),
+                    self.value_key(h),
+                ),
             };
             tally.visited += probed.len();
             let mut owners = Vec::new();
@@ -154,13 +156,7 @@ impl ResourceDiscovery for Maan {
     }
 
     fn join_physical(&mut self, _rng: &mut SmallRng) -> Result<usize, DhtError> {
-        let boot = self
-            .phys_node
-            .iter()
-            .copied()
-            .flatten()
-            .next()
-            .ok_or(DhtError::EmptyOverlay)?;
+        let boot = self.phys_node.iter().copied().flatten().next().ok_or(DhtError::EmptyOverlay)?;
         let idx = self.host.net_mut().join(boot)?;
         self.host.sync_arena();
         let phys = self.phys_node.len();
@@ -174,12 +170,8 @@ impl ResourceDiscovery for Maan {
         // the ring splices it out, so each drained copy can be attributed
         // to the registration (attribute or value) it was stored under.
         let my_id = self.host.net().id_of(node)?;
-        let pred_id = self
-            .host
-            .net()
-            .node(node)?
-            .predecessor()
-            .and_then(|p| self.host.net().id_of(p).ok());
+        let pred_id =
+            self.host.net().node(node)?.predecessor().and_then(|p| self.host.net().id_of(p).ok());
         let handoff = self.host.drain_directory(node);
         self.host.net_mut().leave(node)?;
         self.phys_node[phys] = None;
@@ -288,9 +280,8 @@ mod tests {
             for _ in 0..60 {
                 let q = w.random_query(2, mix, &mut rng);
                 let out = m.query_from(9, &q).unwrap();
-                let expected = join_owners(
-                    q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect(),
-                );
+                let expected =
+                    join_owners(q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect());
                 let mut got = out.owners.clone();
                 got.sort_unstable();
                 assert_eq!(got, expected);

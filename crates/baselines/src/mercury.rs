@@ -124,9 +124,7 @@ impl ResourceDiscovery for Mercury {
             tally.hops += route.hops();
             let probed = match hi {
                 None => vec![route.terminal],
-                Some(h) => {
-                    hub.walk_range(route.terminal, self.value_key(lo), self.value_key(h))
-                }
+                Some(h) => hub.walk_range(route.terminal, self.value_key(lo), self.value_key(h)),
             };
             tally.visited += probed.len();
             let mut owners = Vec::new();
@@ -161,21 +159,14 @@ impl ResourceDiscovery for Mercury {
         let mut per_phys: Vec<f64> = Vec::new();
         for node in self.phys_node.iter() {
             let Some(idx) = node else { continue };
-            let total: usize =
-                self.hubs.iter().map(|h| h.net().outlinks(*idx).unwrap_or(0)).sum();
+            let total: usize = self.hubs.iter().map(|h| h.net().outlinks(*idx).unwrap_or(0)).sum();
             per_phys.push(total as f64);
         }
         LoadDist::new(per_phys)
     }
 
     fn join_physical(&mut self, _rng: &mut SmallRng) -> Result<usize, DhtError> {
-        let boot = self
-            .phys_node
-            .iter()
-            .copied()
-            .flatten()
-            .next()
-            .ok_or(DhtError::EmptyOverlay)?;
+        let boot = self.phys_node.iter().copied().flatten().next().ok_or(DhtError::EmptyOverlay)?;
         let mut new_idx: Option<NodeIdx> = None;
         let mut joined_hubs = 0usize;
         let mut failure: Option<DhtError> = None;
@@ -303,9 +294,8 @@ mod tests {
             for _ in 0..60 {
                 let q = w.random_query(3, mix, &mut rng);
                 let out = m.query_from(5, &q).unwrap();
-                let expected = join_owners(
-                    q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect(),
-                );
+                let expected =
+                    join_owners(q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect());
                 let mut got = out.owners.clone();
                 got.sort_unstable();
                 assert_eq!(got, expected);

@@ -119,13 +119,7 @@ impl ResourceDiscovery for Sword {
     }
 
     fn join_physical(&mut self, _rng: &mut SmallRng) -> Result<usize, DhtError> {
-        let boot = self
-            .phys_node
-            .iter()
-            .copied()
-            .flatten()
-            .next()
-            .ok_or(DhtError::EmptyOverlay)?;
+        let boot = self.phys_node.iter().copied().flatten().next().ok_or(DhtError::EmptyOverlay)?;
         let idx = self.host.net_mut().join(boot)?;
         self.host.sync_arena();
         let phys = self.phys_node.len();
@@ -225,9 +219,8 @@ mod tests {
             for _ in 0..100 {
                 let q = w.random_query(2, mix, &mut rng);
                 let out = s.query_from(7, &q).unwrap();
-                let expected = join_owners(
-                    q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect(),
-                );
+                let expected =
+                    join_owners(q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect());
                 let mut got = out.owners.clone();
                 got.sort_unstable();
                 assert_eq!(got, expected);

@@ -35,8 +35,7 @@ fn bench_register(c: &mut Criterion) {
 }
 
 fn bench_semantic_prefix_query(c: &mut Criterion) {
-    let space =
-        grid_resource::AttributeSpace::from_names(["os"], 1.0, 1e6).expect("valid domain");
+    let space = grid_resource::AttributeSpace::from_names(["os"], 1.0, 1e6).expect("valid domain");
     let os = space.by_name("os").unwrap();
     let codec = SemanticCodec::new(&space);
     let mut sys = Lorm::new(896, &space, LormConfig { dimension: 7, ..Default::default() });

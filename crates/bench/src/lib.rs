@@ -198,8 +198,7 @@ pub fn run_artifact_report(a: Artifact, cfg: &ReproConfig) -> Report {
             fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Hops).report()
         }
         Artifact::Fig6b => {
-            fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Visited)
-                .report()
+            fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Visited).report()
         }
         Artifact::T410 => {
             let bed = TestBed::new(sim_cfg);
@@ -210,8 +209,7 @@ pub fn run_artifact_report(a: Artifact, cfg: &ReproConfig) -> Report {
             // range queries return many matches, so lost directory entries
             // are actually observable as stale answers
             let setup = fig6::ChurnSetup { graceful: false, ..cfg.churn_setup() };
-            let mut rep =
-                fig6::fig6(&sim_cfg, &setup, sim::experiments::Metric::Visited).report();
+            let mut rep = fig6::fig6(&sim_cfg, &setup, sim::experiments::Metric::Visited).report();
             rep.note(
                 "(extension: departures are abrupt failures; stale links and lost \
                  directory entries persist until the next maintenance round)",
@@ -227,13 +225,8 @@ pub fn run_artifact_report(a: Artifact, cfg: &ReproConfig) -> Report {
         Artifact::Latency => {
             let bed = TestBed::new(sim_cfg);
             let queries = if cfg.quick { 60 } else { 300 };
-            sim::experiments::latency::latency(
-                &bed,
-                queries,
-                3,
-                dht_core::LatencyModel::wan(),
-            )
-            .report()
+            sim::experiments::latency::latency(&bed, queries, 3, dht_core::LatencyModel::wan())
+                .report()
         }
         Artifact::Maintenance => {
             sim::experiments::maintenance::registration_cost(&sim_cfg).report()
@@ -280,7 +273,11 @@ pub fn theorem_report(p: &analysis::Params) -> Report {
     let mut t = Table::new(
         format!(
             "Theorems 4.1-4.10 at n = {}, m = {}, k = {}, d = {} (log2 n = {:.0})",
-            p.n, p.m, p.k, p.d, p.log2_n()
+            p.n,
+            p.m,
+            p.k,
+            p.d,
+            p.log2_n()
         ),
         &["theorem", "claim", "value"],
     );
@@ -339,9 +336,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
                 cfg.json = Some(PathBuf::from(&s["--json=".len()..]));
             }
             s if s.starts_with("--seed=") => {
-                cfg.seed = s["--seed=".len()..]
-                    .parse()
-                    .map_err(|_| format!("bad seed in {s:?}"))?;
+                cfg.seed =
+                    s["--seed=".len()..].parse().map_err(|_| format!("bad seed in {s:?}"))?;
             }
             s if s.starts_with("--shards=") => {
                 cfg.shards = s["--shards=".len()..]
@@ -415,8 +411,7 @@ mod tests {
 
     #[test]
     fn parse_quick_and_targets() {
-        let (cfg, arts) =
-            parse_args(["--quick".into(), "fig4".into(), "t410".into()]).unwrap();
+        let (cfg, arts) = parse_args(["--quick".into(), "fig4".into(), "t410".into()]).unwrap();
         assert!(cfg.quick);
         assert_eq!(arts, vec![Artifact::Fig4, Artifact::T410]);
     }

@@ -167,11 +167,7 @@ impl Chord {
     /// First *alive* entry of `idx`'s successor list (node-local view).
     pub fn next_clockwise(&self, idx: NodeIdx) -> Result<NodeIdx, DhtError> {
         let n = self.live_node(idx)?;
-        n.successors
-            .iter()
-            .copied()
-            .find(|&s| self.nodes[s.0].alive)
-            .ok_or(DhtError::EmptyOverlay)
+        n.successors.iter().copied().find(|&s| self.nodes[s.0].alive).ok_or(DhtError::EmptyOverlay)
     }
 
     /// Predecessor pointer if alive (node-local view). Range probes that
@@ -284,8 +280,7 @@ impl Chord {
         let me = self.live_node(idx)?;
         let my_id = me.id;
         // First alive successor-list entry becomes the working successor.
-        let Some(mut succ) = me.successors.iter().copied().find(|&s| self.nodes[s.0].alive)
-        else {
+        let Some(mut succ) = me.successors.iter().copied().find(|&s| self.nodes[s.0].alive) else {
             // Total successor loss: re-bootstrap from ground truth would be
             // cheating; the real protocol falls back to the finger table.
             let fallback = me.fingers.iter().copied().find(|&f| self.nodes[f.0].alive && f != idx);

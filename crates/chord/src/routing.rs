@@ -23,9 +23,7 @@ impl Chord {
             let node = &self.nodes[cur.0];
             // Does `cur` itself own the key? (pred, cur] ∋ key
             if let Some(pred) = node.predecessor {
-                if self.nodes[pred.0].alive
-                    && in_interval_oc(self.nodes[pred.0].id, node.id, key)
-                {
+                if self.nodes[pred.0].alive && in_interval_oc(self.nodes[pred.0].id, node.id, key) {
                     break;
                 }
             }

@@ -50,8 +50,7 @@ impl KeyDeriver {
     ) -> Self {
         let hash = ConsistentHash::new(seed);
         let mask = ((1u64 << dimension) - 1) as u32;
-        let cubical =
-            space.ids().map(|a| (hash.hash_str(space.name(a)) as u32) & mask).collect();
+        let cubical = space.ids().map(|a| (hash.hash_str(space.name(a)) as u32) & mask).collect();
         Self { hash, lph: space.lph(dimension as u64), cubical, dimension, placement }
     }
 

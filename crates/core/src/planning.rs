@@ -79,11 +79,7 @@ impl Lorm {
             tally.matches += next.len();
             survivors = Some(next);
         }
-        Ok(QueryOutcome {
-            tally,
-            owners: survivors.unwrap_or_default(),
-            probed: probed_all,
-        })
+        Ok(QueryOutcome { tally, owners: survivors.unwrap_or_default(), probed: probed_all })
     }
 }
 

@@ -110,9 +110,7 @@ impl SemanticDirectory {
         candidates
             .iter()
             .copied()
-            .filter(|&o| {
-                self.description(attr, o).is_some_and(|d| d.starts_with(prefix))
-            })
+            .filter(|&o| self.description(attr, o).is_some_and(|d| d.starts_with(prefix)))
             .collect()
     }
 }
@@ -161,8 +159,7 @@ mod tests {
         let os = s.by_name("os").unwrap();
         let codec = SemanticCodec::new(&s);
         let mut table = SemanticDirectory::new();
-        let mut grid =
-            Lorm::new(160, &s, LormConfig { dimension: 5, ..LormConfig::default() });
+        let mut grid = Lorm::new(160, &s, LormConfig { dimension: 5, ..LormConfig::default() });
 
         let machines = [
             (1usize, "linux-5.4"),
@@ -191,8 +188,7 @@ mod tests {
         let s = space();
         let os = s.by_name("os").unwrap();
         let codec = SemanticCodec::new(&s);
-        let mut grid =
-            Lorm::new(160, &s, LormConfig { dimension: 5, ..LormConfig::default() });
+        let mut grid = Lorm::new(160, &s, LormConfig { dimension: 5, ..LormConfig::default() });
         let descs = ["linuxmachine-a", "linuxmachine-b", "linuxotherkind"];
         for (i, d) in descs.iter().enumerate() {
             grid.register(ResourceInfo { attr: os, value: codec.encode(d), owner: i }).unwrap();

@@ -77,11 +77,7 @@ impl Lorm {
     }
 
     fn node_of(&self, phys: usize) -> Result<NodeIdx, DhtError> {
-        self.phys_node
-            .get(phys)
-            .copied()
-            .flatten()
-            .ok_or(DhtError::NodeNotFound { index: phys })
+        self.phys_node.get(phys).copied().flatten().ok_or(DhtError::NodeNotFound { index: phys })
     }
 
     fn store(&mut self, node: NodeIdx, info: ResourceInfo) {
@@ -168,7 +164,12 @@ impl Lorm {
         probed
     }
 
-    fn matches_in(&self, node: NodeIdx, attr: grid_resource::AttrId, t: &ValueTarget) -> Vec<usize> {
+    fn matches_in(
+        &self,
+        node: NodeIdx,
+        attr: grid_resource::AttrId,
+        t: &ValueTarget,
+    ) -> Vec<usize> {
         self.directories[node.0].matching_owners(attr, t)
     }
 }
@@ -224,7 +225,6 @@ impl ResourceDiscovery for Lorm {
             let probed = match bounds {
                 None => vec![route.terminal],
                 Some((lo, hi)) => {
-                    
                     match self.keys.placement() {
                         // Proposition 3.1: matching roots are contiguous.
                         Placement::Lph => self.range_walk(route.terminal, lo, hi),
@@ -321,7 +321,8 @@ mod tests {
             ..Default::default()
         };
         let w = Workload::generate(cfg, &mut rng).unwrap();
-        let mut l = Lorm::new(512, &w.space, LormConfig { dimension: 8, seed: 0xD0, ..Default::default() });
+        let mut l =
+            Lorm::new(512, &w.space, LormConfig { dimension: 8, seed: 0xD0, ..Default::default() });
         l.place_all(&w.reports);
         (w, l)
     }
@@ -337,7 +338,11 @@ mod tests {
             ..Default::default()
         };
         let w = Workload::generate(cfg, &mut rng).unwrap();
-        let mut l = Lorm::new(2048, &w.space, LormConfig { dimension: 8, seed: 0xD1, ..Default::default() });
+        let mut l = Lorm::new(
+            2048,
+            &w.space,
+            LormConfig { dimension: 8, seed: 0xD1, ..Default::default() },
+        );
         l.place_all(&w.reports);
         (w, l)
     }

@@ -375,7 +375,9 @@ impl Cycloid {
     pub fn join_with_id(&mut self, id: CycloidId) -> Result<NodeIdx, DhtError> {
         let d = self.cfg.dimension;
         if id.cyclic >= d || (id.cubical as u64) >= (1u64 << d) {
-            return Err(DhtError::InvalidParameter { what: "CycloidId out of range for dimension" });
+            return Err(DhtError::InvalidParameter {
+                what: "CycloidId out of range for dimension",
+            });
         }
         if self.slots[id.slot(d)].is_some() {
             return Err(DhtError::IdSpaceExhausted);
@@ -489,8 +491,7 @@ mod tests {
     fn outlinks_do_not_grow_with_network_size() {
         let avg = |c: &Cycloid| {
             let nodes = c.live_nodes();
-            nodes.iter().map(|&i| c.outlinks(i).unwrap()).sum::<usize>() as f64
-                / nodes.len() as f64
+            nodes.iter().map(|&i| c.outlinks(i).unwrap()).sum::<usize>() as f64 / nodes.len() as f64
         };
         let small = net(5 * 32, 5); // d=5
         let large = net(2048, 8); // d=8

@@ -33,7 +33,11 @@ enum Hop {
 }
 
 impl Cycloid {
-    pub(crate) fn route_from(&self, from: NodeIdx, key: CycloidId) -> Result<RouteResult, DhtError> {
+    pub(crate) fn route_from(
+        &self,
+        from: NodeIdx,
+        key: CycloidId,
+    ) -> Result<RouteResult, DhtError> {
         self.live_node(from)?;
         let d = self.dimension();
         let budget = 8 * d as usize + 32;
@@ -75,7 +79,12 @@ impl Cycloid {
     /// Decide the next hop from `cur` towards `key` using only `cur`'s
     /// local state. `None` means `cur` keeps the message (it is the local
     /// minimum, i.e. the root when links are fresh).
-    fn next_hop(&self, cur: NodeIdx, key: CycloidId, last_ascend_cd: &mut Option<u32>) -> Option<Hop> {
+    fn next_hop(
+        &self,
+        cur: NodeIdx,
+        key: CycloidId,
+        last_ascend_cd: &mut Option<u32>,
+    ) -> Option<Hop> {
         let d = self.dimension();
         let n = &self.nodes[cur.0];
         let my_cd = CycloidId::cluster_dist(n.id.cubical, key.cubical, d);
@@ -83,7 +92,8 @@ impl Cycloid {
             return self.traverse_step(cur, key.cyclic).map(Hop::Forward);
         }
         let alive = |x: &NodeIdx| self.nodes[x.0].alive && *x != cur;
-        let cd_of = |x: NodeIdx| CycloidId::cluster_dist(self.nodes[x.0].id.cubical, key.cubical, d);
+        let cd_of =
+            |x: NodeIdx| CycloidId::cluster_dist(self.nodes[x.0].id.cubical, key.cubical, d);
 
         // Rule 1: any link landing in the target cluster wins outright;
         // among several, pick the one closest to the key's cyclic position

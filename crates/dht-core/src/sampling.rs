@@ -82,7 +82,9 @@ impl BoundedPareto {
             return Err(DhtError::InvalidParameter { what: "BoundedPareto low must be > 0" });
         }
         if !(low < high) || !high.is_finite() {
-            return Err(DhtError::InvalidParameter { what: "BoundedPareto requires low < high < inf" });
+            return Err(DhtError::InvalidParameter {
+                what: "BoundedPareto requires low < high < inf",
+            });
         }
         let norm = 1.0 - (low / high).powf(alpha);
         Ok(Self { alpha, low, high, norm })

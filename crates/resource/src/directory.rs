@@ -59,9 +59,7 @@ impl Directory {
     /// probed node performs.
     pub fn matching_owners(&self, attr: AttrId, target: &ValueTarget) -> Vec<usize> {
         match self.by_attr.get(&attr.0) {
-            Some(v) => {
-                v.iter().filter(|r| target.matches(r.value)).map(|r| r.owner).collect()
-            }
+            Some(v) => v.iter().filter(|r| target.matches(r.value)).map(|r| r.owner).collect(),
             None => Vec::new(),
         }
     }

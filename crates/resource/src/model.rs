@@ -57,7 +57,11 @@ impl AttributeSpace {
         if !(min.is_finite() && max.is_finite()) || min >= max {
             return Err(DhtError::InvalidRange { low: min, high: max });
         }
-        Ok(Self { names: names.into_iter().map(Into::into).collect(), domain_min: min, domain_max: max })
+        Ok(Self {
+            names: names.into_iter().map(Into::into).collect(),
+            domain_min: min,
+            domain_max: max,
+        })
     }
 
     /// Number of attributes (`m`).

@@ -120,7 +120,9 @@ impl Workload {
     /// shape).
     pub fn generate<R: Rng + ?Sized>(cfg: WorkloadConfig, rng: &mut R) -> Result<Self, DhtError> {
         if cfg.num_attrs == 0 || cfg.values_per_attr == 0 || cfg.num_nodes == 0 {
-            return Err(DhtError::InvalidParameter { what: "workload dimensions must be positive" });
+            return Err(DhtError::InvalidParameter {
+                what: "workload dimensions must be positive",
+            });
         }
         // Value domain [1, k] so the grid has k integer points, matching
         // "each attribute had k = 500 values".
@@ -224,7 +226,9 @@ impl ValueSampler {
     fn new(space: &AttributeSpace, dist: ValueDist) -> Result<Self, DhtError> {
         let (min, max) = space.domain();
         let pareto = match dist {
-            ValueDist::BoundedPareto { alpha } => Some(BoundedPareto::new(alpha, min.max(f64::MIN_POSITIVE), max)?),
+            ValueDist::BoundedPareto { alpha } => {
+                Some(BoundedPareto::new(alpha, min.max(f64::MIN_POSITIVE), max)?)
+            }
             ValueDist::Uniform => None,
         };
         Ok(Self { dist, pareto, min, max })
@@ -252,7 +256,12 @@ mod tests {
     }
 
     fn small_cfg() -> WorkloadConfig {
-        WorkloadConfig { num_attrs: 20, values_per_attr: 50, num_nodes: 100, ..WorkloadConfig::default() }
+        WorkloadConfig {
+            num_attrs: 20,
+            values_per_attr: 50,
+            num_nodes: 100,
+            ..WorkloadConfig::default()
+        }
     }
 
     #[test]
@@ -303,10 +312,8 @@ mod tests {
 
     #[test]
     fn pareto_dist_skews_low() {
-        let cfg = WorkloadConfig {
-            value_dist: ValueDist::BoundedPareto { alpha: 1.0 },
-            ..small_cfg()
-        };
+        let cfg =
+            WorkloadConfig { value_dist: ValueDist::BoundedPareto { alpha: 1.0 }, ..small_cfg() };
         let w = Workload::generate(cfg, &mut rng()).unwrap();
         let low_half = w.reports.iter().filter(|r| r.value <= 25.0).count();
         assert!(low_half as f64 > 0.8 * w.reports.len() as f64);

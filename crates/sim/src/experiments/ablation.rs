@@ -18,12 +18,14 @@
 use crate::report::Report;
 use crate::setup::SimConfig;
 use crate::table::Table;
+use baselines::{CompositeConfig, CompositeFlat};
 use chord::{Chord, ChordConfig};
 use cycloid::{Cycloid, CycloidConfig, CycloidId};
 use dht_core::{Overlay, SeedSpawner, Summary};
-use grid_resource::{AttrPopularity, QueryMix, ResourceDiscovery, ValueDist, Workload, WorkloadConfig};
-use baselines::{CompositeConfig, CompositeFlat};
 use grid_resource::ValueTarget;
+use grid_resource::{
+    AttrPopularity, QueryMix, ResourceDiscovery, ValueDist, Workload, WorkloadConfig,
+};
 use lorm::{Lorm, LormConfig, Placement, QueryPlan};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -78,7 +80,9 @@ pub fn ablate_placement(cfg: &SimConfig, queries: usize) -> Ablation {
     let workload =
         Workload::generate(cfg.workload_config(), &mut seeds.labelled(1)).expect("valid config");
     let mut rows = Vec::new();
-    for (label, placement) in [("LPH (paper)", Placement::Lph), ("hashed (ablation)", Placement::Hashed)] {
+    for (label, placement) in
+        [("LPH (paper)", Placement::Lph), ("hashed (ablation)", Placement::Hashed)]
+    {
         let mut sys = Lorm::new(
             cfg.nodes,
             &workload.space,
@@ -220,8 +224,7 @@ pub fn ablate_dimension(dims: &[u8], lookups: usize, seed: u64) -> Ablation {
                 hops.record(route.hops() as f64);
             }
         }
-        let links: usize =
-            net.live_nodes().iter().map(|&i| net.outlinks(i).unwrap_or(0)).sum();
+        let links: usize = net.live_nodes().iter().map(|&i| net.outlinks(i).unwrap_or(0)).sum();
         rows.push(AblationRow {
             setting: format!("d = {d} (n = {n})"),
             values: vec![
@@ -253,7 +256,9 @@ pub fn ablate_query_plan(cfg: &SimConfig, queries: usize, arity: usize) -> Ablat
     );
     sys.place_all(&workload.reports);
     let mut rows = Vec::new();
-    for (label, plan) in [("parallel (paper)", QueryPlan::Parallel), ("sequential", QueryPlan::Sequential)] {
+    for (label, plan) in
+        [("parallel (paper)", QueryPlan::Parallel), ("sequential", QueryPlan::Sequential)]
+    {
         let mut rng = seeds.labelled(2);
         let mut matches = Summary::new();
         let mut lookups = Summary::new();
@@ -458,7 +463,8 @@ mod tests {
 
     #[test]
     fn attr_popularity_skew_hits_sword_hardest() {
-        let cfg = SimConfig { nodes: 384, dimension: 6, attrs: 15, values: 40, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 15, values: 40, ..SimConfig::default() };
         let ab = ablate_attr_popularity(&cfg, 150);
         assert_eq!(ab.rows.len(), 3);
         // SWORD's hotspot (column index 2) grows sharply under zipf 1.5
@@ -476,7 +482,8 @@ mod tests {
 
     #[test]
     fn query_plan_ablation_shows_transfer_savings() {
-        let cfg = SimConfig { nodes: 384, dimension: 6, attrs: 15, values: 40, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 15, values: 40, ..SimConfig::default() };
         let ab = ablate_query_plan(&cfg, 100, 4);
         let parallel_shipped = ab.rows[0].values[0];
         let sequential_shipped = ab.rows[1].values[0];
@@ -490,7 +497,8 @@ mod tests {
 
     #[test]
     fn flat_lorm_ablation_shows_what_hierarchy_buys() {
-        let cfg = SimConfig { nodes: 896, dimension: 7, attrs: 25, values: 60, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 896, dimension: 7, attrs: 25, values: 60, ..SimConfig::default() };
         let ab = ablate_flat_lorm(&cfg, 150);
         let lorm = &ab.rows[0].values;
         let flat = &ab.rows[1].values;

@@ -59,17 +59,14 @@ pub fn fig3a(dimensions: &[u8], attrs: usize, seed: u64) -> Fig3a {
                     ..ChordConfig::default()
                 },
             );
-            let total: usize =
-                net.live_nodes().iter().map(|&i| net.outlinks(i).unwrap_or(0)).sum();
+            let total: usize = net.live_nodes().iter().map(|&i| net.outlinks(i).unwrap_or(0)).sum();
             total as f64 / n as f64
         };
         let mercury_avg: f64 = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let hub_avg = &hub_avg;
-                    scope.spawn(move |_| {
-                        (w..attrs).step_by(workers).map(hub_avg).sum::<f64>()
-                    })
+                    scope.spawn(move |_| (w..attrs).step_by(workers).map(hub_avg).sum::<f64>())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("hub worker")).sum()
@@ -318,9 +315,7 @@ mod tests {
         let cfg = SimConfig { nodes: 2048, attrs: 40, values: 100, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let fig = fig3_directories(&bed);
-        let get = |label: &str| {
-            fig.measured.iter().find(|r| r.label == label).expect("row")
-        };
+        let get = |label: &str| fig.measured.iter().find(|r| r.label == label).expect("row");
         let lorm = get("LORM");
         let maan = get("MAAN");
         let sword = get("SWORD");

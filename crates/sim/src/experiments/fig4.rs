@@ -44,7 +44,12 @@ pub struct Fig4 {
 }
 
 /// Run the Figure 4 experiment on a mounted test bed.
-pub fn fig4(bed: &TestBed, arities: impl IntoIterator<Item = usize>, origins: usize, per_origin: usize) -> Fig4 {
+pub fn fig4(
+    bed: &TestBed,
+    arities: impl IntoIterator<Item = usize>,
+    origins: usize,
+    per_origin: usize,
+) -> Fig4 {
     let p = bed.cfg.params();
     let mut rows = Vec::new();
     let mut summaries: Vec<(&'static str, Summary)> =
@@ -134,13 +139,8 @@ mod tests {
     #[test]
     fn fig4_reproduces_hop_ordering() {
         // Scaled-down bed (full clusters: n = d·2^d with d = 7).
-        let cfg = SimConfig {
-            nodes: 896,
-            attrs: 30,
-            values: 60,
-            dimension: 7,
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { nodes: 896, attrs: 30, values: 60, dimension: 7, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let fig = fig4(&bed, [1, 5], 30, 5);
         assert_eq!(fig.rows.len(), 2);
@@ -164,13 +164,8 @@ mod tests {
 
     #[test]
     fn analysis_columns_are_derived_from_measured_maan() {
-        let cfg = SimConfig {
-            nodes: 384,
-            dimension: 6,
-            attrs: 10,
-            values: 30,
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let fig = fig4(&bed, [2], 10, 3);
         let r = &fig.rows[0];

@@ -124,13 +124,8 @@ mod tests {
 
     #[test]
     fn fig5_reproduces_visited_ordering() {
-        let cfg = SimConfig {
-            nodes: 896,
-            attrs: 30,
-            values: 60,
-            dimension: 7,
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { nodes: 896, attrs: 30, values: 60, dimension: 7, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let fig = fig5(&bed, [1, 4], 60);
         for r in &fig.rows {
@@ -159,13 +154,8 @@ mod tests {
 
     #[test]
     fn analysis_totals_are_closed_form_times_batch_size() {
-        let cfg = SimConfig {
-            nodes: 384,
-            dimension: 6,
-            attrs: 8,
-            values: 20,
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 8, values: 20, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let fig = fig5(&bed, [2], 25);
         let r = &fig.rows[0];

@@ -128,15 +128,16 @@ pub fn run_churn_one(
     let mut event_iter = schedule.events().iter().peekable();
     let mut next_maintenance = setup.maintenance_period;
     let mut max_phys = sys.num_physical();
-    let pick_live = |sys: &(dyn ResourceDiscovery + Send + Sync), max: usize, rng: &mut SmallRng| {
-        for _ in 0..64 {
-            let p = rng.gen_range(0..max);
-            if sys.is_live(p) {
-                return Some(p);
+    let pick_live =
+        |sys: &(dyn ResourceDiscovery + Send + Sync), max: usize, rng: &mut SmallRng| {
+            for _ in 0..64 {
+                let p = rng.gen_range(0..max);
+                if sys.is_live(p) {
+                    return Some(p);
+                }
             }
-        }
-        None
-    };
+            None
+        };
     for i in 0..setup.requests {
         let now = (i + 1) as f64 / setup.request_rate;
         // apply all churn events up to `now`
@@ -257,9 +258,8 @@ pub fn fig6(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric) -> Fig6 {
             }
         })
         .expect("crossbeam scope");
-        let cell_of = |s: System| {
-            cells.iter().find(|(x, _)| *x == s).map(|(_, c)| c.clone()).expect("cell")
-        };
+        let cell_of =
+            |s: System| cells.iter().find(|(x, _)| *x == s).map(|(_, c)| c.clone()).expect("cell");
         let analysis = System::ALL.map(|s| match metric {
             Metric::Hops => th::nonrange_hops(&p, setup.arity, s),
             Metric::Visited => th::range_visited(&p, setup.arity, s),
@@ -298,14 +298,24 @@ impl Fig6 {
         };
         let mut t = Table::new(
             title,
-            &["R", "LORM", "Mercury", "SWORD", "MAAN", "An-LORM", "An-Mercury", "An-SWORD", "An-MAAN", "failures", "stale%"],
+            &[
+                "R",
+                "LORM",
+                "Mercury",
+                "SWORD",
+                "MAAN",
+                "An-LORM",
+                "An-Mercury",
+                "An-SWORD",
+                "An-MAAN",
+                "failures",
+                "stale%",
+            ],
         );
         for r in &self.rows {
             let total_failures: usize = r.cells.iter().map(|c| c.failures).sum();
-            let (stale, sampled) = r
-                .cells
-                .iter()
-                .fold((0usize, 0usize), |(s, n), c| (s + c.stale, n + c.sampled));
+            let (stale, sampled) =
+                r.cells.iter().fold((0usize, 0usize), |(s, n), c| (s + c.stale, n + c.sampled));
             t.row(vec![
                 format!("{:.1}", r.rate),
                 Table::fmt_f(r.cells[0].avg),
@@ -317,7 +327,11 @@ impl Fig6 {
                 Table::fmt_f(r.analysis[2]),
                 Table::fmt_f(r.analysis[3]),
                 total_failures.to_string(),
-                Table::fmt_f(if sampled == 0 { 0.0 } else { 100.0 * stale as f64 / sampled as f64 }),
+                Table::fmt_f(if sampled == 0 {
+                    0.0
+                } else {
+                    100.0 * stale as f64 / sampled as f64
+                }),
             ]);
         }
         let mut rep = Report::new();
@@ -380,10 +394,6 @@ mod tests {
         let mut sys = build_system(System::Sword, &workload, &cfg);
         let cell = run_churn_one(sys.as_mut(), &workload, &schedule, &setup, Metric::Hops, 6);
         let expect = 3.0 * (384.0f64).log2() / 2.0;
-        assert!(
-            (cell.avg - expect).abs() < expect * 0.35,
-            "avg {} vs analysis {expect}",
-            cell.avg
-        );
+        assert!((cell.avg - expect).abs() < expect * 0.35, "avg {} vs analysis {expect}", cell.avg);
     }
 }

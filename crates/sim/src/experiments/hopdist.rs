@@ -72,14 +72,9 @@ impl HopDist {
             &["system", "mode", "p50", "p90", "p99", "max seen"],
         );
         for (name, h) in &self.hists {
-            let fmt_q = |q: f64| {
-                h.quantile(q).map_or("-".to_string(), |x| x.to_string())
-            };
-            let max_seen = h
-                .entries()
-                .filter_map(|(x, _)| x)
-                .max()
-                .map_or("-".to_string(), |x| x.to_string());
+            let fmt_q = |q: f64| h.quantile(q).map_or("-".to_string(), |x| x.to_string());
+            let max_seen =
+                h.entries().filter_map(|(x, _)| x).max().map_or("-".to_string(), |x| x.to_string());
             t.row(vec![
                 name.to_string(),
                 h.mode().map_or("-".to_string(), |x| x.to_string()),
@@ -139,12 +134,11 @@ mod tests {
 
     #[test]
     fn distributions_have_the_expected_centers() {
-        let cfg = SimConfig { nodes: 896, dimension: 7, attrs: 20, values: 50, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 896, dimension: 7, attrs: 20, values: 50, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let dist = hop_distribution(&bed, 400);
-        let get = |n: &str| {
-            &dist.hists.iter().find(|(name, _)| *name == n).expect("hist").1
-        };
+        let get = |n: &str| &dist.hists.iter().find(|(name, _)| *name == n).expect("hist").1;
         // Chord median ~ log2(896)/2 ≈ 5
         let sword_p50 = get("SWORD").quantile(0.5).unwrap();
         assert!((4..=7).contains(&sword_p50), "SWORD p50 {sword_p50}");

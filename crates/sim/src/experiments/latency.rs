@@ -55,11 +55,8 @@ pub struct Latency {
 }
 
 fn stats(label: impl Into<String>, samples: Vec<f64>) -> LatencyRow {
-    let mean = if samples.is_empty() {
-        0.0
-    } else {
-        samples.iter().sum::<f64>() / samples.len() as f64
-    };
+    let mean =
+        if samples.is_empty() { 0.0 } else { samples.iter().sum::<f64>() / samples.len() as f64 };
     let p = Percentiles::from_samples(samples);
     LatencyRow {
         label: label.into(),
@@ -170,7 +167,8 @@ mod tests {
 
     #[test]
     fn latency_ordering_follows_probe_counts() {
-        let cfg = SimConfig { nodes: 896, dimension: 7, attrs: 20, values: 50, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 896, dimension: 7, attrs: 20, values: 50, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let lat = latency(&bed, 60, 3, LatencyModel::Constant { ms: 10.0 });
         let get = |n: &str| lat.systems.iter().find(|r| r.label == n).expect("row");
@@ -188,7 +186,8 @@ mod tests {
 
     #[test]
     fn constant_model_makes_latency_proportional_to_hops() {
-        let cfg = SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let a = latency(&bed, 30, 1, LatencyModel::Constant { ms: 10.0 });
         let b = latency(&bed, 30, 1, LatencyModel::Constant { ms: 20.0 });

@@ -159,10 +159,7 @@ pub enum Metric {
     Visited,
 }
 
-pub(crate) fn summary_of<'a>(
-    rows: &'a [(&'static str, Summary)],
-    s: System,
-) -> &'a Summary {
+pub(crate) fn summary_of<'a>(rows: &'a [(&'static str, Summary)], s: System) -> &'a Summary {
     rows.iter().find(|(n, _)| *n == s.name()).map(|(_, x)| x).expect("system measured")
 }
 
@@ -176,7 +173,8 @@ mod tests {
         // run_batch_all fans the systems out over threads (and each system
         // shards its batch); every summary must be bit-identical to a
         // single-threaded, single-shard run.
-        let cfg = SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let batch = query_batch(&bed.workload, cfg.nodes, 20, 2, 2, QueryMix::Range, 0x77);
         let parallel = run_batch_all(&bed.systems, &batch, Metric::Visited);
@@ -194,7 +192,8 @@ mod tests {
 
     #[test]
     fn sharded_batch_is_bit_identical_for_every_shard_count() {
-        let cfg = SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let batch = query_batch(&bed.workload, cfg.nodes, 15, 3, 3, QueryMix::Range, 0x3A);
         for sys in &bed.systems {
@@ -214,7 +213,8 @@ mod tests {
 
     #[test]
     fn query_batch_is_deterministic_and_sized() {
-        let cfg = SimConfig { nodes: 128, dimension: 6, attrs: 8, values: 20, ..SimConfig::default() };
+        let cfg =
+            SimConfig { nodes: 128, dimension: 6, attrs: 8, values: 20, ..SimConfig::default() };
         let bed = TestBed::with_systems(cfg, &[]);
         let a = query_batch(&bed.workload, cfg.nodes, 5, 3, 2, QueryMix::NonRange, 9);
         let b = query_batch(&bed.workload, cfg.nodes, 5, 3, 2, QueryMix::NonRange, 9);

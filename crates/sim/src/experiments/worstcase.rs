@@ -119,13 +119,8 @@ mod tests {
 
     #[test]
     fn worst_case_matches_theorem_shape() {
-        let cfg = SimConfig {
-            nodes: 896,
-            attrs: 20,
-            values: 50,
-            dimension: 7,
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { nodes: 896, attrs: 20, values: 50, dimension: 7, ..SimConfig::default() };
         let bed = TestBed::new(cfg);
         let wc = worstcase(&bed, 1, 10);
         for r in &wc.rows {

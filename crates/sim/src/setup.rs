@@ -106,8 +106,7 @@ impl TestBed {
         let mut wl_rng = seeds.labelled(0xA0);
         let workload =
             Workload::generate(cfg.workload_config(), &mut wl_rng).expect("valid workload config");
-        let systems =
-            System::ALL.iter().map(|&s| build_system(s, &workload, &cfg)).collect();
+        let systems = System::ALL.iter().map(|&s| build_system(s, &workload, &cfg)).collect();
         Self { cfg, workload, systems, seeds }
     }
 

@@ -18,16 +18,13 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let workload = Workload::generate(cfg, &mut rng).unwrap();
-    let mut grid = Lorm::new(700, &workload.space, LormConfig { dimension: 7, ..Default::default() });
+    let mut grid =
+        Lorm::new(700, &workload.space, LormConfig { dimension: 7, ..Default::default() });
     grid.place_all(&workload.reports);
 
     // R = 0.4: one join and one departure every 2.5 s on average.
     let schedule = ChurnSchedule::generate(0.4, 300.0, &mut rng);
-    println!(
-        "churn schedule: {} events over 300 s (R = {})",
-        schedule.len(),
-        schedule.rate()
-    );
+    println!("churn schedule: {} events over 300 s (R = {})", schedule.len(), schedule.rate());
 
     let mut events = schedule.events().iter().peekable();
     let mut ok = 0usize;

@@ -49,19 +49,16 @@ fn main() {
     let from = ch.random_node(&mut rng).unwrap();
     let target: u64 = rng.gen();
     let route = ch.route(from, target).unwrap();
-    println!("\nChord (2048 nodes): route id {:#018x} -> key {target:#018x}", ch.id_of(from).unwrap());
+    println!(
+        "\nChord (2048 nodes): route id {:#018x} -> key {target:#018x}",
+        ch.id_of(from).unwrap()
+    );
     let mut cur_id = ch.id_of(from).unwrap();
     for (i, &hop) in route.path.iter().enumerate() {
         let id = ch.id_of(hop).unwrap();
         let closed = dht_core::clockwise_dist(cur_id, target);
         let after = dht_core::clockwise_dist(id, target);
-        println!(
-            "  hop {:>2}: {:#018x}  (distance {:>20} -> {:>20})",
-            i + 1,
-            id,
-            closed,
-            after
-        );
+        println!("  hop {:>2}: {:#018x}  (distance {:>20} -> {:>20})", i + 1, id, closed, after);
         cur_id = id;
     }
     println!(

@@ -97,13 +97,7 @@ fn queries_between_maintenance_rounds_stay_exact_under_graceful_churn() {
     // *without* a global stabilize, point lookups should keep terminating
     // (possibly at a node that hasn't received the re-reported data yet —
     // hence we only require no routing errors here, not completeness).
-    let cfg = SimConfig {
-        nodes: 700,
-        dimension: 7,
-        attrs: 15,
-        values: 40,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig { nodes: 700, dimension: 7, attrs: 15, values: 40, ..SimConfig::default() };
     let mut rng = SmallRng::seed_from_u64(0xBEE);
     let workload = Workload::generate(cfg.workload_config(), &mut rng).unwrap();
     let mut sys = build_system(System::Lorm, &workload, &cfg);

@@ -23,13 +23,7 @@ fn brute_force(w: &Workload, q: &Query) -> Vec<usize> {
 }
 
 fn bed() -> TestBed {
-    let cfg = SimConfig {
-        nodes: 896,
-        dimension: 7,
-        attrs: 40,
-        values: 80,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig { nodes: 896, dimension: 7, attrs: 40, values: 80, ..SimConfig::default() };
     TestBed::new(cfg)
 }
 

@@ -7,13 +7,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn cfg() -> SimConfig {
-    SimConfig {
-        nodes: 896,
-        dimension: 7,
-        attrs: 20,
-        values: 50,
-        ..SimConfig::default()
-    }
+    SimConfig { nodes: 896, dimension: 7, attrs: 20, values: 50, ..SimConfig::default() }
 }
 
 fn brute(w: &Workload, q: &Query) -> Vec<usize> {
@@ -69,11 +63,7 @@ fn queries_never_error_and_never_fabricate_after_failures() {
                 // be a SUBSET of the truth — never fabricated
                 let truth = brute(&workload, &q);
                 for o in &out.owners {
-                    assert!(
-                        truth.contains(o),
-                        "{}: fabricated owner {o} for {q:?}",
-                        sys.name()
-                    );
+                    assert!(truth.contains(o), "{}: fabricated owner {o} for {q:?}", sys.name());
                 }
             }
         }

@@ -12,13 +12,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn cfg() -> SimConfig {
-    SimConfig {
-        nodes: 896,
-        dimension: 7,
-        attrs: 20,
-        values: 50,
-        ..SimConfig::default()
-    }
+    SimConfig { nodes: 896, dimension: 7, attrs: 20, values: 50, ..SimConfig::default() }
 }
 
 fn loads_snapshot(sys: &(dyn ResourceDiscovery + Send + Sync)) -> Vec<u64> {

@@ -8,13 +8,8 @@ use rand::{Rng, SeedableRng};
 
 /// Full d = 7 Cycloid, 30 attributes, 100 values.
 fn bed() -> TestBed {
-    let cfg = SimConfig {
-        nodes: 896,
-        dimension: 7,
-        attrs: 30,
-        values: 100,
-        ..SimConfig::default()
-    };
+    let cfg =
+        SimConfig { nodes: 896, dimension: 7, attrs: 30, values: 100, ..SimConfig::default() };
     TestBed::new(cfg)
 }
 
@@ -122,10 +117,7 @@ fn t4_7_t4_8_nonrange_hop_ratios() {
     // constant slightly above the idealized d).
     let want = analysis::t47_maan_over_lorm_hops(&p);
     let got = totals["MAAN"] as f64 / totals["LORM"] as f64;
-    assert!(
-        got > want * 0.6 && got < want * 1.6,
-        "MAAN/LORM hop ratio {got} vs theorem {want}"
-    );
+    assert!(got > want * 0.6 && got < want * 1.6, "MAAN/LORM hop ratio {got} vs theorem {want}");
 }
 
 #[test]
