@@ -20,16 +20,12 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self {
-            id: format!("{}/{}", function_name.into(), parameter),
-        }
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self {
-            id: parameter.to_string(),
-        }
+        Self { id: parameter.to_string() }
     }
 }
 
@@ -59,8 +55,8 @@ impl Bencher {
         let warmup_start = Instant::now();
         std::hint::black_box(routine());
         let once = warmup_start.elapsed();
-        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1))
-            .clamp(1, 10_000) as u32;
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32;
 
         let mut per_iter: Vec<Duration> = (0..self.samples)
             .map(|_| {
@@ -96,10 +92,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher {
-            samples: self.sample_size,
-            last: None,
-        };
+        let mut bencher = Bencher { samples: self.sample_size, last: None };
         f(&mut bencher);
         self.criterion.report(&self.name, &id.id, bencher.last);
         self
@@ -116,10 +109,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut bencher = Bencher {
-            samples: self.sample_size,
-            last: None,
-        };
+        let mut bencher = Bencher { samples: self.sample_size, last: None };
         f(&mut bencher, input);
         self.criterion.report(&self.name, &id.id, bencher.last);
         self
@@ -136,11 +126,7 @@ pub struct Criterion {}
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.into(),
-            criterion: self,
-            sample_size: 20,
-        }
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 20 }
     }
 
     /// Run one ungrouped benchmark.

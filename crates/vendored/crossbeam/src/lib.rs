@@ -34,11 +34,7 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner_scope = self.inner;
-            ScopedJoinHandle {
-                inner: self
-                    .inner
-                    .spawn(move || f(&Scope { inner: inner_scope })),
-            }
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })) }
         }
     }
 

@@ -21,7 +21,9 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// The `prop::` namespace (`prop::collection::vec(...)`).
     pub mod prop {

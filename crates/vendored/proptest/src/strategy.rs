@@ -294,10 +294,7 @@ mod tests {
 
     #[test]
     fn union_respects_zero_weight_exclusion() {
-        let strat = Union::new(vec![
-            (1, Just(1u32).boxed()),
-            (3, Just(2u32).boxed()),
-        ]);
+        let strat = Union::new(vec![(1, Just(1u32).boxed()), (3, Just(2u32).boxed())]);
         let mut r = rng();
         let mut counts = [0u32; 3];
         for _ in 0..4000 {

@@ -53,9 +53,7 @@ impl TestRng {
             hash ^= byte as u64;
             hash = hash.wrapping_mul(0x100000001b3);
         }
-        Self {
-            inner: SmallRng::seed_from_u64(hash),
-        }
+        Self { inner: SmallRng::seed_from_u64(hash) }
     }
 }
 
