@@ -177,8 +177,8 @@ impl ResourceDiscovery for Maan {
         self.phys_node[phys] = None;
         // A piece stored under both keys appears twice in the handoff;
         // alternate attribution so exactly one copy lands under each key.
-        let mut attr_placed: std::collections::HashSet<(u32, u64, usize)> =
-            std::collections::HashSet::new();
+        let mut attr_placed: std::collections::BTreeSet<(u32, u64, usize)> =
+            std::collections::BTreeSet::new();
         for info in handoff {
             let ak = self.attr_key(info.attr);
             let vk = self.value_key(info.value);

@@ -1,4 +1,5 @@
 //! Regenerate the paper's tables and figures. See `bench` crate docs.
+#![allow(clippy::print_stdout)] // terminal output is this binary's UI
 
 use bench::{parse_args, render_json, run_artifact_report, ArtifactRun};
 

@@ -4,7 +4,7 @@ use crate::node::{ChordNode, FINGER_BITS};
 use dht_core::{ConsistentHash, DhtError, NodeIdx, Overlay, RouteResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Construction parameters for a [`Chord`] overlay.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +45,7 @@ pub struct Chord {
     /// Live node indices sorted by ring id — ground truth for `owner_of`
     /// and for fast bulk construction. Never consulted by routing.
     sorted: Vec<NodeIdx>,
-    used_ids: HashSet<u64>,
+    used_ids: BTreeSet<u64>,
     rng: SmallRng,
 }
 
@@ -56,7 +56,7 @@ impl Chord {
             nodes: Vec::new(),
             cfg,
             sorted: Vec::new(),
-            used_ids: HashSet::new(),
+            used_ids: BTreeSet::new(),
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xC0FFEE),
         }
     }
@@ -107,6 +107,10 @@ impl Chord {
         self.used_ids.insert(id);
         let pos = self.sorted.partition_point(|&j| self.nodes[j.0].id < id);
         self.sorted.insert(pos, idx);
+        debug_assert!(
+            self.sorted.windows(2).all(|w| self.nodes[w[0].0].id < self.nodes[w[1].0].id),
+            "sorted ring order broken by insert"
+        );
         idx
     }
 
@@ -118,6 +122,10 @@ impl Chord {
         if n == 0 {
             return;
         }
+        debug_assert!(
+            live.iter().all(|&i| self.nodes[i.0].alive),
+            "sorted ring must hold only live nodes"
+        );
         for (pos, &idx) in live.iter().enumerate() {
             let mut succs = Vec::with_capacity(self.cfg.succ_list_len);
             for k in 1..=self.cfg.succ_list_len.min(n.saturating_sub(1)).max(1) {

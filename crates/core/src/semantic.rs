@@ -23,7 +23,7 @@
 
 use dht_core::{lex_hash, lex_prefix_end};
 use grid_resource::{AttrId, AttributeSpace, Query, SubQuery, ValueTarget};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Encodes string descriptions into an attribute's value domain, order
 /// preserved.
@@ -75,6 +75,9 @@ impl SemanticCodec {
     /// Build a whole prefix query over several described attributes.
     pub fn prefix_query(&self, parts: &[(AttrId, &str)]) -> Query {
         Query::new(parts.iter().map(|&(a, p)| self.prefix_subquery(a, p)).collect())
+            // lint:allow(panic-hygiene): prefix_range yields low <= high by
+            // construction (lex_prefix_end is monotone), so Query::new
+            // cannot reject these sub-queries.
             .expect("prefix ranges are well-formed")
     }
 }
@@ -83,9 +86,11 @@ impl SemanticCodec {
 /// advertised so candidate sets coming back from the DHT can be filtered
 /// exactly (the eight-byte code horizon makes the DHT-side match
 /// conservative, never lossy).
+/// Entries live in a `BTreeMap` so iteration order is a function of the
+/// recorded keys alone, never of per-process hasher state.
 #[derive(Debug, Clone, Default)]
 pub struct SemanticDirectory {
-    descs: HashMap<(u32, usize), String>,
+    descs: BTreeMap<(u32, usize), String>,
 }
 
 impl SemanticDirectory {
@@ -102,6 +107,12 @@ impl SemanticDirectory {
     /// The description `owner` advertised for `attr`, if any.
     pub fn description(&self, attr: AttrId, owner: usize) -> Option<&str> {
         self.descs.get(&(attr.0, owner)).map(String::as_str)
+    }
+
+    /// Iterate all recorded `(attr, owner, description)` entries in
+    /// ascending `(attr, owner)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, usize, &str)> {
+        self.descs.iter().map(|(&(a, o), d)| (AttrId(a), o, d.as_str()))
     }
 
     /// Exact-filter a DHT candidate set down to owners whose description
@@ -198,6 +209,25 @@ mod tests {
         let q = codec.prefix_query(&[(os, "linuxmachine")]);
         let out = grid.query_from(0, &q).unwrap();
         assert!(out.owners.contains(&0) && out.owners.contains(&1));
+    }
+
+    #[test]
+    fn directory_iteration_is_stable_across_identical_builds() {
+        let build = || {
+            let mut t = SemanticDirectory::new();
+            for (attr, owner, desc) in
+                [(3u32, 9, "linux"), (0, 4, "aix"), (3, 1, "windows"), (1, 7, "darwin")]
+            {
+                t.record(AttrId(attr), owner, desc);
+            }
+            t
+        };
+        let (a, b) = (build(), build());
+        let seq_a: Vec<_> = a.iter().map(|(at, o, d)| (at.0, o, d.to_string())).collect();
+        let seq_b: Vec<_> = b.iter().map(|(at, o, d)| (at.0, o, d.to_string())).collect();
+        assert_eq!(seq_a, seq_b);
+        let keys: Vec<_> = seq_a.iter().map(|(a, o, _)| (*a, *o)).collect();
+        assert_eq!(keys, vec![(0, 4), (1, 7), (3, 1), (3, 9)]);
     }
 
     #[test]

@@ -126,10 +126,18 @@ impl Cycloid {
         let members = &mut self.clusters[id.cubical as usize];
         let pos = members.partition_point(|&m| self.nodes[m.0].id.cyclic < id.cyclic);
         members.insert(pos, idx);
+        debug_assert!(
+            members.windows(2).all(|w| self.nodes[w[0].0].id.cyclic < self.nodes[w[1].0].id.cyclic),
+            "cluster members must stay sorted by cyclic index"
+        );
         if members.len() == 1 {
             let cpos = self.occupied.partition_point(|&c| c < id.cubical);
             self.occupied.insert(cpos, id.cubical);
         }
+        debug_assert!(
+            self.occupied.windows(2).all(|w| w[0] < w[1]),
+            "occupied cluster list must stay strictly sorted"
+        );
         self.live += 1;
         idx
     }
@@ -289,7 +297,13 @@ impl Cycloid {
         let d = self.cfg.dimension;
         let id = self.nodes[idx.0].id;
         let members = &self.clusters[id.cubical as usize];
-        let mpos = members.iter().position(|&m| m == idx).expect("member of own cluster");
+        let mpos = members
+            .iter()
+            .position(|&m| m == idx)
+            // lint:allow(panic-hygiene): occupy() inserts every live node
+            // into clusters[id.cubical]; leave()/fail() remove it — a live
+            // node is always a member of its own cluster.
+            .expect("member of own cluster");
         let mlen = members.len();
         let inside_succ = if mlen > 1 { Some(members[(mpos + 1) % mlen]) } else { None };
         let inside_pred = if mlen > 1 { Some(members[(mpos + mlen - 1) % mlen]) } else { None };
@@ -302,7 +316,12 @@ impl Cycloid {
             if n <= 1 {
                 (None, None)
             } else {
-                let p = occ.binary_search(&id.cubical).expect("own cluster occupied");
+                let p = occ
+                    .binary_search(&id.cubical)
+                    // lint:allow(panic-hygiene): this node is alive in its
+                    // cluster, so occupy() has listed the cluster in
+                    // `occupied` (removed only when the last member goes).
+                    .expect("own cluster occupied");
                 let succ_c = occ[(p + 1) % n];
                 let pred_c = occ[(p + n - 1) % n];
                 (self.primary_of(pred_c), self.primary_of(succ_c))

@@ -149,6 +149,8 @@ impl Zipf {
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 1..=n {
+            // lint:allow(float-accumulate): single sequential loop in rank
+            // order — the summation order *is* the CDF's definition.
             acc += 1.0 / (k as f64).powf(s);
             cdf.push(acc);
         }
@@ -172,7 +174,7 @@ impl Zipf {
     /// Draw a rank in `0..n` (0-based; rank 0 is the most popular).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -149,7 +149,7 @@ pub struct Percentiles {
 impl Percentiles {
     /// Build from an arbitrary sample; `O(n log n)`.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile sample"));
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 

@@ -8,12 +8,16 @@
 //! index a real directory node would keep).
 
 use crate::model::{AttrId, ResourceInfo, ValueTarget};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One node's directory: resource information bucketed by attribute.
+///
+/// Buckets are kept in a `BTreeMap` so that [`Directory::drain`] and
+/// [`Directory::iter`] walk attributes in a fixed order — departure
+/// handoffs and inspection must not depend on per-process hasher state.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    by_attr: HashMap<u32, Vec<ResourceInfo>>,
+    by_attr: BTreeMap<u32, Vec<ResourceInfo>>,
     len: usize,
 }
 
@@ -39,10 +43,11 @@ impl Directory {
         self.len == 0
     }
 
-    /// Remove and return everything (departure handoff).
+    /// Remove and return everything (departure handoff), in ascending
+    /// attribute order.
     pub fn drain(&mut self) -> Vec<ResourceInfo> {
         let mut out = Vec::with_capacity(self.len);
-        for (_, mut v) in self.by_attr.drain() {
+        for mut v in std::mem::take(&mut self.by_attr).into_values() {
             out.append(&mut v);
         }
         self.len = 0;
@@ -133,6 +138,29 @@ mod tests {
         d.push(info(1, 1.0, 1));
         d.push(info(2, 2.0, 2));
         assert_eq!(d.iter().count(), 2);
+    }
+
+    #[test]
+    fn iteration_order_is_stable_across_identical_builds() {
+        // Two directories filled identically must iterate (and drain)
+        // identically — this is what rules out a hash-seeded bucket map.
+        let build = || {
+            let mut d = Directory::new();
+            // Insertion order deliberately scrambled relative to attr order.
+            for (attr, owner) in [(7u32, 1), (2, 2), (9, 3), (2, 4), (7, 5), (0, 6)] {
+                d.push(info(attr, attr as f64, owner));
+            }
+            d
+        };
+        let (a, mut b) = (build(), build());
+        let seq_a: Vec<usize> = a.iter().map(|r| r.owner).collect();
+        let seq_b: Vec<usize> = b.iter().map(|r| r.owner).collect();
+        assert_eq!(seq_a, seq_b);
+        // And the order is the deterministic one: ascending attribute,
+        // insertion order within an attribute.
+        assert_eq!(seq_a, vec![6, 2, 4, 1, 5, 3]);
+        let drained: Vec<usize> = b.drain().into_iter().map(|r| r.owner).collect();
+        assert_eq!(drained, seq_a);
     }
 
     #[test]

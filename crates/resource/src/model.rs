@@ -96,6 +96,8 @@ impl AttributeSpace {
     /// A locality-preserving hash for this domain onto `[0, span)`.
     pub fn lph(&self, span: u64) -> LocalityHash {
         LocalityHash::new(self.domain_min, self.domain_max, span)
+            // lint:allow(panic-hygiene): AttributeSpace construction already
+            // rejected empty/inverted domains, the only LocalityHash error.
             .expect("domain validated at construction")
     }
 

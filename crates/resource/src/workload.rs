@@ -180,6 +180,8 @@ impl Workload {
             }
         }
         let sampler = ValueSampler::new(&self.space, self.cfg.value_dist)
+            // lint:allow(panic-hygiene): Workload::generate already built a
+            // sampler from this exact (space, dist) pair, rejecting bad ones.
             .expect("config validated at generation");
         let (dmin, dmax) = self.space.domain();
         let subs = chosen
@@ -198,6 +200,8 @@ impl Workload {
                 SubQuery { attr: AttrId(a), target }
             })
             .collect();
+        // lint:allow(panic-hygiene): every generated target has low <= high
+        // by construction (span >= 0), the only thing Query::new validates.
         Query::new(subs).expect("generated ranges are well-formed")
     }
 
@@ -238,6 +242,8 @@ impl ValueSampler {
         let raw = match self.dist {
             ValueDist::Uniform => rng.gen_range(self.min..=self.max),
             ValueDist::BoundedPareto { .. } => {
+                // lint:allow(panic-hygiene): `new` fills `pareto` whenever
+                // the dist is BoundedPareto; the two fields change together.
                 self.pareto.as_ref().expect("pareto built for this dist").sample(rng)
             }
         };

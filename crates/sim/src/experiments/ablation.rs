@@ -77,8 +77,10 @@ impl fmt::Display for Ablation {
 /// Ablation 1: LPH vs hashed placement — range-probe counts and balance.
 pub fn ablate_placement(cfg: &SimConfig, queries: usize) -> Ablation {
     let seeds = SeedSpawner::new(cfg.seed ^ 0xAB1);
-    let workload =
-        Workload::generate(cfg.workload_config(), &mut seeds.labelled(1)).expect("valid config");
+    let workload = Workload::generate(cfg.workload_config(), &mut seeds.labelled(1))
+        // lint:allow(panic-hygiene): SimConfig always yields a valid
+        // WorkloadConfig (nonzero counts, ordered domain).
+        .expect("valid config");
     let mut rows = Vec::new();
     for (label, placement) in
         [("LPH (paper)", Placement::Lph), ("hashed (ablation)", Placement::Hashed)]
@@ -143,7 +145,10 @@ pub fn ablate_value_skew(cfg: &SimConfig) -> Ablation {
     for (label, dist) in dists {
         let wl_cfg = WorkloadConfig { value_dist: dist, ..cfg.workload_config() };
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xAB2);
-        let workload = Workload::generate(wl_cfg, &mut rng).expect("valid config");
+        let workload = Workload::generate(wl_cfg, &mut rng)
+            // lint:allow(panic-hygiene): SimConfig always yields a valid
+            // WorkloadConfig (nonzero counts, ordered domain).
+            .expect("valid config");
         let mut sys = Lorm::new(
             cfg.nodes,
             &workload.space,
@@ -180,7 +185,11 @@ pub fn ablate_succ_list(n: usize, fail_fraction: f64, lookups: usize, seed: u64)
         let mut completed = 0usize;
         let mut hops = Summary::new();
         for _ in 0..lookups {
-            let from = net.random_node(&mut rng).expect("live node");
+            let from = net
+                .random_node(&mut rng)
+                // lint:allow(panic-hygiene): the network was just built
+                // with n >= 1 live nodes.
+                .expect("live node");
             let key: u64 = rng.gen();
             if let Ok(route) = net.route(from, key) {
                 completed += 1;
@@ -218,7 +227,11 @@ pub fn ablate_dimension(dims: &[u8], lookups: usize, seed: u64) -> Ablation {
         let mut rng = SmallRng::seed_from_u64(seed ^ d as u64);
         let mut hops = Summary::new();
         for _ in 0..lookups {
-            let from = net.random_node(&mut rng).expect("live");
+            let from = net
+                .random_node(&mut rng)
+                // lint:allow(panic-hygiene): the network was just built
+                // with n >= 1 live nodes.
+                .expect("live");
             let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
             if let Ok(route) = net.route(from, key) {
                 hops.record(route.hops() as f64);
@@ -247,8 +260,10 @@ pub fn ablate_dimension(dims: &[u8], lookups: usize, seed: u64) -> Ablation {
 /// serialized latency.
 pub fn ablate_query_plan(cfg: &SimConfig, queries: usize, arity: usize) -> Ablation {
     let seeds = SeedSpawner::new(cfg.seed ^ 0xAB6);
-    let workload =
-        Workload::generate(cfg.workload_config(), &mut seeds.labelled(1)).expect("valid config");
+    let workload = Workload::generate(cfg.workload_config(), &mut seeds.labelled(1))
+        // lint:allow(panic-hygiene): SimConfig always yields a valid
+        // WorkloadConfig (nonzero counts, ordered domain).
+        .expect("valid config");
     let mut sys = Lorm::new(
         cfg.nodes,
         &workload.space,
@@ -294,8 +309,10 @@ pub fn ablate_query_plan(cfg: &SimConfig, queries: usize, arity: usize) -> Ablat
 /// the real cluster gives a hard `d` cap.
 pub fn ablate_flat_lorm(cfg: &SimConfig, queries: usize) -> Ablation {
     let seeds = SeedSpawner::new(cfg.seed ^ 0xAB7);
-    let workload =
-        Workload::generate(cfg.workload_config(), &mut seeds.labelled(1)).expect("valid config");
+    let workload = Workload::generate(cfg.workload_config(), &mut seeds.labelled(1))
+        // lint:allow(panic-hygiene): SimConfig always yields a valid
+        // WorkloadConfig (nonzero counts, ordered domain).
+        .expect("valid config");
     let mut lorm = Lorm::new(
         cfg.nodes,
         &workload.space,
@@ -328,6 +345,8 @@ pub fn ablate_flat_lorm(cfg: &SimConfig, queries: usize) -> Ablation {
                 attr,
                 target: ValueTarget::Range { low: dmin, high: dmax },
             }])
+            // lint:allow(panic-hygiene): the full-domain range has
+            // low <= high by AttributeSpace construction.
             .expect("valid range");
             if let Ok(out) = sys.query_from(0, &q) {
                 worst = worst.max(out.tally.visited);
@@ -369,7 +388,10 @@ pub fn ablate_attr_popularity(cfg: &SimConfig, queries: usize) -> Ablation {
     ] {
         let wl_cfg = WorkloadConfig { attr_popularity: pop, ..cfg.workload_config() };
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xAB5);
-        let workload = Workload::generate(wl_cfg, &mut rng).expect("valid config");
+        let workload = Workload::generate(wl_cfg, &mut rng)
+            // lint:allow(panic-hygiene): SimConfig always yields a valid
+            // WorkloadConfig (nonzero counts, ordered domain).
+            .expect("valid config");
         let mut maxima = Vec::with_capacity(System::ALL.len());
         for s in System::ALL {
             let sys = crate::setup::build_system(s, &workload, cfg);

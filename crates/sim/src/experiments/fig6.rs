@@ -145,6 +145,8 @@ pub fn run_churn_one(
             if e.time > now {
                 break;
             }
+            // lint:allow(panic-hygiene): peek() just returned Some, so the
+            // iterator is non-empty.
             let e = event_iter.next().expect("peeked");
             match e.kind {
                 ChurnKind::Join => {
@@ -226,7 +228,10 @@ pub fn run_churn_one(
 pub fn fig6(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric) -> Fig6 {
     let p = cfg.params();
     let mut wl_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xF6);
-    let workload = Workload::generate(cfg.workload_config(), &mut wl_rng).expect("valid config");
+    let workload = Workload::generate(cfg.workload_config(), &mut wl_rng)
+        // lint:allow(panic-hygiene): SimConfig always yields a valid
+        // WorkloadConfig (nonzero counts, ordered domain).
+        .expect("valid config");
     let duration = setup.requests as f64 / setup.request_rate;
     let mut rows = Vec::new();
     for &rate in &setup.rates {
@@ -254,11 +259,17 @@ pub fn fig6(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric) -> Fig6 {
                 })
                 .collect();
             for h in handles {
+                // lint:allow(panic-hygiene): join fails only if the worker
+                // panicked; re-raising that panic is the intended behaviour.
                 cells.push(h.join().expect("churn worker"));
             }
         })
+        // lint:allow(panic-hygiene): crossbeam scope errs only when a
+        // child panicked; re-raising that panic is the intended behaviour.
         .expect("crossbeam scope");
         let cell_of =
+            // lint:allow(panic-hygiene): `cells` holds one entry per
+            // System::ALL element, pushed by the workers above.
             |s: System| cells.iter().find(|(x, _)| *x == s).map(|(_, c)| c.clone()).expect("cell");
         let analysis = System::ALL.map(|s| match metric {
             Metric::Hops => th::nonrange_hops(&p, setup.arity, s),

@@ -81,16 +81,22 @@ fn run_shard(
     s
 }
 
+/// Reduction granularity of [`run_batch`]: queries are always summarized
+/// per `MICRO_CHUNK`-sized slice and the per-slice summaries merged in
+/// batch order, whatever the shard count. The merge *sequence* is then a
+/// function of the batch alone, which makes every summary field —
+/// including the variance, whose merge is not associative in floating
+/// point — bit-identical across shard counts.
+const MICRO_CHUNK: usize = 64;
+
 /// Run a query batch against one system, summarizing a chosen metric.
 /// Failed queries are counted via [`Summary::failures`] instead of being
 /// silently dropped.
 ///
-/// The batch is split into [`default_shards`] contiguous shards executed
-/// on scoped worker threads and reduced with [`Summary::merge`] in shard
-/// order. Shard boundaries depend only on batch length and shard count,
-/// and each query carries its own origin and RNG-free execution, so the
-/// merged summary's `count`/`total`/`mean`/`min`/`max` are bit-identical
-/// for every shard count (see `Summary::mean`).
+/// The batch is executed on [`default_shards`] scoped worker threads, but
+/// reduced deterministically: per fixed-size micro-chunk (`MICRO_CHUNK`,
+/// 64 queries), merged in batch order. The result is bit-identical for
+/// every shard count.
 pub fn run_batch(
     sys: &(dyn ResourceDiscovery + Send + Sync),
     batch: &[(usize, Query)],
@@ -99,30 +105,52 @@ pub fn run_batch(
     run_batch_sharded(sys, batch, metric, default_shards())
 }
 
+/// Fold micro-chunk summaries in order into one batch summary.
+fn merge_in_order(parts: impl IntoIterator<Item = Summary>) -> Summary {
+    let mut merged = Summary::new();
+    for part in parts {
+        merged.merge(&part);
+    }
+    merged
+}
+
 /// [`run_batch`] with an explicit shard count (`0` or `1` runs inline on
-/// the calling thread).
+/// the calling thread). The shard count decides only *which thread*
+/// summarizes each micro-chunk, never the reduction order.
 pub fn run_batch_sharded(
     sys: &(dyn ResourceDiscovery + Send + Sync),
     batch: &[(usize, Query)],
     metric: Metric,
     shards: usize,
 ) -> Summary {
-    let chunk = batch.len().div_ceil(shards.max(1)).max(1);
-    if shards <= 1 || batch.len() <= chunk {
-        return run_shard(sys, batch, metric);
+    let micro: Vec<&[(usize, Query)]> = batch.chunks(MICRO_CHUNK.max(1)).collect();
+    if shards <= 1 || micro.len() <= 1 {
+        return merge_in_order(micro.into_iter().map(|c| run_shard(sys, c, metric)));
     }
-    let mut merged = Summary::new();
+    // Give each worker a contiguous run of micro-chunks; workers return
+    // their per-chunk summaries in order, and the single-threaded merge
+    // below walks workers (and chunks within each worker) in batch order.
+    let per_worker = micro.len().div_ceil(shards);
+    let mut parts: Vec<Summary> = Vec::with_capacity(micro.len());
     crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = batch
-            .chunks(chunk)
-            .map(|shard| scope.spawn(move |_| run_shard(sys, shard, metric)))
+        let handles: Vec<_> = micro
+            .chunks(per_worker)
+            .map(|chunks| {
+                scope.spawn(move |_| {
+                    chunks.iter().map(|c| run_shard(sys, c, metric)).collect::<Vec<_>>()
+                })
+            })
             .collect();
         for h in handles {
-            merged.merge(&h.join().expect("shard worker panicked"));
+            // lint:allow(panic-hygiene): join fails only if the worker
+            // panicked; re-raising that panic is the intended behaviour.
+            parts.extend(h.join().expect("shard worker panicked"));
         }
     })
+    // lint:allow(panic-hygiene): crossbeam scope errs only when a
+    // child panicked; re-raising that panic is the intended behaviour.
     .expect("crossbeam scope");
-    merged
+    merge_in_order(parts)
 }
 
 /// Run the same batch against every mounted system in parallel (one thread
@@ -143,9 +171,13 @@ pub fn run_batch_all(
             })
             .collect();
         for h in handles {
+            // lint:allow(panic-hygiene): join fails only if the worker
+            // panicked; re-raising that panic is the intended behaviour.
             out.push(h.join().expect("batch worker panicked"));
         }
     })
+    // lint:allow(panic-hygiene): crossbeam scope errs only when a
+    // child panicked; re-raising that panic is the intended behaviour.
     .expect("crossbeam scope");
     out
 }
@@ -160,6 +192,8 @@ pub enum Metric {
 }
 
 pub(crate) fn summary_of<'a>(rows: &'a [(&'static str, Summary)], s: System) -> &'a Summary {
+    // lint:allow(panic-hygiene): callers measure every system they ask
+    // for; a missing row is a harness bug worth failing fast on.
     rows.iter().find(|(n, _)| *n == s.name()).map(|(_, x)| x).expect("system measured")
 }
 

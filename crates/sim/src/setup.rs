@@ -104,8 +104,10 @@ impl TestBed {
     pub fn new(cfg: SimConfig) -> Self {
         let seeds = SeedSpawner::new(cfg.seed);
         let mut wl_rng = seeds.labelled(0xA0);
-        let workload =
-            Workload::generate(cfg.workload_config(), &mut wl_rng).expect("valid workload config");
+        let workload = Workload::generate(cfg.workload_config(), &mut wl_rng)
+            // lint:allow(panic-hygiene): SimConfig always yields a valid
+            // WorkloadConfig (nonzero counts, ordered domain).
+            .expect("valid workload config");
         let systems = System::ALL.iter().map(|&s| build_system(s, &workload, &cfg)).collect();
         Self { cfg, workload, systems, seeds }
     }
@@ -115,8 +117,10 @@ impl TestBed {
     pub fn with_systems(cfg: SimConfig, systems: &[System]) -> Self {
         let seeds = SeedSpawner::new(cfg.seed);
         let mut wl_rng = seeds.labelled(0xA0);
-        let workload =
-            Workload::generate(cfg.workload_config(), &mut wl_rng).expect("valid workload config");
+        let workload = Workload::generate(cfg.workload_config(), &mut wl_rng)
+            // lint:allow(panic-hygiene): SimConfig always yields a valid
+            // WorkloadConfig (nonzero counts, ordered domain).
+            .expect("valid workload config");
         let systems = systems.iter().map(|&s| build_system(s, &workload, &cfg)).collect();
         Self { cfg, workload, systems, seeds }
     }
@@ -126,6 +130,8 @@ impl TestBed {
         self.systems
             .iter()
             .find(|b| b.name() == s.name())
+            // lint:allow(panic-hygiene): mounting is the caller's setup
+            // contract (documented above); failing fast is intended.
             .unwrap_or_else(|| panic!("{} not mounted", s.name()))
             .as_ref()
     }

@@ -1,0 +1,31 @@
+//! End-to-end determinism regression: the exported `Report` JSON must be
+//! a pure function of the experiment seed — identical across repeated
+//! runs *and* across shard counts. This is the contract `cargo xtask
+//! lint` enforces statically; here it is checked dynamically on a real
+//! figure pipeline.
+//!
+//! Kept in its own integration-test binary because `set_default_shards`
+//! is a process-wide override.
+
+use sim::experiments::fig4::fig4;
+use sim::experiments::set_default_shards;
+use sim::setup::{SimConfig, TestBed};
+
+fn fig4_json(shards: usize) -> String {
+    set_default_shards(shards);
+    let cfg = SimConfig { nodes: 256, attrs: 12, values: 50, dimension: 6, ..SimConfig::default() };
+    let bed = TestBed::new(cfg);
+    let json = fig4(&bed, [1, 3], 16, 4).report().to_json();
+    set_default_shards(0); // restore auto
+    json
+}
+
+#[test]
+fn fig4_report_is_bit_identical_across_runs_and_shard_counts() {
+    let once = fig4_json(1);
+    let again = fig4_json(1);
+    assert_eq!(once, again, "same seed, same shard count must give identical JSON");
+
+    let sharded = fig4_json(3);
+    assert_eq!(once, sharded, "shard count is an execution detail and must not leak into results");
+}

@@ -1,0 +1,519 @@
+//! A minimal, hand-rolled Rust tokenizer.
+//!
+//! The lint registry must never fire on text inside string literals, char
+//! literals, or comments (doc comments routinely *mention* `HashMap` or
+//! `.unwrap()` while explaining why the code avoids them). A regex over
+//! raw source cannot make that distinction; this lexer can, and it stays
+//! dependency-free because the build environment is offline.
+//!
+//! It is deliberately not a full Rust lexer: it recognizes exactly the
+//! token shapes the lints need — identifiers, single-character
+//! punctuation, numeric / string / char literals, lifetimes — each tagged
+//! with its 1-based source line, plus the comment stream (suppression
+//! directives live in comments).
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `let`, `unwrap`, …).
+    Ident,
+    /// Numeric literal, full text including any suffix (`0.0`, `1u64`).
+    Num,
+    /// String or byte-string literal, raw or cooked.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// One punctuation character (`.`, `+`, `{`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (raw identifiers are stored without the `r#` prefix;
+    /// string literals keep only their delimiters' content elided form).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this the given single punctuation character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this the given identifier?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One comment (line or block), with the delimiters stripped.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without `//` / `/*` / `*/`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become punctuation and
+/// unterminated literals run to end of file (the lints stay sound either
+/// way — a file that broken will not compile).
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let n = cs.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < n {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && cs[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && cs[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment { text: cs[start..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < n && cs[i + 1] == '*' {
+            let lstart = line;
+            let start = i + 2;
+            let mut depth = 1u32;
+            let mut j = start;
+            while j < n && depth > 0 {
+                if cs[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if cs[j] == '/' && j + 1 < n && cs[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if cs[j] == '*' && j + 1 < n && cs[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = if depth == 0 { j - 2 } else { j };
+            out.comments.push(Comment { text: cs[start..end].iter().collect(), line: lstart });
+            i = j;
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        if c == 'r' || c == 'b' {
+            if let Some((j, lines)) = try_string_prefix(&cs, i) {
+                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                line += lines;
+                i = j;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && cs[i + 1] == '\'' {
+                let (j, lines) = scan_char_body(&cs, i + 2);
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                line += lines;
+                i = j;
+                continue;
+            }
+            // Raw identifier `r#name`.
+            if c == 'r' && i + 2 < n && cs[i + 1] == '#' && is_ident_start(cs[i + 2]) {
+                let mut j = i + 2;
+                while j < n && is_ident_cont(cs[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: cs[i + 2..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Cooked string.
+        if c == '"' {
+            let (j, lines) = scan_cooked_string(&cs, i + 1);
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+            line += lines;
+            i = j;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            if i + 1 < n && is_ident_start(cs[i + 1]) && (i + 2 >= n || cs[i + 2] != '\'') {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(cs[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: cs[i + 1..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            let (j, lines) = scan_char_body(&cs, i + 1);
+            out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+            line += lines;
+            i = j;
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut seen_dot = false;
+            while j < n {
+                let d = cs[j];
+                if is_ident_cont(d) {
+                    j += 1;
+                } else if d == '.' && !seen_dot && j + 1 < n && cs[j + 1].is_ascii_digit() {
+                    seen_dot = true;
+                    j += 1;
+                } else if (d == '+' || d == '-')
+                    && j > i
+                    && matches!(cs[j - 1], 'e' | 'E')
+                    && j + 1 < n
+                    && cs[j + 1].is_ascii_digit()
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            // `2.0` keeps its dot even when followed by `.method()`: the
+            // char after the consumed dot was a digit, so `1..5` stays two
+            // separate tokens while `2.5` lexes whole.
+            out.toks.push(Tok { kind: TokKind::Num, text: cs[i..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_cont(cs[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Ident, text: cs[i..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Everything else: one punctuation character.
+        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+/// If position `i` starts a (possibly raw, possibly byte) string literal,
+/// scan it and return `(index after it, newlines inside)`.
+fn try_string_prefix(cs: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = cs.len();
+    let mut j = i;
+    if j < n && cs[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < n && cs[j] == 'r';
+    if raw {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < n && cs[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || cs[j] != '"' {
+            return None;
+        }
+        j += 1;
+        let mut lines = 0u32;
+        while j < n {
+            if cs[j] == '\n' {
+                lines += 1;
+                j += 1;
+                continue;
+            }
+            if cs[j] == '"'
+                && cs[j + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes
+            {
+                return Some((j + 1 + hashes, lines));
+            }
+            j += 1;
+        }
+        return Some((n, lines));
+    }
+    if j >= n || cs[j] != '"' || j == i {
+        // plain `"` is handled by the caller; require a b/r prefix here
+        return None;
+    }
+    let (end, lines) = scan_cooked_string(cs, j + 1);
+    Some((end, lines))
+}
+
+/// Scan a cooked string body starting just after the opening quote.
+/// Returns `(index after the closing quote, newlines inside)`.
+fn scan_cooked_string(cs: &[char], mut j: usize) -> (usize, u32) {
+    let n = cs.len();
+    let mut lines = 0u32;
+    while j < n {
+        match cs[j] {
+            '\\' => {
+                // An escaped newline (line continuation) still ends a line.
+                if j + 1 < n && cs[j + 1] == '\n' {
+                    lines += 1;
+                }
+                j += 2;
+            }
+            '"' => return (j + 1, lines),
+            '\n' => {
+                lines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (n, lines)
+}
+
+/// Scan a char-literal body starting just after the opening quote.
+fn scan_char_body(cs: &[char], mut j: usize) -> (usize, u32) {
+    let n = cs.len();
+    let mut lines = 0u32;
+    while j < n {
+        match cs[j] {
+            '\\' => j += 2,
+            '\'' => return (j + 1, lines),
+            '\n' => {
+                lines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (n, lines)
+}
+
+/// Byte ranges (as token-index ranges `[start, end)`) of `#[cfg(test)]` /
+/// `#[test]` item bodies. Tokens inside these ranges are test code and
+/// exempt from the library-code lints.
+///
+/// Heuristic: an attribute whose bracket contains the identifier `test`
+/// and does not contain `not` (so `#[cfg(not(test))]` keeps its body
+/// linted) marks the next item; the item's body is the brace block that
+/// follows at delimiter depth zero.
+pub fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let (idents, after) = scan_attr(toks, i + 1);
+        let is_test = idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not");
+        if !is_test {
+            i = after;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = after;
+        while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+            let (_, next) = scan_attr(toks, j + 1);
+            j = next;
+        }
+        // Find the item body `{`, or `;` (no body), at delimiter depth 0.
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                break; // `#[cfg(test)] mod tests;` — body lives elsewhere
+            } else if t.is_punct('{') && depth == 0 {
+                let mut bd = 1i32;
+                let mut k = j + 1;
+                while k < toks.len() && bd > 0 {
+                    if toks[k].is_punct('{') {
+                        bd += 1;
+                    } else if toks[k].is_punct('}') {
+                        bd -= 1;
+                    }
+                    k += 1;
+                }
+                out.push((j, k));
+                j = k;
+                break;
+            }
+            j += 1;
+        }
+        i = j.max(after);
+    }
+    out
+}
+
+/// Scan an attribute starting at its `[` token. Returns the identifiers
+/// inside and the index just past the matching `]`.
+fn scan_attr(toks: &[Tok], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (idents, j + 1);
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(t.text.clone());
+        }
+        j += 1;
+    }
+    (idents, toks.len())
+}
+
+/// Is token index `idx` inside any of the given regions?
+pub fn in_regions(idx: usize, regions: &[(usize, usize)]) -> bool {
+    regions.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* and .unwrap() in /* a nested */ block */
+            let s = "HashMap::new() // not a comment";
+            let r = r#"thread_rng "quoted" inside raw"#;
+            let c = '"';
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
+        assert!(!ids.iter().any(|s| s == "unwrap"));
+        assert!(!ids.iter().any(|s| s == "thread_rng"));
+        assert!(ids.iter().any(|s| s == "BTreeMap"));
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_chars() {
+        let l = lex(r"let q = '\''; let b = b'\n'; let after = 1;");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        assert!(l.toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn float_literals_lex_whole_but_ranges_split() {
+        let l = lex("let a = 2.5; for i in 1..5 { } let e = 1.5e-3;");
+        let nums: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text.as_str()).collect();
+        assert_eq!(nums, ["2.5", "1", "5", "1.5e-3"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1; /* x\ny */ let c = 2;";
+        let l = lex(src);
+        let b = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+        let c = l.toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 4);
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_mod() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let l = lex(src);
+        let regions = test_regions(&l.toks);
+        assert_eq!(regions.len(), 1);
+        let unwraps: Vec<usize> = l
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!in_regions(unwraps[0], &regions), "library unwrap is outside");
+        assert!(in_regions(unwraps[1], &regions), "test unwrap is inside");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() { x.unwrap(); } }";
+        let l = lex(src);
+        assert!(test_regions(&l.toks).is_empty());
+    }
+
+    #[test]
+    fn stacked_attributes_still_find_the_body() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() { panic!(\"boom\") }";
+        let l = lex(src);
+        let regions = test_regions(&l.toks);
+        assert_eq!(regions.len(), 1);
+        let p = l.toks.iter().position(|t| t.is_ident("panic")).unwrap();
+        assert!(in_regions(p, &regions));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        let l = lex("let r#type = 1;");
+        assert!(l.toks.iter().any(|t| t.is_ident("type")));
+    }
+}

@@ -1,0 +1,193 @@
+//! Workspace determinism & soundness analyzer.
+//!
+//! `cargo xtask lint` walks every non-vendored `.rs` file in the
+//! workspace through a string/comment-aware lexer and a registry of
+//! named lints that enforce the simulator's reproducibility contract.
+//! See `docs/LINTS.md` for the catalogue and the suppression syntax.
+
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lints::{Diagnostic, FileClass, FileCtx};
+
+/// The aggregated outcome of linting the workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (file, line, lint).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of `lint:allow` directives that suppressed a finding.
+    pub suppressions_used: usize,
+}
+
+impl LintReport {
+    /// True when no lint fired.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Directories never descended into, by name.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Workspace-relative path prefixes excluded from analysis: vendored
+/// stand-in crates and the lint engine's own violating fixtures.
+const SKIP_PREFIXES: &[&str] = &["crates/vendored/", "crates/xtask/tests/fixtures/"];
+
+/// Classify a workspace-relative (`/`-separated) path into its crate
+/// directory and file class. Returns `None` for files outside any
+/// recognised source layout.
+pub fn classify(rel: &str) -> Option<(String, FileClass)> {
+    let (crate_dir, tail) = if let Some(rest) = rel.strip_prefix("crates/") {
+        let (dir, tail) = rest.split_once('/')?;
+        (dir.to_string(), tail)
+    } else {
+        // The root facade package (`lorm-repro`).
+        ("lorm-repro".to_string(), rel)
+    };
+    let class = if tail == "src/main.rs" || tail.starts_with("src/bin/") {
+        FileClass::Bin
+    } else if tail == "build.rs" || tail.starts_with("src/") {
+        FileClass::Lib
+    } else if tail.starts_with("tests/") {
+        FileClass::TestDir
+    } else if tail.starts_with("examples/") {
+        FileClass::Example
+    } else if tail.starts_with("benches/") {
+        FileClass::Bench
+    } else {
+        return None;
+    };
+    Some((crate_dir, class))
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> =
+        fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?.into_iter().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every eligible `.rs` file under `root` (the workspace root).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        let Some((crate_dir, class)) = classify(&rel) else { continue };
+        let src = fs::read_to_string(&path)?;
+        let ctx = FileCtx { crate_dir, class, rel_path: rel };
+        let file_report = lints::lint_file(&ctx, &src);
+        report.files_scanned += 1;
+        report.suppressions_used += file_report.suppressions_used;
+        report.diagnostics.extend(file_report.diagnostics);
+    }
+    report.diagnostics.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    Ok(report)
+}
+
+/// Render the report as `lorm-repro/lint-v1` JSON (same hand-rolled
+/// style as the bench harness's `bench-v1` export).
+pub fn render_json(report: &LintReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"lorm-repro/lint-v1\",\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!("  \"suppressions_used\": {},\n", report.suppressions_used));
+    s.push_str(&format!("  \"clean\": {},\n", report.clean()));
+    s.push_str("  \"findings\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!("\"lint\": {}, ", json_str(&d.lint)));
+        s.push_str(&format!("\"file\": {}, ", json_str(&d.file)));
+        s.push_str(&format!("\"line\": {}, ", d.line));
+        s.push_str(&format!("\"message\": {}", json_str(&d.message)));
+        s.push('}');
+    }
+    if !report.diagnostics.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_layouts() {
+        assert_eq!(classify("crates/sim/src/report.rs"), Some(("sim".into(), FileClass::Lib)));
+        assert_eq!(
+            classify("crates/bench/src/bin/repro.rs"),
+            Some(("bench".into(), FileClass::Bin))
+        );
+        assert_eq!(
+            classify("crates/chord/tests/routing.rs"),
+            Some(("chord".into(), FileClass::TestDir))
+        );
+        assert_eq!(classify("src/lib.rs"), Some(("lorm-repro".into(), FileClass::Lib)));
+        assert_eq!(classify("examples/demo.rs"), Some(("lorm-repro".into(), FileClass::Example)));
+        assert_eq!(classify("crates/sim/Cargo.toml"), None);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_renders_clean() {
+        let r = LintReport::default();
+        let j = render_json(&r);
+        assert!(j.contains("\"clean\": true"));
+        assert!(j.contains("\"findings\": []"));
+    }
+}

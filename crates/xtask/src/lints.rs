@@ -1,0 +1,523 @@
+//! The lint registry: each named lint enforces one clause of the
+//! simulator's reproducibility contract (see `docs/LINTS.md`).
+
+use crate::lexer::{in_regions, lex, test_regions, Comment, Tok, TokKind};
+
+/// Directory names (under `crates/`) of the simulation-path crates: code
+/// whose behaviour flows into exported figures, so iteration order,
+/// wall-clock time, and ambient entropy are forbidden there.
+pub const SIM_CRATES: &[&str] =
+    &["dht-core", "cycloid", "chord", "core", "resource", "baselines", "sim"];
+
+/// Files blessed to accumulate floats: the `Summary` / `Report` merge
+/// paths whose accumulation order is itself part of the contract (PR 1
+/// documented the last-ULP variance-merge caveat there).
+pub const FLOAT_BLESSED: &[&str] = &["crates/dht-core/src/stats.rs", "crates/sim/src/report.rs"];
+
+/// Every lint name with a one-line description (the `--list` catalogue).
+pub const LINTS: &[(&str, &str)] = &[
+    (
+        "hash-collections",
+        "std HashMap/HashSet in simulation-path crates — iteration order can leak into results; \
+         use BTreeMap/BTreeSet",
+    ),
+    (
+        "wall-clock",
+        "wall-clock time or ambient entropy (Instant, SystemTime, thread_rng, rand::random, \
+         std::env) in simulation-path crates — results must be a pure function of the seed",
+    ),
+    (
+        "panic-hygiene",
+        ".unwrap()/.expect()/panic! in library code — propagate DhtError, or annotate the \
+         invariant",
+    ),
+    (
+        "float-accumulate",
+        "raw `+=` onto a float outside the blessed Summary/Report merge paths — accumulation \
+         order changes last-ULP results",
+    ),
+    ("unused-suppression", "a lint:allow comment that suppressed nothing"),
+    ("bad-suppression", "a malformed lint:allow comment (unknown lint or missing reason)"),
+];
+
+/// Names that a `lint:allow(...)` directive may reference.
+const SUPPRESSIBLE: &[&str] =
+    &["hash-collections", "wall-clock", "panic-hygiene", "float-accumulate"];
+
+/// How a file participates in its crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`src/**`, minus `src/main.rs` and `src/bin/**`).
+    Lib,
+    /// Binary source (`src/main.rs`, `src/bin/**`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    TestDir,
+    /// Examples (`examples/**`).
+    Example,
+    /// Benches (`benches/**`).
+    Bench,
+}
+
+/// Where a file sits in the workspace, for lint applicability.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// The crate's directory name under `crates/` (or the package name
+    /// for the root facade).
+    pub crate_dir: String,
+    /// The file's role in the crate.
+    pub class: FileClass,
+    /// Workspace-relative path, `/`-separated (diagnostic display).
+    pub rel_path: String,
+}
+
+impl FileCtx {
+    fn sim_path(&self) -> bool {
+        SIM_CRATES.contains(&self.crate_dir.as_str())
+    }
+
+    fn float_blessed(&self) -> bool {
+        FLOAT_BLESSED.contains(&self.rel_path.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint name (stable, machine-readable).
+    pub lint: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that survived suppression, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `lint:allow` directives matched a finding.
+    pub suppressions_used: usize,
+}
+
+/// A parsed `// lint:allow(<name>): <reason>` directive.
+#[derive(Debug)]
+struct Suppression {
+    name: String,
+    has_reason: bool,
+    line: u32,
+    target_line: u32,
+    used: bool,
+}
+
+/// Lint one file's source text.
+pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let regions = test_regions(&lexed.toks);
+    let lib_code = |i: usize| ctx.class == FileClass::Lib && !in_regions(i, &regions);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    if ctx.sim_path() {
+        hash_collections(ctx, &lexed.toks, &lib_code, &mut raw);
+        wall_clock(ctx, &lexed.toks, &lib_code, &mut raw);
+        if !ctx.float_blessed() {
+            float_accumulate(ctx, &lexed.toks, &lib_code, &mut raw);
+        }
+    }
+    panic_hygiene(ctx, &lexed.toks, &lib_code, &mut raw);
+
+    let mut sups = parse_suppressions(&lexed.comments, &lexed.toks);
+    let mut report = FileReport::default();
+    for d in raw {
+        let matched = sups.iter_mut().find(|s| {
+            s.has_reason
+                && SUPPRESSIBLE.contains(&s.name.as_str())
+                && s.name == d.lint
+                && s.target_line == d.line
+        });
+        match matched {
+            Some(s) => {
+                s.used = true;
+                report.suppressions_used += 1;
+            }
+            None => report.diagnostics.push(d),
+        }
+    }
+    for s in &sups {
+        if !SUPPRESSIBLE.contains(&s.name.as_str()) {
+            report.diagnostics.push(Diagnostic {
+                lint: "bad-suppression".into(),
+                file: ctx.rel_path.clone(),
+                line: s.line,
+                message: format!(
+                    "lint:allow names unknown lint {:?} (suppressible lints: {})",
+                    s.name,
+                    SUPPRESSIBLE.join(", ")
+                ),
+            });
+        } else if !s.has_reason {
+            report.diagnostics.push(Diagnostic {
+                lint: "bad-suppression".into(),
+                file: ctx.rel_path.clone(),
+                line: s.line,
+                message: format!(
+                    "lint:allow({}) without a reason — write `// lint:allow({}): <why>`",
+                    s.name, s.name
+                ),
+            });
+        } else if !s.used {
+            report.diagnostics.push(Diagnostic {
+                lint: "unused-suppression".into(),
+                file: ctx.rel_path.clone(),
+                line: s.line,
+                message: format!(
+                    "lint:allow({}) suppressed nothing on line {} — remove it",
+                    s.name, s.target_line
+                ),
+            });
+        }
+    }
+    report.diagnostics.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
+    report
+}
+
+fn push(out: &mut Vec<Diagnostic>, ctx: &FileCtx, lint: &str, line: u32, message: String) {
+    out.push(Diagnostic { lint: lint.into(), file: ctx.rel_path.clone(), line, message });
+}
+
+/// Lint 1 — nondeterminism: `HashMap` / `HashSet` anywhere in
+/// simulation-path library code (imports and type positions alike).
+fn hash_collections(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    lib_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") && lib_code(i) {
+            push(
+                out,
+                ctx,
+                "hash-collections",
+                t.line,
+                format!(
+                    "`{}` in a simulation-path crate: iteration order is randomized per process \
+                     and can leak into exported results — use `BTree{}` or an indexed map",
+                    t.text,
+                    &t.text[4..]
+                ),
+            );
+        }
+    }
+}
+
+/// Lint 2 — wall-clock & entropy: `Instant`, `SystemTime`, `thread_rng`,
+/// `rand::random`, `from_entropy`, `OsRng`, and `std::env` access in
+/// simulation-path library code.
+fn wall_clock(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    lib_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    const FORBIDDEN: &[(&str, &str)] = &[
+        ("Instant", "wall-clock time"),
+        ("SystemTime", "wall-clock time"),
+        ("UNIX_EPOCH", "wall-clock time"),
+        ("thread_rng", "ambient entropy"),
+        ("from_entropy", "ambient entropy"),
+        ("OsRng", "ambient entropy"),
+    ];
+    let ident = |i: usize, s: &str| i < toks.len() && toks[i].is_ident(s);
+    let punct = |i: usize, c: char| i < toks.len() && toks[i].is_punct(c);
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !lib_code(i) {
+            continue;
+        }
+        if let Some((_, what)) = FORBIDDEN.iter().find(|(n, _)| *n == t.text) {
+            push(
+                out,
+                ctx,
+                "wall-clock",
+                t.line,
+                format!(
+                    "`{}` is {what}: simulation results must be a pure function of the \
+                     experiment seed (route timing through `crates/bench`)",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // `rand::random` — the implicitly thread_rng-backed helper.
+        if t.text == "random" && i >= 2 && punct(i - 1, ':') && ident(i - 3, "rand") {
+            push(
+                out,
+                ctx,
+                "wall-clock",
+                t.line,
+                "`rand::random` draws from ambient entropy — sample from a seeded \
+                 `SmallRng` stream instead"
+                    .into(),
+            );
+            continue;
+        }
+        // `std::env` / `env::var*` / `env!` — environment-dependent values.
+        if t.text == "env" {
+            let qualified = i >= 2 && punct(i - 1, ':') && ident(i - 3, "std");
+            let accessor = punct(i + 1, ':')
+                && (ident(i + 3, "var")
+                    || ident(i + 3, "vars")
+                    || ident(i + 3, "var_os")
+                    || ident(i + 3, "args"));
+            let is_macro = punct(i + 1, '!');
+            if qualified || accessor || is_macro {
+                push(
+                    out,
+                    ctx,
+                    "wall-clock",
+                    t.line,
+                    "environment access in a simulation-path crate: seeds and parameters \
+                     must arrive through explicit configuration, not the environment"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+/// Lint 3 — panic hygiene: `.unwrap()`, `.expect(`, `panic!` in library
+/// (non-test, non-bin) code.
+fn panic_hygiene(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    lib_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !lib_code(i) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_paren = i + 1 < toks.len() && toks[i + 1].is_punct('(');
+        let next_bang = i + 1 < toks.len() && toks[i + 1].is_punct('!');
+        if (t.text == "unwrap" || t.text == "expect") && prev_dot && next_paren {
+            push(
+                out,
+                ctx,
+                "panic-hygiene",
+                t.line,
+                format!(
+                    "`.{}(...)` in library code: propagate `DhtError` with `?`, or annotate a \
+                     true invariant with `// lint:allow(panic-hygiene): <why>`",
+                    t.text
+                ),
+            );
+        } else if t.text == "panic" && next_bang {
+            push(
+                out,
+                ctx,
+                "panic-hygiene",
+                t.line,
+                "`panic!` in library code: return an error, or annotate the invariant with \
+                 `// lint:allow(panic-hygiene): <why>`"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Lint 4 — float-merge order: `NAME += ...` where `NAME` is known to be
+/// a float in this file (declared `: f64`/`: f32`, or `let mut NAME = ...`
+/// with a float literal / `as f64` on the right-hand side).
+fn float_accumulate(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    lib_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let float_names = collect_float_names(toks);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !float_names.contains(&t.text) || !lib_code(i) {
+            continue;
+        }
+        if i + 2 < toks.len() && toks[i + 1].is_punct('+') && toks[i + 2].is_punct('=') {
+            push(
+                out,
+                ctx,
+                "float-accumulate",
+                t.line,
+                format!(
+                    "float `+=` accumulation on `{}`: accumulation order changes last-ULP \
+                     results — record into `Summary` (merge-order-stable) or annotate why the \
+                     order is fixed",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Names bound to floats in this file: `NAME : f64|f32` (fields, params,
+/// annotated lets) and `let mut NAME = <rhs containing a float literal or
+/// f64/f32 mention before the terminating `;`>`.
+fn collect_float_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    let is_float_ty = |t: &Tok| t.is_ident("f64") || t.is_ident("f32");
+    let is_float_num = |t: &Tok| {
+        t.kind == TokKind::Num
+            && (t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32"))
+    };
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `NAME : f64`
+        if i + 2 < toks.len() && toks[i + 1].is_punct(':') && is_float_ty(&toks[i + 2]) {
+            names.push(toks[i].text.clone());
+            continue;
+        }
+        // `let mut NAME = <...float...>;`
+        if toks[i].is_ident("let")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_ident("mut")
+            && toks[i + 2].kind == TokKind::Ident
+            && toks[i + 3].is_punct('=')
+        {
+            let mut depth = 0i32;
+            for t in &toks[i + 4..] {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if t.is_punct(';') && depth <= 0 {
+                    break;
+                } else if is_float_num(t) || is_float_ty(t) {
+                    names.push(toks[i + 2].text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Parse `lint:allow(<name>): <reason>` directives out of the comment
+/// stream and resolve each to its target line (the comment's own line for
+/// trailing comments, otherwise the next line bearing a token).
+fn parse_suppressions(comments: &[Comment], toks: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!`, `/**`) only *describe* the directive
+        // syntax; a real directive is a plain comment.
+        if c.text.starts_with('/') || c.text.starts_with('!') || c.text.starts_with('*') {
+            continue;
+        }
+        let Some(pos) = c.text.find("lint:allow(") else { continue };
+        let rest = &c.text[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let name = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let has_reason = after.starts_with(':') && !after[1..].trim().is_empty();
+        let trailing = toks.iter().any(|t| t.line == c.line);
+        let target_line = if trailing {
+            c.line
+        } else {
+            toks.iter().map(|t| t.line).filter(|&l| l > c.line).min().unwrap_or(c.line)
+        };
+        out.push(Suppression { name, has_reason, line: c.line, target_line, used: false });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_lib(src: &str) -> FileReport {
+        let ctx = FileCtx {
+            crate_dir: "resource".into(),
+            class: FileClass::Lib,
+            rel_path: "crates/resource/src/x.rs".into(),
+        };
+        lint_file(&ctx, src)
+    }
+
+    fn names(r: &FileReport) -> Vec<&str> {
+        r.diagnostics.iter().map(|d| d.lint.as_str()).collect()
+    }
+
+    #[test]
+    fn test_dir_files_are_exempt_from_everything() {
+        let ctx = FileCtx {
+            crate_dir: "resource".into(),
+            class: FileClass::TestDir,
+            rel_path: "crates/resource/tests/t.rs".into(),
+        };
+        let r = lint_file(&ctx, "fn t() { let m = HashMap::new(); m.get(0).unwrap(); }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn bin_files_skip_panic_hygiene_but_sim_bins_do_not_exist() {
+        let ctx = FileCtx {
+            crate_dir: "bench".into(),
+            class: FileClass::Bin,
+            rel_path: "crates/bench/src/bin/repro.rs".into(),
+        };
+        let r = lint_file(&ctx, "fn main() { foo().unwrap(); }");
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn non_sim_crates_keep_hash_maps() {
+        let ctx = FileCtx {
+            crate_dir: "xtask".into(),
+            class: FileClass::Lib,
+            rel_path: "crates/xtask/src/x.rs".into(),
+        };
+        let r = lint_file(&ctx, "use std::collections::HashMap;");
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn float_let_mut_with_cast_is_tracked() {
+        let r = sim_lib("fn f(n: usize) -> f64 { let mut acc = n as f64; acc += 1.5; acc }");
+        assert_eq!(names(&r), ["float-accumulate"]);
+    }
+
+    #[test]
+    fn integer_accumulation_is_fine() {
+        let r = sim_lib("fn f() -> usize { let mut n = 0usize; n += 1; n }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn suppression_on_preceding_line_applies() {
+        let src = "fn f() -> u64 {\n    // lint:allow(panic-hygiene): value is checked above\n    x.unwrap()\n}";
+        let ctx = FileCtx {
+            crate_dir: "analysis".into(),
+            class: FileClass::Lib,
+            rel_path: "crates/analysis/src/x.rs".into(),
+        };
+        let r = lint_file(&ctx, src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressions_used, 1);
+    }
+
+    #[test]
+    fn blessed_files_may_accumulate_floats() {
+        let ctx = FileCtx {
+            crate_dir: "dht-core".into(),
+            class: FileClass::Lib,
+            rel_path: "crates/dht-core/src/stats.rs".into(),
+        };
+        let r = lint_file(&ctx, "fn f(x: f64) { let mut total = 0.0; total += x; }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+}

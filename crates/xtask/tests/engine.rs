@@ -1,0 +1,145 @@
+//! End-to-end tests of the lint engine: each fixture under
+//! `tests/fixtures/` exercises one lint (or the suppression machinery),
+//! and the final test holds the real workspace to zero findings.
+
+use std::path::{Path, PathBuf};
+
+use xtask::lints::{lint_file, FileClass, FileCtx, FileReport};
+use xtask::{lint_workspace, render_json};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Run a fixture as if it were simulation-path library code.
+fn run(name: &str) -> FileReport {
+    let ctx = FileCtx {
+        crate_dir: "resource".into(),
+        class: FileClass::Lib,
+        rel_path: format!("crates/resource/src/{name}"),
+    };
+    lint_file(&ctx, &fixture(name))
+}
+
+fn lint_names(r: &FileReport) -> Vec<&str> {
+    r.diagnostics.iter().map(|d| d.lint.as_str()).collect()
+}
+
+#[test]
+fn hash_collections_fires_on_violation() {
+    let r = run("hash_violate.rs");
+    assert_eq!(lint_names(&r), vec!["hash-collections"; 4], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn hash_collections_quiet_on_clean_file() {
+    let r = run("hash_clean.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn wall_clock_fires_on_violation() {
+    let r = run("wallclock_violate.rs");
+    let names = lint_names(&r);
+    assert_eq!(names.iter().filter(|&&n| n == "wall-clock").count(), 4, "{:?}", r.diagnostics);
+    assert!(names.iter().all(|&n| n == "wall-clock"), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn wall_clock_quiet_on_seeded_sampling() {
+    let r = run("wallclock_clean.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn panic_hygiene_fires_on_violation() {
+    let r = run("panic_violate.rs");
+    assert_eq!(lint_names(&r), vec!["panic-hygiene"; 3], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn panic_hygiene_quiet_on_lookalikes_and_tests() {
+    let r = run("panic_clean.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn float_accumulate_fires_on_violation() {
+    let r = run("float_violate.rs");
+    assert_eq!(lint_names(&r), vec!["float-accumulate"; 2], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn float_accumulate_quiet_on_integer_and_sum() {
+    let r = run("float_clean.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn reasoned_suppressions_silence_findings() {
+    let r = run("suppress_ok.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressions_used, 2);
+}
+
+#[test]
+fn unused_suppression_is_an_error() {
+    let r = run("suppress_unused.rs");
+    assert_eq!(lint_names(&r), ["unused-suppression"], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn malformed_suppressions_are_errors_and_do_not_suppress() {
+    let r = run("suppress_bad.rs");
+    let mut names = lint_names(&r);
+    names.sort();
+    assert_eq!(
+        names,
+        ["bad-suppression", "bad-suppression", "panic-hygiene"],
+        "{:?}",
+        r.diagnostics
+    );
+    assert_eq!(r.suppressions_used, 0);
+}
+
+#[test]
+fn fixtures_do_not_fire_outside_sim_crates_or_lib_class() {
+    // The same violating source is exempt in a non-simulation crate...
+    let ctx = FileCtx {
+        crate_dir: "bench".into(),
+        class: FileClass::Lib,
+        rel_path: "crates/bench/src/x.rs".into(),
+    };
+    let r = lint_file(&ctx, &fixture("hash_violate.rs"));
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    // ...and in a sim crate's integration tests.
+    let ctx = FileCtx {
+        crate_dir: "resource".into(),
+        class: FileClass::TestDir,
+        rel_path: "crates/resource/tests/x.rs".into(),
+    };
+    let r = lint_file(&ctx, &fixture("panic_violate.rs"));
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+/// The real workspace must stay clean — this is the same gate CI runs.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("scan workspace");
+    assert!(report.files_scanned > 50, "walker found too few files: {}", report.files_scanned);
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.lint, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let json = render_json(&report);
+    assert!(json.contains("\"schema\": \"lorm-repro/lint-v1\""));
+    assert!(json.contains("\"clean\": true"));
+}

@@ -1,0 +1,16 @@
+//! Fixture: integer accumulation and non-`+=` float math are fine.
+
+pub fn count(samples: &[f64]) -> usize {
+    let mut n = 0usize;
+    for s in samples {
+        if *s > 0.0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+pub fn mean(samples: &[f64]) -> f64 {
+    let total: f64 = samples.iter().sum();
+    total / samples.len().max(1) as f64
+}

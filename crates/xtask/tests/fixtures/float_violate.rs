@@ -1,0 +1,15 @@
+//! Fixture: raw float accumulation must fire.
+
+pub fn total(samples: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for &s in samples {
+        sum += s;
+    }
+    sum
+}
+
+pub fn scaled(n: usize) -> f64 {
+    let mut acc = n as f64;
+    acc += 0.5;
+    acc
+}

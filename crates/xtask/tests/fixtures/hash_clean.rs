@@ -1,0 +1,12 @@
+//! Fixture: BTree collections are fine, and doc text that merely says
+//! HashMap (like this sentence) must not fire.
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Not a finding: "HashMap" appears only in this doc comment and in the
+/// string below.
+pub struct Store {
+    by_key: BTreeMap<u64, Vec<u32>>,
+    seen: BTreeSet<u64>,
+}
+
+pub const NOTE: &str = "HashMap is forbidden here";

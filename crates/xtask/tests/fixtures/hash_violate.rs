@@ -1,0 +1,18 @@
+//! Fixture: HashMap/HashSet in simulation-path library code must fire.
+use std::collections::{HashMap, HashSet};
+
+pub struct Store {
+    by_key: HashMap<u64, Vec<u32>>,
+    seen: HashSet<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may use hash collections freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let _m: HashMap<u8, u8> = HashMap::new();
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: non-panicking lookalikes and test-only panics are fine.
+
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn pick(v: Option<u32>) -> u32 {
+    v.unwrap_or_else(|| 7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn panics_in_tests_are_fine() {
+        let v: Option<u32> = None;
+        v.unwrap();
+        panic!("boom");
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: unwrap/expect/panic! in library code must fire.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("caller promised Some")
+}
+
+pub fn boom() {
+    panic!("unreachable");
+}

@@ -1,0 +1,11 @@
+//! Fixture: malformed suppressions — unknown lint name, missing reason.
+
+pub fn a(v: Option<u32>) -> u32 {
+    // lint:allow(no-such-lint): reasons do not save unknown names.
+    v.unwrap_or(0)
+}
+
+pub fn b(v: Option<u32>) -> u32 {
+    // lint:allow(panic-hygiene)
+    v.expect("missing reason must not suppress")
+}

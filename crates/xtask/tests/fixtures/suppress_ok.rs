@@ -1,0 +1,11 @@
+//! Fixture: a reasoned suppression silences the finding — preceding-line
+//! and trailing forms both work.
+
+pub fn must(v: Option<u32>) -> u32 {
+    // lint:allow(panic-hygiene): the caller validated v above.
+    v.expect("validated")
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() // lint:allow(panic-hygiene): slice is never empty here.
+}

@@ -1,0 +1,6 @@
+//! Fixture: a suppression that matches nothing is itself an error.
+
+pub fn fine(v: Option<u32>) -> u32 {
+    // lint:allow(panic-hygiene): nothing here actually panics.
+    v.unwrap_or(0)
+}

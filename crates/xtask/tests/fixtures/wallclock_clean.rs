@@ -1,0 +1,19 @@
+//! Fixture: seeded sampling is fine; "Instant" in strings/docs is fine.
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Doc text mentioning Instant::now() must not fire.
+pub fn draw(seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}
+
+pub const NOTE: &str = "Instant and SystemTime are banned";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

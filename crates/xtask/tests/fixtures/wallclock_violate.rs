@@ -1,0 +1,15 @@
+//! Fixture: wall-clock time and ambient entropy must fire.
+use std::time::Instant;
+
+pub fn elapsed() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn draw() -> f64 {
+    rand::random()
+}
+
+pub fn seed_from_env() -> u64 {
+    std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
