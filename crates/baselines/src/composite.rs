@@ -116,7 +116,7 @@ impl ResourceDiscovery for CompositeFlat {
         let from = self.node_of(info.owner)?;
         let key = self.key_of(info.attr, info.value);
         let route = self.host.store_routed(from, key, info)?;
-        Ok(LookupTally { hops: route.hops(), lookups: 1, visited: 1, matches: 0 })
+        Ok(LookupTally { hops: route.hops, lookups: 1, visited: 1, matches: 0 })
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {
@@ -124,25 +124,33 @@ impl ResourceDiscovery for CompositeFlat {
         let mut tally = LookupTally::default();
         let mut per_sub = Vec::with_capacity(q.subs.len());
         let mut probed_all: Vec<NodeIdx> = Vec::new();
+        // One probe-list scratch serves every sub-query of this query.
+        let mut walk: Vec<NodeIdx> = Vec::new();
         for sub in &q.subs {
             let (lo, hi) = match sub.target {
                 ValueTarget::Point(v) => (v, None),
                 ValueTarget::Range { low, high } => (low, Some(high)),
             };
             let lo_key = self.key_of(sub.attr, lo);
-            let route = self.host.net().route(from, lo_key)?;
+            let route = self.host.net().route_stats(from, lo_key)?;
             tally.lookups += 1;
-            tally.hops += route.hops();
-            let probed = match hi {
-                None => vec![route.terminal],
-                Some(h) => self.host.walk_range(route.terminal, lo_key, self.key_of(sub.attr, h)),
-            };
-            tally.visited += probed.len();
-            let mut owners = Vec::new();
-            for node in probed {
-                owners.extend(self.host.matches_in(node, sub.attr, &sub.target));
-                probed_all.push(node);
+            tally.hops += route.hops;
+            walk.clear();
+            match hi {
+                None => walk.push(route.terminal),
+                Some(h) => self.host.walk_range_into(
+                    route.terminal,
+                    lo_key,
+                    self.key_of(sub.attr, h),
+                    &mut walk,
+                ),
             }
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                self.host.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
             tally.matches += owners.len();
             per_sub.push(owners);
         }

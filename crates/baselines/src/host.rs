@@ -2,7 +2,7 @@
 //! all three baseline systems.
 
 use chord::{Chord, ChordConfig};
-use dht_core::{DhtError, NodeIdx, Overlay, RouteResult};
+use dht_core::{DhtError, NodeIdx, Overlay, RouteStats};
 use grid_resource::{AttrId, Directory, ResourceInfo, ValueTarget};
 
 /// One Chord overlay with a resource-information directory on every node.
@@ -53,14 +53,15 @@ impl ChordHost {
     }
 
     /// Store by routing from `from` (the per-report insert path). Returns
-    /// the route taken.
+    /// the route's `(hops, terminal, exact)` summary — the insert path
+    /// never needs the traced hop list.
     pub fn store_routed(
         &mut self,
         from: NodeIdx,
         key: u64,
         info: ResourceInfo,
-    ) -> Result<RouteResult, DhtError> {
-        let route = self.net.route(from, key)?;
+    ) -> Result<RouteStats, DhtError> {
+        let route = self.net.route_stats(from, key)?;
         self.sync_arena();
         self.dirs[route.terminal.0].push(info);
         Ok(route)
@@ -86,6 +87,18 @@ impl ChordHost {
         self.dirs[node.0].matching_owners(attr, t)
     }
 
+    /// Append matching owners into `out` (scratch-buffer variant for the
+    /// query hot loops).
+    pub fn matches_in_into(
+        &self,
+        node: NodeIdx,
+        attr: AttrId,
+        t: &ValueTarget,
+        out: &mut Vec<usize>,
+    ) {
+        self.dirs[node.0].matching_owners_into(attr, t, out);
+    }
+
     /// Total pieces stored on all nodes.
     pub fn total_pieces(&self) -> usize {
         self.dirs.iter().map(Directory::len).sum()
@@ -102,8 +115,22 @@ impl ChordHost {
     /// between still holds matching values. The walk stops early if
     /// pointers are broken (churn) or after a full circle.
     pub fn walk_range(&self, start: NodeIdx, lo_key: u64, hi_key: u64) -> Vec<NodeIdx> {
+        let mut probed = Vec::new();
+        self.walk_range_into(start, lo_key, hi_key, &mut probed);
+        probed
+    }
+
+    /// Append the probed nodes of a range walk into `out` (scratch-buffer
+    /// variant for the query hot loops, which run one walk per sub-query).
+    pub fn walk_range_into(
+        &self,
+        start: NodeIdx,
+        lo_key: u64,
+        hi_key: u64,
+        out: &mut Vec<NodeIdx>,
+    ) {
         use dht_core::clockwise_dist;
-        let mut probed = vec![start];
+        out.push(start);
         let mut cur = start;
         let span = clockwise_dist(lo_key, hi_key);
         let budget = self.net.len();
@@ -119,13 +146,12 @@ impl ChordHost {
             }
             match self.net.next_clockwise(cur) {
                 Ok(next) if next != start => {
-                    probed.push(next);
+                    out.push(next);
                     cur = next;
                 }
                 _ => break,
             }
         }
-        probed
     }
 
     /// Per-live-node directory sizes, indexed in `live_nodes()` order.

@@ -100,7 +100,7 @@ impl ResourceDiscovery for Maan {
         let from = self.node_of(info.owner)?;
         let r1 = self.host.store_routed(from, self.attr_key(info.attr), info)?;
         let r2 = self.host.store_routed(from, self.value_key(info.value), info)?;
-        Ok(LookupTally { hops: r1.hops() + r2.hops(), lookups: 2, visited: 2, matches: 0 })
+        Ok(LookupTally { hops: r1.hops + r2.hops, lookups: 2, visited: 2, matches: 0 })
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {
@@ -108,11 +108,13 @@ impl ResourceDiscovery for Maan {
         let mut tally = LookupTally::default();
         let mut per_sub = Vec::with_capacity(q.subs.len());
         let mut probed_all: Vec<NodeIdx> = Vec::new();
+        // One probe-list scratch serves every sub-query of this query.
+        let mut walk: Vec<NodeIdx> = Vec::new();
         for sub in &q.subs {
             // Lookup 1: the attribute registration (existence/metadata).
-            let attr_route = self.host.net().route(from, self.attr_key(sub.attr))?;
+            let attr_route = self.host.net().route_stats(from, self.attr_key(sub.attr))?;
             tally.lookups += 1;
-            tally.hops += attr_route.hops();
+            tally.hops += attr_route.hops;
             tally.visited += 1;
             probed_all.push(attr_route.terminal);
             // Lookup 2: the value registration; ranges walk the ring.
@@ -120,23 +122,25 @@ impl ResourceDiscovery for Maan {
                 ValueTarget::Point(v) => (v, None),
                 ValueTarget::Range { low, high } => (low, Some(high)),
             };
-            let value_route = self.host.net().route(from, self.value_key(lo))?;
+            let value_route = self.host.net().route_stats(from, self.value_key(lo))?;
             tally.lookups += 1;
-            tally.hops += value_route.hops();
-            let probed = match hi {
-                None => vec![value_route.terminal],
-                Some(h) => self.host.walk_range(
+            tally.hops += value_route.hops;
+            walk.clear();
+            match hi {
+                None => walk.push(value_route.terminal),
+                Some(h) => self.host.walk_range_into(
                     value_route.terminal,
                     self.value_key(lo),
                     self.value_key(h),
+                    &mut walk,
                 ),
-            };
-            tally.visited += probed.len();
-            let mut owners = Vec::new();
-            for node in probed {
-                owners.extend(self.host.matches_in(node, sub.attr, &sub.target));
-                probed_all.push(node);
             }
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                self.host.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
             tally.matches += owners.len();
             per_sub.push(owners);
         }

@@ -105,7 +105,7 @@ impl ResourceDiscovery for Mercury {
         let from = self.node_of(info.owner)?;
         let key = self.lph.hash(info.value);
         let route = self.hubs[info.attr.0 as usize].store_routed(from, key, info)?;
-        Ok(LookupTally { hops: route.hops(), lookups: 1, visited: 1, matches: 0 })
+        Ok(LookupTally { hops: route.hops, lookups: 1, visited: 1, matches: 0 })
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {
@@ -113,25 +113,33 @@ impl ResourceDiscovery for Mercury {
         let mut tally = LookupTally::default();
         let mut per_sub = Vec::with_capacity(q.subs.len());
         let mut probed_all: Vec<NodeIdx> = Vec::new();
+        // One probe-list scratch serves every sub-query of this query.
+        let mut walk: Vec<NodeIdx> = Vec::new();
         for sub in &q.subs {
             let hub = &self.hubs[sub.attr.0 as usize];
             let (lo, hi) = match sub.target {
                 ValueTarget::Point(v) => (v, None),
                 ValueTarget::Range { low, high } => (low, Some(high)),
             };
-            let route = hub.net().route(from, self.value_key(lo))?;
+            let route = hub.net().route_stats(from, self.value_key(lo))?;
             tally.lookups += 1;
-            tally.hops += route.hops();
-            let probed = match hi {
-                None => vec![route.terminal],
-                Some(h) => hub.walk_range(route.terminal, self.value_key(lo), self.value_key(h)),
-            };
-            tally.visited += probed.len();
-            let mut owners = Vec::new();
-            for node in probed {
-                owners.extend(hub.matches_in(node, sub.attr, &sub.target));
-                probed_all.push(node);
+            tally.hops += route.hops;
+            walk.clear();
+            match hi {
+                None => walk.push(route.terminal),
+                Some(h) => hub.walk_range_into(
+                    route.terminal,
+                    self.value_key(lo),
+                    self.value_key(h),
+                    &mut walk,
+                ),
             }
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                hub.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
             tally.matches += owners.len();
             per_sub.push(owners);
         }

@@ -85,7 +85,7 @@ impl ResourceDiscovery for Sword {
         let from = self.node_of(info.owner)?;
         let key = self.key_of(info.attr);
         let route = self.host.store_routed(from, key, info)?;
-        Ok(LookupTally { hops: route.hops(), lookups: 1, visited: 1, matches: 0 })
+        Ok(LookupTally { hops: route.hops, lookups: 1, visited: 1, matches: 0 })
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {
@@ -94,9 +94,9 @@ impl ResourceDiscovery for Sword {
         let mut per_sub = Vec::with_capacity(q.subs.len());
         let mut probed_all = Vec::with_capacity(q.subs.len());
         for sub in &q.subs {
-            let route = self.host.net().route(from, self.key_of(sub.attr))?;
+            let route = self.host.net().route_stats(from, self.key_of(sub.attr))?;
             tally.lookups += 1;
-            tally.hops += route.hops();
+            tally.hops += route.hops;
             tally.visited += 1; // the root holds everything; no probing
             let owners = self.host.matches_in(route.terminal, sub.attr, &sub.target);
             tally.matches += owners.len();

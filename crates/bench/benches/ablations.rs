@@ -45,7 +45,7 @@ fn bench_dimension(c: &mut Criterion) {
             b.iter(|| {
                 let from = net.random_node(&mut rng).unwrap();
                 let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
-                black_box(net.route(from, key).unwrap().hops())
+                black_box(net.route_stats(from, key).unwrap().hops)
             });
         });
     }

@@ -21,7 +21,7 @@ fn bench_lookup(c: &mut Criterion) {
             b.iter(|| {
                 let from = chord.random_node(&mut rng).unwrap();
                 let key: u64 = rng.gen();
-                black_box(chord.route(from, key).unwrap().hops())
+                black_box(chord.route_stats(from, key).unwrap().hops)
             });
         });
         group.bench_with_input(BenchmarkId::new("cycloid", n), &n, |b, _| {
@@ -29,7 +29,7 @@ fn bench_lookup(c: &mut Criterion) {
             b.iter(|| {
                 let from = cycloid.random_node(&mut rng).unwrap();
                 let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
-                black_box(cycloid.route(from, key).unwrap().hops())
+                black_box(cycloid.route_stats(from, key).unwrap().hops)
             });
         });
     }

@@ -2,6 +2,43 @@
 #![allow(clippy::print_stdout)] // terminal output is this binary's UI
 
 use bench::{parse_args, render_json, run_artifact_report, ArtifactRun};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so `repro perf` can report
+/// allocations-per-lookup. Counting is a single relaxed atomic increment;
+/// the `System` allocator does the real work.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates allocation and deallocation verbatim to `System`;
+// the only addition is a relaxed counter bump, which cannot violate any
+// allocator invariant.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: &mut dyn FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 fn main() {
     let (cfg, artifacts) = match parse_args(std::env::args().skip(1)) {
@@ -12,6 +49,24 @@ fn main() {
         }
     };
     sim::experiments::set_default_shards(cfg.shards);
+    if cfg.perf {
+        println!(
+            "# LORM perf baseline — {} mode (seed {})\n",
+            if cfg.quick { "quick" } else { "full (paper §V)" },
+            cfg.seed
+        );
+        let kernels = bench::perf::run_perf(&cfg, Some(count_allocs));
+        println!("{}", bench::perf::render_perf_table(&kernels));
+        if let Some(path) = &cfg.json {
+            let json = bench::perf::render_perf_json(&cfg, &kernels);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("(perf metrics written to {})", path.display());
+        }
+        return;
+    }
     println!(
         "# LORM reproduction — {} mode (seed {})\n",
         if cfg.quick { "quick" } else { "full (paper §V)" },

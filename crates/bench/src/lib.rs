@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase};
 use sim::{Report, SimConfig, TestBed};
 use std::path::PathBuf;
@@ -136,11 +138,13 @@ pub struct ReproConfig {
     pub shards: usize,
     /// Write the machine-readable metrics export here.
     pub json: Option<PathBuf>,
+    /// Run the wall-clock perf kernels instead of the figures.
+    pub perf: bool,
 }
 
 impl Default for ReproConfig {
     fn default() -> Self {
-        Self { quick: false, seed: 0x1C99, shards: 0, json: None }
+        Self { quick: false, seed: 0x1C99, shards: 0, json: None, perf: false }
     }
 }
 
@@ -319,9 +323,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
     args: I,
 ) -> Result<(ReproConfig, Vec<Artifact>), String> {
     const USAGE: &str = "usage: repro [--quick] [--seed=N] [--shards=N] \
-                         [--json <path>] [theorems fig3a fig3bcd fig3sweep \
-                          fig4 fig5 fig6a fig6b t410 maintenance churnfail \
-                          hopdist latency loadbalance ablations | all]";
+                         [--json <path>] [perf | theorems fig3a fig3bcd \
+                          fig3sweep fig4 fig5 fig6a fig6b t410 maintenance \
+                          churnfail hopdist latency loadbalance ablations | \
+                          all]";
     let mut cfg = ReproConfig::default();
     let mut artifacts: Vec<Artifact> = Vec::new();
     let mut args = args.into_iter();
@@ -344,6 +349,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
                     .parse()
                     .map_err(|_| format!("bad shard count in {s:?}"))?;
             }
+            "perf" => cfg.perf = true,
             s => match Artifact::parse(s) {
                 Some(mut v) => artifacts.append(&mut v),
                 None => return Err(format!("unknown target {s:?}\n{USAGE}")),
@@ -500,6 +506,15 @@ mod tests {
         assert_eq!(cfg.json.as_deref(), Some(std::path::Path::new("metrics.json")));
         // missing path is an error
         assert!(parse_args(["--json".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_perf_target() {
+        let (cfg, _) = parse_args(["--quick".into(), "perf".into()]).unwrap();
+        assert!(cfg.perf);
+        assert!(cfg.quick);
+        let (cfg, _) = parse_args(["fig4".into()]).unwrap();
+        assert!(!cfg.perf);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Proves the untraced routing fast path is allocation-free.
+//!
+//! A counting `#[global_allocator]` (the same scheme the `repro` binary
+//! uses for `repro perf`) wraps the system allocator; the single test
+//! routes a thousand lookups through `route_stats` on stabilized Chord
+//! and Cycloid networks and asserts the allocation counter did not move.
+//! One test per binary: the counter is process-global, so a second
+//! concurrent test would pollute the window.
+
+use chord::{Chord, ChordConfig};
+use cycloid::{Cycloid, CycloidConfig, CycloidId};
+use dht_core::{NodeIdx, Overlay};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter bump cannot violate
+// any allocator invariant.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn route_stats_makes_zero_heap_allocations() {
+    const LOOKUPS: usize = 1000;
+    // Everything that allocates happens before the measured window:
+    // network construction and the pre-drawn lookup plans.
+    let chord = Chord::build(512, ChordConfig::default());
+    let d = 7u8;
+    let cycloid = Cycloid::build(d as usize * (1 << d), CycloidConfig { dimension: d, seed: 1 });
+    let mut rng = SmallRng::seed_from_u64(0xA110C);
+    let chord_plan: Vec<(NodeIdx, u64)> = (0..LOOKUPS)
+        .map(|_| (chord.random_node(&mut rng).expect("live node"), rng.gen()))
+        .collect();
+    let cycloid_plan: Vec<(NodeIdx, CycloidId)> = (0..LOOKUPS)
+        .map(|_| {
+            let from = cycloid.random_node(&mut rng).expect("live node");
+            let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
+            (from, key)
+        })
+        .collect();
+
+    // Warm-up: any lazily-initialized one-time allocation lands here.
+    black_box(chord.route_stats(chord_plan[0].0, chord_plan[0].1).expect("lookup").hops);
+    black_box(cycloid.route_stats(cycloid_plan[0].0, cycloid_plan[0].1).expect("lookup").hops);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for &(from, key) in &chord_plan {
+        black_box(chord.route_stats(from, key).expect("lookup").hops);
+    }
+    for &(from, key) in &cycloid_plan {
+        black_box(cycloid.route_stats(from, key).expect("lookup").hops);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs,
+        0,
+        "route_stats must be allocation-free: {allocs} allocations over {} lookups",
+        2 * LOOKUPS
+    );
+}

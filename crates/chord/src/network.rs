@@ -1,7 +1,7 @@
 //! The Chord network: arena of nodes, construction, churn, repair.
 
 use crate::node::{ChordNode, FINGER_BITS};
-use dht_core::{ConsistentHash, DhtError, NodeIdx, Overlay, RouteResult};
+use dht_core::{ConsistentHash, DhtError, NodeIdx, Overlay, RouteResult, RouteStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -93,9 +93,19 @@ impl Chord {
     /// `arena_len` but never participates in the ring. Used to keep
     /// multiple overlays' arenas in lock-step when a coordinated join
     /// partially fails (see Mercury's join rollback).
+    ///
+    /// The tombstone's identifier is drawn collision-free and recorded in
+    /// `used_ids` (tombstones never retire, so the id stays reserved) —
+    /// otherwise a later [`Chord::join`] could draw the same id and put
+    /// two arena nodes on one ring position.
     pub fn reserve_tombstone(&mut self) -> NodeIdx {
+        let mut id = self.rng.gen::<u64>();
+        while self.used_ids.contains(&id) {
+            id = id.wrapping_add(0x9e3779b97f4a7c15);
+        }
+        self.used_ids.insert(id);
         let idx = NodeIdx(self.nodes.len());
-        let mut node = ChordNode::new(self.rng.gen());
+        let mut node = ChordNode::new(id);
         node.alive = false;
         self.nodes.push(node);
         idx
@@ -126,17 +136,23 @@ impl Chord {
             live.iter().all(|&i| self.nodes[i.0].alive),
             "sorted ring must hold only live nodes"
         );
+        // Flat copy of the ring ids: the n·64 finger binary-searches below
+        // then run over a contiguous u64 array instead of chasing
+        // `nodes[sorted[m].0].id` pointers per probe (bulk construction is
+        // the dominant cost of building Mercury's m hubs).
+        let ids: Vec<u64> = live.iter().map(|&i| self.nodes[i.0].id).collect();
         for (pos, &idx) in live.iter().enumerate() {
             let mut succs = Vec::with_capacity(self.cfg.succ_list_len);
             for k in 1..=self.cfg.succ_list_len.min(n.saturating_sub(1)).max(1) {
                 succs.push(live[(pos + k) % n]);
             }
             let pred = live[(pos + n - 1) % n];
-            let id = self.nodes[idx.0].id;
+            let id = ids[pos];
             let mut fingers = Vec::with_capacity(FINGER_BITS);
             for i in 0..FINGER_BITS {
                 let target = id.wrapping_add(1u64 << i);
-                fingers.push(self.true_owner(target));
+                let fpos = ids.partition_point(|&v| v < target);
+                fingers.push(live[fpos % n]);
             }
             let node = &mut self.nodes[idx.0];
             node.successors = succs;
@@ -209,11 +225,9 @@ impl Chord {
             return Err(DhtError::IdSpaceExhausted);
         }
         self.live_node(bootstrap)?;
-        // Find the successor of the new id by routing from the bootstrap.
-        let succ = {
-            let r = self.route_from(bootstrap, id)?;
-            r.terminal
-        };
+        // Find the successor of the new id by routing from the bootstrap
+        // (untraced: only the terminal matters).
+        let succ = self.route_stats_from(bootstrap, id)?.terminal;
         let idx = self.push_node(id);
         // Splice: new node's successor list comes from succ.
         let succ_node = &self.nodes[succ.0];
@@ -234,11 +248,12 @@ impl Chord {
                 pnode.successors.truncate(self.cfg.succ_list_len);
             }
         }
-        // Initialize fingers by routing (the joining node's own lookups).
+        // Initialize fingers by routing (the joining node's own lookups,
+        // untraced — 64 of them per join).
         let mut fingers = Vec::with_capacity(FINGER_BITS);
         for i in 0..FINGER_BITS {
             let target = id.wrapping_add(1u64 << i);
-            let f = self.route_from(succ, target).map(|r| r.terminal).unwrap_or(succ);
+            let f = self.route_stats_from(succ, target).map(|r| r.terminal).unwrap_or(succ);
             fingers.push(f);
         }
         self.nodes[idx.0].fingers = fingers;
@@ -269,8 +284,22 @@ impl Chord {
                 let pnode = &mut self.nodes[p.0];
                 pnode.successors.retain(|&x| x != idx);
                 pnode.successors.insert(0, s);
-                pnode.successors.dedup();
-                pnode.successors.truncate(self.cfg.succ_list_len);
+                // Order-preserving seen-set dedup: `Vec::dedup` only
+                // removes *adjacent* duplicates, so a non-adjacent copy of
+                // the spliced-in successor (or any stale repeat) would
+                // survive and waste a repair slot. The list is at most
+                // `succ_list_len + 1` long, so the quadratic scan is free.
+                let list = &mut pnode.successors;
+                let mut keep = 0;
+                for i in 0..list.len() {
+                    let x = list[i];
+                    if !list[..keep].contains(&x) {
+                        list[keep] = x;
+                        keep += 1;
+                    }
+                }
+                list.truncate(keep);
+                list.truncate(self.cfg.succ_list_len);
             }
         }
         Ok(())
@@ -339,7 +368,7 @@ impl Chord {
         let id = self.live_node(idx)?.id;
         for i in 0..FINGER_BITS {
             let target = id.wrapping_add(1u64 << i);
-            if let Ok(r) = self.route_from(idx, target) {
+            if let Ok(r) = self.route_stats_from(idx, target) {
                 self.nodes[idx.0].fingers[i] = r.terminal;
             }
         }
@@ -348,7 +377,8 @@ impl Chord {
 
     /// Run one stabilization + finger-repair round on every live node.
     pub fn stabilize_all(&mut self) {
-        let live: Vec<NodeIdx> = self.live_nodes();
+        // Owned snapshot: stabilization mutates node state while iterating.
+        let live: Vec<NodeIdx> = self.sorted.clone();
         for &idx in &live {
             if self.nodes[idx.0].alive {
                 let _ = self.stabilize(idx);
@@ -383,8 +413,8 @@ impl Overlay for Chord {
         self.sorted.len()
     }
 
-    fn live_nodes(&self) -> Vec<NodeIdx> {
-        self.sorted.clone()
+    fn live_nodes(&self) -> &[NodeIdx] {
+        &self.sorted
     }
 
     fn owner_of(&self, key: u64) -> Result<NodeIdx, DhtError> {
@@ -396,6 +426,10 @@ impl Overlay for Chord {
 
     fn route(&self, from: NodeIdx, key: u64) -> Result<RouteResult, DhtError> {
         self.route_from(from, key)
+    }
+
+    fn route_stats(&self, from: NodeIdx, key: u64) -> Result<RouteStats, DhtError> {
+        self.route_stats_from(from, key)
     }
 
     fn outlinks(&self, node: NodeIdx) -> Result<usize, DhtError> {
@@ -555,12 +589,58 @@ mod tests {
             let n = c.random_node(&mut rng).unwrap();
             assert!(c.node(n).unwrap().is_alive());
         }
-        for idx in c.live_nodes() {
+        for idx in c.live_nodes_cloned() {
             if c.len() > 1 {
                 let _ = c.leave(idx);
             }
         }
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn leave_drops_non_adjacent_duplicate_successor() {
+        // Regression: `Vec::dedup` only removes *adjacent* duplicates, so
+        // the old leave path kept a stale non-adjacent copy of the
+        // spliced-in successor, wasting a successor-list slot.
+        let mut c = net(8);
+        let victim = c.nodes_by_id()[3];
+        let succ = c.nodes_by_id()[4];
+        let other = c.nodes_by_id()[5];
+        let pred = c.node(victim).unwrap().predecessor().unwrap();
+        // Plant a stale copy of `succ` separated from the front by `other`:
+        // after the splice inserts `succ` at the head, the list reads
+        // [succ, other, succ] — `Vec::dedup` would keep the trailing copy.
+        c.nodes[pred.0].successors = vec![victim, other, succ];
+        c.leave(victim).unwrap();
+        let after = &c.nodes[pred.0].successors;
+        assert_eq!(after.iter().filter(|&&x| x == succ).count(), 1, "dup survived: {after:?}");
+        assert_eq!(&after[..2], &[succ, other]);
+    }
+
+    #[test]
+    fn tombstone_id_is_reserved_against_joins() {
+        // Regression: `reserve_tombstone` used to draw a random id without
+        // consulting or updating `used_ids`, so a later join could draw
+        // the same id and put two arena nodes on one ring position.
+        let mut c = net(4);
+        let boot = c.nodes_by_id()[0];
+        let t = c.reserve_tombstone();
+        let tid = c.nodes[t.0].id;
+        assert!(!c.nodes[t.0].alive);
+        assert!(c.used_ids.contains(&tid), "tombstone id must be recorded");
+        assert_eq!(c.join_with_id(boot, tid), Err(DhtError::IdSpaceExhausted));
+        // And the next tombstone cannot collide with an existing node
+        // either: force the rng's next draw onto an occupied id by
+        // exhausting... (cheaper: just check distinctness over a batch).
+        let mut seen: Vec<u64> = c.used_ids.iter().copied().collect();
+        for _ in 0..32 {
+            let t = c.reserve_tombstone();
+            seen.push(c.nodes[t.0].id);
+        }
+        let n = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n, "tombstone ids must be collision-free");
     }
 
     #[test]

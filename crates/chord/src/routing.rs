@@ -1,24 +1,53 @@
-//! Greedy iterative Chord routing with hop tracing.
+//! Greedy iterative Chord routing, generic over the hop observer.
+//!
+//! One routing loop serves both public variants: the traced
+//! [`Overlay::route`] records every hop into a `Vec<NodeIdx>` path, while
+//! the zero-allocation [`Overlay::route_stats`] fast path drives the same
+//! loop with a bare [`HopCount`]. Sharing the loop makes divergence
+//! between the two impossible by construction (and proptests assert it).
 
 use crate::network::Chord;
 use crate::node::FINGER_BITS;
-use dht_core::{in_interval_oc, in_interval_oo, DhtError, NodeIdx, Overlay, RouteResult};
+use dht_core::{
+    in_interval_oc, in_interval_oo, DhtError, HopCount, NodeIdx, Overlay, RouteResult, RouteSink,
+    RouteStats,
+};
 
 impl Chord {
     /// Route a lookup for `key` starting at `from`, using only node-local
-    /// state at every hop. Dead next-hops are skipped via the successor
-    /// list, mirroring the protocol's failure handling.
+    /// state at every hop, tracing the full path.
     pub(crate) fn route_from(&self, from: NodeIdx, key: u64) -> Result<RouteResult, DhtError> {
+        let mut path: Vec<NodeIdx> = Vec::with_capacity(16);
+        let (terminal, exact) = self.route_inner(from, key, &mut path)?;
+        Ok(RouteResult { path, terminal, exact })
+    }
+
+    /// The allocation-free twin of [`Chord::route_from`]: identical
+    /// routing decisions, but only `(hops, terminal, exact)` come back.
+    pub(crate) fn route_stats_from(&self, from: NodeIdx, key: u64) -> Result<RouteStats, DhtError> {
+        let mut hops = HopCount::default();
+        let (terminal, exact) = self.route_inner(from, key, &mut hops)?;
+        Ok(RouteStats { hops: hops.get(), terminal, exact })
+    }
+
+    /// The routing loop. Dead next-hops are skipped via the successor
+    /// list, mirroring the protocol's failure handling. Every forwarding
+    /// hop is reported to `sink`; the returned pair is `(terminal, exact)`.
+    fn route_inner<S: RouteSink>(
+        &self,
+        from: NodeIdx,
+        key: u64,
+        sink: &mut S,
+    ) -> Result<(NodeIdx, bool), DhtError> {
         let origin = self.node(from)?;
         if !origin.is_alive() {
             return Err(DhtError::NodeNotFound { index: from.0 });
         }
         if self.len() == 1 {
-            return Ok(RouteResult::local(from));
+            return Ok((from, true));
         }
         let budget = 4 * FINGER_BITS + 16;
         let mut cur = from;
-        let mut path: Vec<NodeIdx> = Vec::with_capacity(16);
         loop {
             let node = &self.nodes[cur.0];
             // Does `cur` itself own the key? (pred, cur] ∋ key
@@ -45,37 +74,49 @@ impl Chord {
                 .ok_or(DhtError::EmptyOverlay)?;
             // Key in (cur, succ] -> succ is the root.
             if in_interval_oc(node.id, self.nodes[succ.0].id, key) {
-                path.push(succ);
+                sink.visit(succ);
                 cur = succ;
                 break;
             }
             // Closest preceding live node among fingers + successor list.
             let next = self.closest_preceding(cur, key).unwrap_or(succ);
             let next = if next == cur { succ } else { next };
-            path.push(next);
+            sink.visit(next);
             cur = next;
-            if path.len() > budget {
-                return Err(DhtError::RoutingLoop { hops: path.len() });
+            if sink.hops() > budget {
+                return Err(DhtError::RoutingLoop { hops: sink.hops() });
             }
         }
         let exact = self.owner_of(key)? == cur;
-        Ok(RouteResult { path, terminal: cur, exact })
+        Ok((cur, exact))
     }
 
-    /// Chord's `closest_preceding_node`: the live neighbor with the largest
-    /// identifier in the open interval `(cur, key)`.
+    /// Chord's `closest_preceding_node`: a live neighbor in the open
+    /// interval `(cur, key)` maximizing clockwise progress.
+    ///
+    /// Fingers are scanned from the top down and the scan stops at the
+    /// first in-interval candidate: `fingers[i]` targets
+    /// `successor(id + 2^i)`, so in a stabilized table clockwise distance
+    /// is non-decreasing in `i` and the first hit from the top *is* the
+    /// maximum-progress finger — no need to score the remaining ~63
+    /// entries every hop. Only when no finger precedes the key does the
+    /// (short) successor list get scored the exhaustive way.
     fn closest_preceding(&self, cur: NodeIdx, key: u64) -> Option<NodeIdx> {
         let node = &self.nodes[cur.0];
         let cur_id = node.id;
+        for &cand in node.fingers.iter().rev() {
+            let c = &self.nodes[cand.0];
+            if c.alive && cand != cur && in_interval_oo(cur_id, key, c.id) {
+                return Some(cand);
+            }
+        }
         let mut best: Option<(u64, NodeIdx)> = None;
-        for &cand in node.fingers.iter().rev().chain(node.successors.iter()) {
+        for &cand in node.successors.iter() {
             let c = &self.nodes[cand.0];
             if !c.alive || cand == cur {
                 continue;
             }
             if in_interval_oo(cur_id, key, c.id) {
-                // The closest preceding node maximizes clockwise distance
-                // from cur (equivalently, minimizes distance to key).
                 let progress = dht_core::clockwise_dist(cur_id, c.id);
                 if best.is_none_or(|(p, _)| progress > p) {
                     best = Some((progress, cand));
@@ -129,6 +170,47 @@ mod tests {
         let r = c.route(only, 12345).unwrap();
         assert_eq!(r.hops(), 0);
         assert_eq!(r.terminal, only);
+        let s = c.route_stats(only, 12345).unwrap();
+        assert_eq!(s, RouteStats::local(only));
+    }
+
+    #[test]
+    fn route_stats_matches_traced_route_when_stabilized() {
+        let c = net(512);
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..500 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key: u64 = rng.gen();
+            let traced = c.route(from, key).unwrap();
+            let fast = c.route_stats(from, key).unwrap();
+            assert_eq!(fast.hops, traced.hops());
+            assert_eq!(fast.terminal, traced.terminal);
+            assert_eq!(fast.exact, traced.exact);
+        }
+    }
+
+    #[test]
+    fn route_stats_matches_traced_route_under_failures() {
+        let mut c = net(300);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..30 {
+            if let Some(v) = c.random_node(&mut rng) {
+                let _ = c.fail(v);
+            }
+        }
+        for _ in 0..400 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key: u64 = rng.gen();
+            let traced = c.route(from, key);
+            let fast = c.route_stats(from, key);
+            match (traced, fast) {
+                (Ok(t), Ok(f)) => {
+                    assert_eq!((f.hops, f.terminal, f.exact), (t.hops(), t.terminal, t.exact));
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (t, f) => panic!("variants diverged: {t:?} vs {f:?}"),
+            }
+        }
     }
 
     #[test]
@@ -219,6 +301,7 @@ mod tests {
         let v = c.nodes_by_id()[2];
         c.fail(v).unwrap();
         assert!(c.route(v, 7).is_err());
+        assert!(c.route_stats(v, 7).is_err());
     }
 
     #[test]

@@ -74,6 +74,44 @@ proptest! {
         }
     }
 
+    /// The zero-allocation fast path is observationally identical to the
+    /// traced route in every network state: freshly stabilized, after
+    /// unrepaired churn (leaves and abrupt failures), and after repair.
+    #[test]
+    fn route_stats_equals_traced_route(n in 8usize..200, seed: u64,
+                                       leaves in 0usize..4, fails in 0usize..4) {
+        let mut net = Chord::build(n, ChordConfig { seed, ..Default::default() });
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF02);
+        let check = |net: &Chord, rng: &mut SmallRng| -> Result<(), TestCaseError> {
+            for _ in 0..12 {
+                let from = net.random_node(rng).unwrap();
+                let key: u64 = rand::Rng::gen(rng);
+                match (net.route(from, key), net.route_stats(from, key)) {
+                    (Ok(t), Ok(s)) => {
+                        prop_assert_eq!(t.hops(), s.hops);
+                        prop_assert_eq!(t.terminal, s.terminal);
+                        prop_assert_eq!(t.exact, s.exact);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (t, s) => prop_assert!(false, "diverged: traced {t:?} vs stats {s:?}"),
+                }
+            }
+            Ok(())
+        };
+        check(&net, &mut rng)?; // stabilized
+        for _ in 0..leaves.min(n / 4) {
+            let v = net.random_node(&mut rng).unwrap();
+            net.leave(v).unwrap();
+        }
+        for _ in 0..fails.min(n / 4) {
+            let v = net.random_node(&mut rng).unwrap();
+            net.fail(v).unwrap();
+        }
+        check(&net, &mut rng)?; // post-churn, unrepaired
+        net.rebuild_all_state();
+        check(&net, &mut rng)?; // post-repair
+    }
+
     /// Distinct outlinks stay O(log n): never more than 2·log2(n) + r + 1.
     #[test]
     fn outlink_bound(n in 2usize..500, seed: u64) {

@@ -54,11 +54,14 @@ impl Lorm {
         let mut tally = LookupTally::default();
         let mut probed_all = Vec::new();
         let mut survivors: Option<Vec<usize>> = None;
+        // One single-sub scratch query reused across the sequential steps.
+        let mut single = Query { subs: Vec::with_capacity(1) };
         for sub in &q.subs {
             if matches!(survivors.as_deref(), Some([])) {
                 break; // short-circuit: nothing can match anymore
             }
-            let single = Query { subs: vec![*sub] };
+            single.subs.clear();
+            single.subs.push(*sub);
             let out = self.query_from(phys, &single)?;
             tally.hops += out.tally.hops;
             tally.lookups += out.tally.lookups;

@@ -100,10 +100,10 @@ impl Lorm {
     /// ownership wraps — e.g. a two-member cluster where `root(low)` and
     /// `root(high)` coincide but the member in between owns interior
     /// positions.
-    fn range_walk(&self, start: NodeIdx, lo_pos: u8, hi_pos: u8) -> Vec<NodeIdx> {
+    fn range_walk_into(&self, start: NodeIdx, lo_pos: u8, hi_pos: u8, out: &mut Vec<NodeIdx>) {
         let d = self.overlay.dimension();
         let span = CycloidId::cw_cyclic_dist(lo_pos, hi_pos, d);
-        let mut probed = vec![start];
+        out.push(start);
         let mut cur = start;
         for _ in 0..d {
             let Some(next) = self.overlay.cluster_successor(cur).ok().flatten() else {
@@ -118,10 +118,9 @@ impl Lorm {
             if CycloidId::cw_cyclic_dist(lo_pos, p, d) > span {
                 break;
             }
-            probed.push(next);
+            out.push(next);
             cur = next;
         }
-        probed
     }
 
     /// First cyclic position, walking clockwise from `cur`, that is owned
@@ -148,29 +147,29 @@ impl Lorm {
 
     /// Probe every member of `start`'s cluster (ablation mode: a range
     /// query without locality-preserving placement cannot stop early).
-    fn full_cluster_walk(&self, start: NodeIdx) -> Vec<NodeIdx> {
+    fn full_cluster_walk_into(&self, start: NodeIdx, out: &mut Vec<NodeIdx>) {
         let d = self.overlay.dimension();
-        let mut probed = vec![start];
+        out.push(start);
         let mut cur = start;
         for _ in 0..d {
             match self.overlay.cluster_successor(cur).ok().flatten() {
                 Some(next) if next != start => {
-                    probed.push(next);
+                    out.push(next);
                     cur = next;
                 }
                 _ => break,
             }
         }
-        probed
     }
 
-    fn matches_in(
+    fn matches_in_into(
         &self,
         node: NodeIdx,
         attr: grid_resource::AttrId,
         t: &ValueTarget,
-    ) -> Vec<usize> {
-        self.directories[node.0].matching_owners(attr, t)
+        out: &mut Vec<usize>,
+    ) {
+        self.directories[node.0].matching_owners_into(attr, t, out);
     }
 }
 
@@ -201,9 +200,9 @@ impl ResourceDiscovery for Lorm {
     fn register(&mut self, info: ResourceInfo) -> Result<LookupTally, DhtError> {
         let from = self.node_of(info.owner)?;
         let id = self.keys.resc_id(info.attr, info.value);
-        let route = self.overlay.route(from, id)?;
+        let route = self.overlay.route_stats(from, id)?;
         self.store(route.terminal, info);
-        Ok(LookupTally { hops: route.hops(), lookups: 1, visited: 1, matches: 0 })
+        Ok(LookupTally { hops: route.hops, lookups: 1, visited: 1, matches: 0 })
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {
@@ -211,6 +210,8 @@ impl ResourceDiscovery for Lorm {
         let mut tally = LookupTally::default();
         let mut per_sub: Vec<Vec<usize>> = Vec::with_capacity(q.subs.len());
         let mut probed_all: Vec<NodeIdx> = Vec::new();
+        // One probe-list scratch serves every sub-query of this query.
+        let mut walk: Vec<NodeIdx> = Vec::new();
         for sub in &q.subs {
             let (lookup_value, bounds) = match sub.target {
                 ValueTarget::Point(v) => (v, None),
@@ -219,27 +220,28 @@ impl ResourceDiscovery for Lorm {
                 }
             };
             let resc_id = self.keys.resc_id(sub.attr, lookup_value);
-            let route = self.overlay.route(from, resc_id)?;
+            let route = self.overlay.route_stats(from, resc_id)?;
             tally.lookups += 1;
-            tally.hops += route.hops();
-            let probed = match bounds {
-                None => vec![route.terminal],
+            tally.hops += route.hops;
+            walk.clear();
+            match bounds {
+                None => walk.push(route.terminal),
                 Some((lo, hi)) => {
                     match self.keys.placement() {
                         // Proposition 3.1: matching roots are contiguous.
-                        Placement::Lph => self.range_walk(route.terminal, lo, hi),
+                        Placement::Lph => self.range_walk_into(route.terminal, lo, hi, &mut walk),
                         // Ablation: without locality preservation, matches
                         // can sit anywhere in the cluster — probe it all.
-                        Placement::Hashed => self.full_cluster_walk(route.terminal),
+                        Placement::Hashed => self.full_cluster_walk_into(route.terminal, &mut walk),
                     }
                 }
-            };
-            tally.visited += probed.len();
-            let mut owners = Vec::new();
-            for node in probed {
-                owners.extend(self.matches_in(node, sub.attr, &sub.target));
-                probed_all.push(node);
             }
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                self.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
             tally.matches += owners.len();
             per_sub.push(owners);
         }

@@ -2,7 +2,7 @@
 
 use crate::id::CycloidId;
 use crate::node::CycloidNode;
-use dht_core::{DhtError, NodeIdx, Overlay, RouteResult};
+use dht_core::{DhtError, NodeIdx, Overlay, RouteResult, RouteStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,6 +54,11 @@ pub struct Cycloid {
     occupied: Vec<u32>,
     /// Per-cluster member lists, each sorted by cyclic index.
     clusters: Vec<Vec<NodeIdx>>,
+    /// Arena indices of all live nodes, ascending. Maintained
+    /// incrementally (arena indices grow monotonically, so `occupy`
+    /// appends and `vacate` binary-searches) so [`Overlay::live_nodes`]
+    /// is a borrow, not a full-arena scan-and-collect.
+    live_sorted: Vec<NodeIdx>,
     live: usize,
     rng: SmallRng,
 }
@@ -68,6 +73,7 @@ impl Cycloid {
             slots: vec![None; cap],
             occupied: Vec::new(),
             clusters: vec![Vec::new(); 1usize << cfg.dimension],
+            live_sorted: Vec::new(),
             live: 0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xCAB005E),
         }
@@ -138,6 +144,8 @@ impl Cycloid {
             self.occupied.windows(2).all(|w| w[0] < w[1]),
             "occupied cluster list must stay strictly sorted"
         );
+        // Arena indices only grow, so appending keeps the list sorted.
+        self.live_sorted.push(idx);
         self.live += 1;
         idx
     }
@@ -153,6 +161,9 @@ impl Cycloid {
             if let Ok(p) = self.occupied.binary_search(&id.cubical) {
                 self.occupied.remove(p);
             }
+        }
+        if let Ok(p) = self.live_sorted.binary_search(&idx) {
+            self.live_sorted.remove(p);
         }
         self.live -= 1;
     }
@@ -284,8 +295,8 @@ impl Cycloid {
     /// truth — the simulator's "perfect stabilization" tick, also used by
     /// `build`.
     pub fn rebuild_all_links(&mut self) {
-        let indices: Vec<NodeIdx> =
-            (0..self.nodes.len()).map(NodeIdx).filter(|&i| self.nodes[i.0].alive).collect();
+        // Owned snapshot: rebuilding mutates node state while iterating.
+        let indices = self.live_sorted.clone();
         for idx in indices {
             self.rebuild_links_of(idx);
         }
@@ -415,10 +426,11 @@ impl Cycloid {
         self.vacate(idx);
         self.repair_cluster_neighborhood(c);
         // Notify in-neighbors (the departing node knows them in the real
-        // protocol; the simulator finds them by scan).
-        let in_neighbors: Vec<NodeIdx> = (0..self.nodes.len())
-            .map(NodeIdx)
-            .filter(|&j| self.nodes[j.0].alive)
+        // protocol; the simulator finds them by scanning the live list).
+        let in_neighbors: Vec<NodeIdx> = self
+            .live_sorted
+            .iter()
+            .copied()
             .filter(|&j| self.nodes[j.0].all_links().any(|l| l == idx))
             .collect();
         for j in in_neighbors {
@@ -443,8 +455,8 @@ impl Overlay for Cycloid {
         self.live
     }
 
-    fn live_nodes(&self) -> Vec<NodeIdx> {
-        (0..self.nodes.len()).map(NodeIdx).filter(|&i| self.nodes[i.0].alive).collect()
+    fn live_nodes(&self) -> &[NodeIdx] {
+        &self.live_sorted
     }
 
     fn owner_of(&self, key: CycloidId) -> Result<NodeIdx, DhtError> {
@@ -454,6 +466,10 @@ impl Overlay for Cycloid {
 
     fn route(&self, from: NodeIdx, key: CycloidId) -> Result<RouteResult, DhtError> {
         self.route_from(from, key)
+    }
+
+    fn route_stats(&self, from: NodeIdx, key: CycloidId) -> Result<RouteStats, DhtError> {
+        self.route_stats_from(from, key)
     }
 
     fn outlinks(&self, node: NodeIdx) -> Result<usize, DhtError> {
@@ -499,7 +515,7 @@ mod tests {
     fn outlinks_are_constant_degree() {
         for &n in &[256usize, 1024, 2048] {
             let c = net(n, 8);
-            for idx in c.live_nodes().into_iter().take(50) {
+            for &idx in c.live_nodes().iter().take(50) {
                 let links = c.outlinks(idx).unwrap();
                 assert!(links <= 8, "degree {links} exceeds constant bound");
             }
@@ -564,7 +580,7 @@ mod tests {
     #[test]
     fn owner_of_own_id_is_self() {
         let c = net(900, 8);
-        for idx in c.live_nodes().into_iter().take(100) {
+        for &idx in c.live_nodes().iter().take(100) {
             let id = c.id_of(idx).unwrap();
             assert_eq!(c.owner_of(id).unwrap(), idx);
         }
@@ -663,6 +679,48 @@ mod tests {
         assert_eq!(c.node(succ_of_victim).unwrap().inside_pred(), Some(victim));
         c.rebuild_all_links();
         assert_ne!(c.node(succ_of_victim).unwrap().inside_pred(), Some(victim));
+    }
+
+    #[test]
+    fn live_list_tracks_churn_in_arena_order() {
+        let mut c = net(300, 8);
+        let mut r = SmallRng::seed_from_u64(6);
+        for _ in 0..40 {
+            let v = c.random_node(&mut r).unwrap();
+            if r.gen_bool(0.5) {
+                c.leave(v).unwrap();
+            } else {
+                c.fail(v).unwrap();
+            }
+            let _ = c.join_random();
+        }
+        let live = c.live_nodes();
+        assert_eq!(live.len(), c.len());
+        assert!(live.windows(2).all(|w| w[0] < w[1]), "live list must stay ascending");
+        for &i in live {
+            assert!(c.node(i).unwrap().is_alive());
+        }
+        assert_eq!(c.live_nodes_cloned(), live.to_vec());
+    }
+
+    #[test]
+    fn leave_keeps_cluster_members_unique() {
+        // Audit for the Chord `leave` dedup bug: Cycloid's departure path
+        // rebuilds membership via `retain` on ground-truth cluster lists,
+        // so duplicates cannot arise — pin that with a churn storm.
+        let mut c = net(2048, 8);
+        let mut r = SmallRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let v = c.random_node(&mut r).unwrap();
+            c.leave(v).unwrap();
+        }
+        for cub in 0..256u32 {
+            let members = c.cluster_members(cub);
+            let mut seen = members.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), members.len(), "duplicate member in cluster {cub}");
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Three-phase Cycloid routing with hop tracing.
+//! Three-phase Cycloid routing, generic over the hop observer.
 //!
 //! From a node `(k, a)` towards a key `(l, b)`, let `D` be the minimal
 //! large-cycle distance from `a` to `b` and `j = msb(D)`:
@@ -20,10 +20,16 @@
 //! tie-break matching the ownership rule, so routing stops exactly at the
 //! key's root when links are fresh, and at the nearest reachable node
 //! otherwise.
+//!
+//! As in `chord::routing`, one loop serves both public variants: the
+//! traced [`Overlay::route`] records the path into a `Vec<NodeIdx>`, the
+//! zero-allocation [`Overlay::route_stats`] drives the same loop with a
+//! bare [`HopCount`]. Divergence is impossible by construction (and
+//! proptests assert it).
 
 use crate::id::CycloidId;
 use crate::network::Cycloid;
-use dht_core::{DhtError, NodeIdx, Overlay, RouteResult};
+use dht_core::{DhtError, HopCount, NodeIdx, Overlay, RouteResult, RouteSink, RouteStats};
 
 /// A routing decision: forward normally, or forward while committing to
 /// the final intra-cluster traverse (no further cluster-level moves).
@@ -38,11 +44,33 @@ impl Cycloid {
         from: NodeIdx,
         key: CycloidId,
     ) -> Result<RouteResult, DhtError> {
+        let mut path: Vec<NodeIdx> = Vec::with_capacity(12);
+        let (terminal, exact) = self.route_inner(from, key, &mut path)?;
+        Ok(RouteResult { path, terminal, exact })
+    }
+
+    /// The allocation-free twin of [`Cycloid::route_from`]: identical
+    /// routing decisions, but only `(hops, terminal, exact)` come back.
+    pub(crate) fn route_stats_from(
+        &self,
+        from: NodeIdx,
+        key: CycloidId,
+    ) -> Result<RouteStats, DhtError> {
+        let mut hops = HopCount::default();
+        let (terminal, exact) = self.route_inner(from, key, &mut hops)?;
+        Ok(RouteStats { hops: hops.get(), terminal, exact })
+    }
+
+    fn route_inner<S: RouteSink>(
+        &self,
+        from: NodeIdx,
+        key: CycloidId,
+        sink: &mut S,
+    ) -> Result<(NodeIdx, bool), DhtError> {
         self.live_node(from)?;
         let d = self.dimension();
         let budget = 8 * d as usize + 32;
         let mut cur = from;
-        let mut path: Vec<NodeIdx> = Vec::with_capacity(12);
         // Allow the "stuck, retry from the primary" ascent at most once per
         // cluster-distance value, so ascend/traverse cannot ping-pong.
         let mut last_ascend_cd: Option<u32> = None;
@@ -51,8 +79,8 @@ impl Cycloid {
         // the intra-cluster traverse so descent cannot re-trigger.
         let mut traverse_only = false;
         loop {
-            if path.len() > budget {
-                return Err(DhtError::RoutingLoop { hops: path.len() });
+            if sink.hops() > budget {
+                return Err(DhtError::RoutingLoop { hops: sink.hops() });
             }
             let step = if traverse_only {
                 self.traverse_step(cur, key.cyclic).map(Hop::Forward)
@@ -61,19 +89,19 @@ impl Cycloid {
             };
             match step {
                 Some(Hop::Forward(n)) => {
-                    path.push(n);
+                    sink.visit(n);
                     cur = n;
                 }
                 Some(Hop::Stuck(n)) => {
                     traverse_only = true;
-                    path.push(n);
+                    sink.visit(n);
                     cur = n;
                 }
                 None => break,
             }
         }
         let exact = self.owner_of(key)? == cur;
-        Ok(RouteResult { path, terminal: cur, exact })
+        Ok((cur, exact))
     }
 
     /// Decide the next hop from `cur` towards `key` using only `cur`'s
@@ -91,22 +119,38 @@ impl Cycloid {
         if my_cd == 0 {
             return self.traverse_step(cur, key.cyclic).map(Hop::Forward);
         }
-        let alive = |x: &NodeIdx| self.nodes[x.0].alive && *x != cur;
-        let cd_of =
-            |x: NodeIdx| CycloidId::cluster_dist(self.nodes[x.0].id.cubical, key.cubical, d);
+
+        // One fused pass over the (constant-degree, <= 8) link set computes
+        // each link's cluster distance exactly once and extracts both
+        // extrema rules 1 and 4 need. Strict `<` comparisons reproduce the
+        // first-minimum tie-break of `Iterator::min_by_key` over the same
+        // link order, so decisions are bit-identical to the two-scan form.
+        let mut best_zero: Option<(u8, NodeIdx)> = None; // rule 1: cd == 0
+        let mut best_lt: Option<(u32, NodeIdx)> = None; // rule 4: cd < my_cd
+        for x in n.all_links() {
+            let xn = &self.nodes[x.0];
+            if !xn.alive || x == cur {
+                continue;
+            }
+            let cd = CycloidId::cluster_dist(xn.id.cubical, key.cubical, d);
+            if cd == 0 {
+                let cyc = CycloidId::cyclic_dist(xn.id.cyclic, key.cyclic, d);
+                if best_zero.is_none_or(|(bc, _)| cyc < bc) {
+                    best_zero = Some((cyc, x));
+                }
+            } else if cd < my_cd && best_lt.is_none_or(|(bc, _)| cd < bc) {
+                best_lt = Some((cd, x));
+            }
+        }
 
         // Rule 1: any link landing in the target cluster wins outright;
         // among several, pick the one closest to the key's cyclic position
         // to shorten the final traverse.
-        if let Some(hit) = n
-            .all_links()
-            .filter(alive)
-            .filter(|&x| cd_of(x) == 0)
-            .min_by_key(|&x| CycloidId::cyclic_dist(self.nodes[x.0].id.cyclic, key.cyclic, d))
-        {
+        if let Some((_, hit)) = best_zero {
             return Some(Hop::Forward(hit));
         }
 
+        let alive = |x: &NodeIdx| self.nodes[x.0].alive && *x != cur;
         let k = n.id.cyclic;
         let cw = CycloidId::cw_cluster_dist(n.id.cubical, key.cubical, d);
         let ccw = CycloidId::cw_cluster_dist(key.cubical, n.id.cubical, d);
@@ -129,20 +173,16 @@ impl Cycloid {
         if k <= j {
             let dir_link = if cw <= ccw { n.cyclic_nbrs[1] } else { n.cyclic_nbrs[0] };
             if let Some(x) = dir_link.filter(alive) {
-                if cd_of(x) < my_cd {
+                let cd = CycloidId::cluster_dist(self.nodes[x.0].id.cubical, key.cubical, d);
+                if cd < my_cd {
                     return Some(Hop::Forward(x));
                 }
             }
         }
 
-        // Rule 4: greedy — the link with the smallest resulting distance.
-        let best = n
-            .all_links()
-            .filter(alive)
-            .map(|x| (cd_of(x), x))
-            .filter(|&(cd, _)| cd < my_cd)
-            .min_by_key(|&(cd, _)| cd);
-        if let Some((_, x)) = best {
+        // Rule 4: greedy — the link with the smallest resulting distance
+        // (already extracted by the fused scan above).
+        if let Some((_, x)) = best_lt {
             return Some(Hop::Forward(x));
         }
 
@@ -272,6 +312,47 @@ mod tests {
         assert_eq!(r.terminal, only);
         assert_eq!(r.hops(), 0);
         assert!(r.exact);
+        let s = c.route_stats(only, CycloidId::new(0, 60, 6)).unwrap();
+        assert_eq!(s, RouteStats::local(only));
+    }
+
+    #[test]
+    fn route_stats_matches_traced_route_when_stabilized() {
+        let c = net(1500, 8);
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..500 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key = random_key(&mut rng, 8);
+            let traced = c.route(from, key).unwrap();
+            let fast = c.route_stats(from, key).unwrap();
+            assert_eq!(fast.hops, traced.hops());
+            assert_eq!(fast.terminal, traced.terminal);
+            assert_eq!(fast.exact, traced.exact);
+        }
+    }
+
+    #[test]
+    fn route_stats_matches_traced_route_under_failures() {
+        let mut c = net(1024, 8);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..60 {
+            if let Some(v) = c.random_node(&mut rng) {
+                let _ = c.fail(v);
+            }
+        }
+        for _ in 0..400 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key = random_key(&mut rng, 8);
+            let traced = c.route(from, key);
+            let fast = c.route_stats(from, key);
+            match (traced, fast) {
+                (Ok(t), Ok(f)) => {
+                    assert_eq!((f.hops, f.terminal, f.exact), (t.hops(), t.terminal, t.exact));
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (t, f) => panic!("variants diverged: {t:?} vs {f:?}"),
+            }
+        }
     }
 
     #[test]
@@ -357,6 +438,7 @@ mod tests {
         let v = c.live_nodes()[0];
         c.fail(v).unwrap();
         assert!(c.route(v, CycloidId::new(0, 0, 5)).is_err());
+        assert!(c.route_stats(v, CycloidId::new(0, 0, 5)).is_err());
     }
 
     #[test]

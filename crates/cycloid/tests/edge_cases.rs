@@ -16,7 +16,7 @@ fn dimension_one_works() {
         for cyc in 0..1u8 {
             let key = CycloidId::new(cyc, cub, 1);
             let owner = net.owner_of(key).unwrap();
-            for idx in net.live_nodes() {
+            for &idx in net.live_nodes() {
                 let r = net.route(idx, key).unwrap();
                 assert_eq!(r.terminal, owner);
             }

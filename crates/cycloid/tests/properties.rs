@@ -36,7 +36,7 @@ proptest! {
         let owner = net.owner_of(key).unwrap();
         let oc = net.id_of(owner).unwrap().cubical;
         let od = CycloidId::cluster_dist(oc, b, d);
-        for idx in net.live_nodes().into_iter().take(40) {
+        for &idx in net.live_nodes().iter().take(40) {
             let c = net.id_of(idx).unwrap().cubical;
             prop_assert!(CycloidId::cluster_dist(c, b, d) >= od);
         }
@@ -48,7 +48,7 @@ proptest! {
         let cap = d as usize * (1usize << d);
         let n = ((cap as f64 * frac) as usize).clamp(1, cap);
         let net = Cycloid::build(n, CycloidConfig { dimension: d, seed });
-        for idx in net.live_nodes().into_iter().take(30) {
+        for &idx in net.live_nodes().iter().take(30) {
             prop_assert!(net.outlinks(idx).unwrap() <= 8);
         }
     }
@@ -72,11 +72,55 @@ proptest! {
         let cap = d as usize * (1usize << d);
         let n = ((cap as f64 * frac) as usize).clamp(1, cap);
         let net = Cycloid::build(n, CycloidConfig { dimension: d, seed });
-        for idx in net.live_nodes().into_iter().take(50) {
+        for &idx in net.live_nodes().iter().take(50) {
             let id = net.id_of(idx).unwrap();
             prop_assert!(net.cluster_members(id.cubical).contains(&idx));
             prop_assert_eq!(net.owner_of(id).unwrap(), idx);
         }
+    }
+
+    /// The zero-allocation fast path is observationally identical to the
+    /// traced route in every network state: freshly built, after
+    /// unrepaired churn (leaves and abrupt failures), and after repair.
+    #[test]
+    fn route_stats_equals_traced_route(d in 4u8..8, frac in 0.3f64..1.0, seed: u64,
+                                       leaves in 0usize..6, fails in 0usize..6) {
+        let cap = d as usize * (1usize << d);
+        let n = ((cap as f64 * frac) as usize).clamp(8, cap);
+        let mut net = Cycloid::build(n, CycloidConfig { dimension: d, seed });
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xCF);
+        let check = |net: &Cycloid, rng: &mut SmallRng| -> Result<(), TestCaseError> {
+            for _ in 0..12 {
+                let from = net.random_node(rng).unwrap();
+                let key = CycloidId::new(
+                    rand::Rng::gen_range(rng, 0..d),
+                    rand::Rng::gen_range(rng, 0..(1u32 << d)),
+                    d,
+                );
+                match (net.route(from, key), net.route_stats(from, key)) {
+                    (Ok(t), Ok(s)) => {
+                        prop_assert_eq!(t.hops(), s.hops);
+                        prop_assert_eq!(t.terminal, s.terminal);
+                        prop_assert_eq!(t.exact, s.exact);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (t, s) => prop_assert!(false, "diverged: traced {t:?} vs stats {s:?}"),
+                }
+            }
+            Ok(())
+        };
+        check(&net, &mut rng)?; // freshly built
+        for _ in 0..leaves.min(net.len() / 4) {
+            let v = net.random_node(&mut rng).unwrap();
+            net.leave(v).unwrap();
+        }
+        for _ in 0..fails.min(net.len() / 4) {
+            let v = net.random_node(&mut rng).unwrap();
+            net.fail(v).unwrap();
+        }
+        check(&net, &mut rng)?; // post-churn, unrepaired
+        net.rebuild_all_links();
+        check(&net, &mut rng)?; // post-repair
     }
 
     /// Leaving any subset keeps the structure sound.

@@ -44,4 +44,4 @@ pub use overlay::{NodeIdx, Overlay};
 pub use ring::{clockwise_dist, in_interval_co, in_interval_oc, in_interval_oo, ring_dist};
 pub use sampling::{BoundedPareto, SeedSpawner, Zipf};
 pub use stats::{Histogram, LoadDist, Percentiles, Summary};
-pub use trace::{LookupTally, RouteResult};
+pub use trace::{HopCount, LookupTally, RouteResult, RouteSink, RouteStats};

@@ -5,7 +5,7 @@
 //! and the measurement harness are agnostic to which DHT is underneath.
 
 use crate::error::DhtError;
-use crate::trace::RouteResult;
+use crate::trace::{RouteResult, RouteStats};
 
 /// Arena index of a node within an overlay.
 ///
@@ -45,8 +45,17 @@ pub trait Overlay {
         self.len() == 0
     }
 
-    /// Arena indices of all live nodes.
-    fn live_nodes(&self) -> Vec<NodeIdx>;
+    /// Arena indices of all live nodes, borrowed from the overlay's
+    /// internal index (no allocation). The order is deterministic and
+    /// overlay-specific (ring order for Chord, arena order for Cycloid).
+    fn live_nodes(&self) -> &[NodeIdx];
+
+    /// Owned copy of [`Overlay::live_nodes`] — only for callers that must
+    /// mutate the overlay while iterating (maintenance loops). Hot paths
+    /// borrow instead; the `route-path-alloc` lint flags new clones.
+    fn live_nodes_cloned(&self) -> Vec<NodeIdx> {
+        self.live_nodes().to_vec()
+    }
 
     /// Ground-truth owner of a key (consistent-hashing assignment), without
     /// routing. Used to verify that routed lookups are exact.
@@ -54,6 +63,18 @@ pub trait Overlay {
 
     /// Route a lookup for `key` from `from`, tracing every hop.
     fn route(&self, from: NodeIdx, key: Self::Key) -> Result<RouteResult, DhtError>;
+
+    /// Route a lookup for `key` from `from` without tracing the path:
+    /// only `(hops, terminal, exact)` are produced. Semantically identical
+    /// to [`Overlay::route`]; overlays override this with an
+    /// allocation-free hop counter (the default delegates to the traced
+    /// variant).
+    fn route_stats(&self, from: NodeIdx, key: Self::Key) -> Result<RouteStats, DhtError> {
+        // lint:allow(route-path-alloc): compatibility default for overlays
+        // without a dedicated fast path; both simulators override it.
+        let r = self.route(from, key)?;
+        Ok(RouteStats { hops: r.hops(), terminal: r.terminal, exact: r.exact })
+    }
 
     /// Number of *distinct* outgoing links `node` currently maintains.
     /// This is the structure-maintenance-overhead metric of Figure 3(a).

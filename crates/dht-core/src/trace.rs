@@ -35,6 +35,69 @@ impl RouteResult {
     }
 }
 
+/// Allocation-free summary of one routed lookup — the fast-path twin of
+/// [`RouteResult`] for the hot loops (figures 4/5/6, maintenance, churn)
+/// that consume only the hop count and the terminal node and must not pay
+/// a `Vec` per lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Number of logical hops taken (0 when the origin owned the key).
+    pub hops: usize,
+    /// The node at which routing terminated (the root of the key).
+    pub terminal: NodeIdx,
+    /// Whether routing converged to the true root of the key.
+    pub exact: bool,
+}
+
+impl RouteStats {
+    /// A route that terminated at the origin without any hop.
+    pub fn local(origin: NodeIdx) -> Self {
+        Self { hops: 0, terminal: origin, exact: true }
+    }
+}
+
+/// Observer of routing hops: the same routing loop serves the traced
+/// variant (recording into a `Vec<NodeIdx>` path) and the zero-allocation
+/// fast path (a bare [`HopCount`]), so the two can never diverge.
+pub trait RouteSink {
+    /// Record one forwarding hop.
+    fn visit(&mut self, hop: NodeIdx);
+    /// Hops recorded so far (drives the routing-loop budget).
+    fn hops(&self) -> usize;
+}
+
+impl RouteSink for Vec<NodeIdx> {
+    fn visit(&mut self, hop: NodeIdx) {
+        self.push(hop);
+    }
+
+    fn hops(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Zero-allocation hop counter — the [`RouteSink`] behind
+/// [`RouteStats`](crate::overlay::Overlay::route_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopCount(usize);
+
+impl HopCount {
+    /// Hops counted.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl RouteSink for HopCount {
+    fn visit(&mut self, _hop: NodeIdx) {
+        self.0 += 1;
+    }
+
+    fn hops(&self) -> usize {
+        self.0
+    }
+}
+
 /// Aggregated cost of resolving one (possibly multi-attribute) query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LookupTally {
@@ -97,5 +160,29 @@ mod tests {
     fn tally_default_is_zero() {
         let t = LookupTally::default();
         assert_eq!(t.hops + t.lookups + t.visited + t.matches, 0);
+    }
+
+    #[test]
+    fn local_stats_have_zero_hops() {
+        let s = RouteStats::local(NodeIdx(9));
+        assert_eq!(s, RouteStats { hops: 0, terminal: NodeIdx(9), exact: true });
+    }
+
+    #[test]
+    fn hop_count_sink_counts_without_storing() {
+        let mut h = HopCount::default();
+        h.visit(NodeIdx(1));
+        h.visit(NodeIdx(2));
+        assert_eq!(h.hops(), 2);
+        assert_eq!(h.get(), 2);
+    }
+
+    #[test]
+    fn vec_sink_records_the_path() {
+        let mut v: Vec<NodeIdx> = Vec::new();
+        v.visit(NodeIdx(4));
+        v.visit(NodeIdx(7));
+        assert_eq!(RouteSink::hops(&v), 2);
+        assert_eq!(v, vec![NodeIdx(4), NodeIdx(7)]);
     }
 }

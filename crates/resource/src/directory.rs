@@ -63,9 +63,17 @@ impl Directory {
     /// Owners of pieces matching `(attr, target)` — the directory check a
     /// probed node performs.
     pub fn matching_owners(&self, attr: AttrId, target: &ValueTarget) -> Vec<usize> {
-        match self.by_attr.get(&attr.0) {
-            Some(v) => v.iter().filter(|r| target.matches(r.value)).map(|r| r.owner).collect(),
-            None => Vec::new(),
+        let mut out = Vec::new();
+        self.matching_owners_into(attr, target, &mut out);
+        out
+    }
+
+    /// Append matching owners into `out` — the allocation-free variant the
+    /// query hot loops use, so one scratch buffer serves every probed node
+    /// of a sub-query.
+    pub fn matching_owners_into(&self, attr: AttrId, target: &ValueTarget, out: &mut Vec<usize>) {
+        if let Some(v) = self.by_attr.get(&attr.0) {
+            out.extend(v.iter().filter(|r| target.matches(r.value)).map(|r| r.owner));
         }
     }
 

@@ -191,9 +191,9 @@ pub fn ablate_succ_list(n: usize, fail_fraction: f64, lookups: usize, seed: u64)
                 // with n >= 1 live nodes.
                 .expect("live node");
             let key: u64 = rng.gen();
-            if let Ok(route) = net.route(from, key) {
+            if let Ok(route) = net.route_stats(from, key) {
                 completed += 1;
-                hops.record(route.hops() as f64);
+                hops.record(route.hops as f64);
                 if route.exact {
                     exact += 1;
                 }
@@ -233,8 +233,8 @@ pub fn ablate_dimension(dims: &[u8], lookups: usize, seed: u64) -> Ablation {
                 // with n >= 1 live nodes.
                 .expect("live");
             let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
-            if let Ok(route) = net.route(from, key) {
-                hops.record(route.hops() as f64);
+            if let Ok(route) = net.route_stats(from, key) {
+                hops.record(route.hops as f64);
             }
         }
         let links: usize = net.live_nodes().iter().map(|&i| net.outlinks(i).unwrap_or(0)).sum();

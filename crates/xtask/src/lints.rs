@@ -14,6 +14,12 @@ pub const SIM_CRATES: &[&str] =
 /// documented the last-ULP variance-merge caveat there).
 pub const FLOAT_BLESSED: &[&str] = &["crates/dht-core/src/stats.rs", "crates/sim/src/report.rs"];
 
+/// Files blessed to call the traced `.route(...)` (and the cloning
+/// `.live_nodes_cloned()`) in simulation-path library code: the hop-
+/// distribution experiment and trace tooling consume full paths, so the
+/// per-lookup `Vec` is the product there, not an accident.
+pub const ROUTE_BLESSED: &[&str] = &["crates/sim/src/experiments/hopdist.rs"];
+
 /// Every lint name with a one-line description (the `--list` catalogue).
 pub const LINTS: &[(&str, &str)] = &[
     (
@@ -36,13 +42,19 @@ pub const LINTS: &[(&str, &str)] = &[
         "raw `+=` onto a float outside the blessed Summary/Report merge paths — accumulation \
          order changes last-ULP results",
     ),
+    (
+        "route-path-alloc",
+        "traced `.route(...)` or cloning `.live_nodes_cloned()` in simulation-path library code \
+         outside the trace allowlist — hot paths must use `.route_stats(...)` / borrowed \
+         `.live_nodes()`",
+    ),
     ("unused-suppression", "a lint:allow comment that suppressed nothing"),
     ("bad-suppression", "a malformed lint:allow comment (unknown lint or missing reason)"),
 ];
 
 /// Names that a `lint:allow(...)` directive may reference.
 const SUPPRESSIBLE: &[&str] =
-    &["hash-collections", "wall-clock", "panic-hygiene", "float-accumulate"];
+    &["hash-collections", "wall-clock", "panic-hygiene", "float-accumulate", "route-path-alloc"];
 
 /// How a file participates in its crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +90,10 @@ impl FileCtx {
 
     fn float_blessed(&self) -> bool {
         FLOAT_BLESSED.contains(&self.rel_path.as_str())
+    }
+
+    fn route_blessed(&self) -> bool {
+        ROUTE_BLESSED.contains(&self.rel_path.as_str())
     }
 }
 
@@ -125,6 +141,9 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
         wall_clock(ctx, &lexed.toks, &lib_code, &mut raw);
         if !ctx.float_blessed() {
             float_accumulate(ctx, &lexed.toks, &lib_code, &mut raw);
+        }
+        if !ctx.route_blessed() {
+            route_path_alloc(ctx, &lexed.toks, &lib_code, &mut raw);
         }
     }
     panic_hygiene(ctx, &lexed.toks, &lib_code, &mut raw);
@@ -361,6 +380,53 @@ fn float_accumulate(
     }
 }
 
+/// Lint 5 — per-lookup allocation: traced `.route(...)` and cloning
+/// `.live_nodes_cloned()` calls in simulation-path library code. The
+/// figure loops issue millions of lookups; a `Vec` per lookup (or a
+/// live-list clone per batch step) dominates their profile. Hot paths use
+/// `.route_stats(...)` and the borrowed `.live_nodes()`; code that
+/// genuinely consumes hop traces goes on [`ROUTE_BLESSED`] or annotates
+/// the call site.
+fn route_path_alloc(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    lib_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !lib_code(i) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_paren = i + 1 < toks.len() && toks[i + 1].is_punct('(');
+        if !(prev_dot && next_paren) {
+            continue;
+        }
+        if t.text == "route" {
+            push(
+                out,
+                ctx,
+                "route-path-alloc",
+                t.line,
+                "traced `.route(...)` allocates a path `Vec` per lookup: hot paths must use \
+                 `.route_stats(...)`; trace-consuming code belongs on the ROUTE_BLESSED \
+                 allowlist or annotates the site"
+                    .into(),
+            );
+        } else if t.text == "live_nodes_cloned" {
+            push(
+                out,
+                ctx,
+                "route-path-alloc",
+                t.line,
+                "`.live_nodes_cloned()` copies the live-node list: borrow `.live_nodes()` \
+                 unless the overlay is mutated while iterating (then annotate why)"
+                    .into(),
+            );
+        }
+    }
+}
+
 /// Names bound to floats in this file: `NAME : f64|f32` (fields, params,
 /// annotated lets) and `let mut NAME = <rhs containing a float literal or
 /// f64/f32 mention before the terminating `;`>`.
@@ -508,6 +574,47 @@ mod tests {
         let r = lint_file(&ctx, src);
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
         assert_eq!(r.suppressions_used, 1);
+    }
+
+    #[test]
+    fn traced_route_in_sim_lib_is_flagged() {
+        let r = sim_lib("fn f(o: &O) { let r = o.route(x, k); }");
+        assert_eq!(names(&r), ["route-path-alloc"]);
+    }
+
+    #[test]
+    fn route_stats_and_borrowed_live_nodes_are_fine() {
+        let r = sim_lib("fn f(o: &O) { let s = o.route_stats(x, k); let l = o.live_nodes(); }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn live_nodes_clone_is_flagged_but_suppressible() {
+        let r = sim_lib("fn f(o: &O) { let l = o.live_nodes_cloned(); }");
+        assert_eq!(names(&r), ["route-path-alloc"]);
+        let r = sim_lib(
+            "fn f(o: &mut O) {\n    // lint:allow(route-path-alloc): o is mutated while iterating\n    let l = o.live_nodes_cloned();\n}",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressions_used, 1);
+    }
+
+    #[test]
+    fn route_blessed_files_may_trace() {
+        let ctx = FileCtx {
+            crate_dir: "sim".into(),
+            class: FileClass::Lib,
+            rel_path: "crates/sim/src/experiments/hopdist.rs".into(),
+        };
+        let r = lint_file(&ctx, "fn f(o: &O) { let r = o.route(x, k); }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn route_in_test_region_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(o: &O) { o.route(x, k); }\n}";
+        let r = sim_lib(src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]
