@@ -2,7 +2,7 @@
 //! all three baseline systems.
 
 use chord::{Chord, ChordConfig};
-use dht_core::{DhtError, NodeIdx, Overlay, RouteStats};
+use dht_core::{probe_step, DhtError, FaultAccount, FaultPlan, NodeIdx, Overlay, RouteStats};
 use grid_resource::{AttrId, Directory, ResourceInfo, ValueTarget};
 
 /// One Chord overlay with a resource-information directory on every node.
@@ -154,6 +154,55 @@ impl ChordHost {
         }
     }
 
+    /// Fault-aware variant of [`Self::walk_range_into`]: every advance to
+    /// the next clockwise node is a probe message subject to the plan's
+    /// drop coin (one retry) and the dead-member check. Returns `true`
+    /// when a fault truncated the walk before the arc was covered. An
+    /// inert plan delegates to the plain walk.
+    #[allow(clippy::too_many_arguments)]
+    pub fn walk_range_faulty_into(
+        &self,
+        start: NodeIdx,
+        lo_key: u64,
+        hi_key: u64,
+        plan: &FaultPlan,
+        walk_msg: u64,
+        acct: &mut FaultAccount,
+        out: &mut Vec<NodeIdx>,
+    ) -> bool {
+        if plan.is_inert() {
+            self.walk_range_into(start, lo_key, hi_key, out);
+            return false;
+        }
+        use dht_core::clockwise_dist;
+        out.push(start);
+        let mut cur = start;
+        let span = clockwise_dist(lo_key, hi_key);
+        let budget = self.net.len();
+        let mut step = 0usize;
+        for _ in 0..budget {
+            let cur_id = match self.net.id_of(cur) {
+                Ok(id) => id,
+                Err(_) => break,
+            };
+            if clockwise_dist(lo_key, cur_id) >= span {
+                break;
+            }
+            match self.net.next_clockwise(cur) {
+                Ok(next) if next != start => {
+                    step += 1;
+                    if !probe_step(plan, walk_msg, step, next, acct) {
+                        return true;
+                    }
+                    out.push(next);
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        false
+    }
+
     /// Per-live-node directory sizes, indexed in `live_nodes()` order.
     pub fn loads(&self) -> Vec<usize> {
         self.net.live_nodes().iter().map(|&n| self.dirs[n.0].len()).collect()
@@ -235,6 +284,35 @@ mod tests {
         let start = h.net().owner_of(0).unwrap();
         let walk = h.walk_range(start, 0, u64::MAX);
         assert_eq!(walk.len(), 64);
+    }
+
+    #[test]
+    fn inert_faulty_walk_matches_plain_walk() {
+        let h = ChordHost::build(128, 4);
+        let start = h.net().owner_of(0).unwrap();
+        let plan = FaultPlan::none();
+        let mut acct = FaultAccount::default();
+        let mut faulty = Vec::new();
+        let truncated =
+            h.walk_range_faulty_into(start, 0, u64::MAX / 4, &plan, 9, &mut acct, &mut faulty);
+        assert!(!truncated);
+        assert_eq!(faulty, h.walk_range(start, 0, u64::MAX / 4));
+        assert_eq!(acct, FaultAccount::default());
+    }
+
+    #[test]
+    fn total_loss_truncates_walk_at_start() {
+        let h = ChordHost::build(128, 4);
+        let start = h.net().owner_of(0).unwrap();
+        let plan = FaultPlan::new(1, 1.0, 0.0).unwrap();
+        let mut acct = FaultAccount::default();
+        let mut walk = Vec::new();
+        let truncated =
+            h.walk_range_faulty_into(start, 0, u64::MAX / 4, &plan, 9, &mut acct, &mut walk);
+        assert!(truncated);
+        assert_eq!(walk, vec![start], "first probe drops twice: only the start is covered");
+        assert_eq!(acct.dropped_msgs, 2);
+        assert_eq!(acct.retries, 1);
     }
 
     #[test]

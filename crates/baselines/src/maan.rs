@@ -16,10 +16,13 @@
 //! system-wide: `2 + n/4` visited nodes on average (Theorem 4.9).
 
 use crate::host::ChordHost;
-use dht_core::{ConsistentHash, DhtError, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay};
+use dht_core::{
+    hashing::splitmix64, route_with_retry, sub_msg_id, walk_msg_id, ConsistentHash, DhtError,
+    FaultAccount, FaultPlan, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay,
+};
 use grid_resource::{
-    discovery::join_owners, AttrId, AttributeSpace, Query, QueryOutcome, ResourceDiscovery,
-    ResourceInfo, ValueTarget,
+    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
+    ResourceDiscovery, ResourceInfo, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -145,6 +148,117 @@ impl ResourceDiscovery for Maan {
             per_sub.push(owners);
         }
         Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn query_from_faulty(
+        &self,
+        phys: usize,
+        q: &Query,
+        plan: &FaultPlan,
+        msg_seed: u64,
+    ) -> Result<FaultyOutcome, DhtError> {
+        if plan.is_inert() {
+            return Ok(FaultyOutcome::complete(self.query_from(phys, q)?, q.arity()));
+        }
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut acct = FaultAccount::default();
+        let mut per_sub = Vec::new();
+        let mut probed_all: Vec<NodeIdx> = Vec::new();
+        let mut walk: Vec<NodeIdx> = Vec::new();
+        let mut subs_resolved = 0usize;
+        let mut subs_answered = 0usize;
+        for (i, sub) in q.subs.iter().enumerate() {
+            if tally.hops >= plan.hop_budget() {
+                continue;
+            }
+            let sub_msg = sub_msg_id(msg_seed, i);
+            // Lookup 1: the attribute registration. Its failure degrades
+            // the sub-query (metadata unavailable) but the value walk can
+            // still produce the owners.
+            tally.lookups += 1;
+            let attr_msg = splitmix64(sub_msg);
+            let mut attr_ok = false;
+            match route_with_retry(
+                self.host.net(),
+                from,
+                self.attr_key(sub.attr),
+                plan,
+                attr_msg,
+                &mut acct,
+            ) {
+                Ok(r) => {
+                    tally.hops += r.hops;
+                    tally.visited += 1;
+                    probed_all.push(r.terminal);
+                    attr_ok = true;
+                }
+                Err(DhtError::MessageDropped { hops } | DhtError::DeadHop { hops }) => {
+                    tally.hops += hops;
+                }
+                Err(e) => return Err(e),
+            }
+            // Lookup 2: the value registration; ranges walk the ring.
+            // Without it the sub-query has no owners at all.
+            let (lo, hi) = match sub.target {
+                ValueTarget::Point(v) => (v, None),
+                ValueTarget::Range { low, high } => (low, Some(high)),
+            };
+            tally.lookups += 1;
+            let value_route = match route_with_retry(
+                self.host.net(),
+                from,
+                self.value_key(lo),
+                plan,
+                sub_msg,
+                &mut acct,
+            ) {
+                Ok(r) => r,
+                Err(DhtError::MessageDropped { hops } | DhtError::DeadHop { hops }) => {
+                    tally.hops += hops;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            tally.hops += value_route.hops;
+            subs_answered += 1;
+            walk.clear();
+            let truncated = match hi {
+                None => {
+                    walk.push(value_route.terminal);
+                    false
+                }
+                Some(h) => self.host.walk_range_faulty_into(
+                    value_route.terminal,
+                    self.value_key(lo),
+                    self.value_key(h),
+                    plan,
+                    walk_msg_id(sub_msg),
+                    &mut acct,
+                    &mut walk,
+                ),
+            };
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                self.host.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
+            tally.matches += owners.len();
+            if attr_ok && !truncated {
+                subs_resolved += 1;
+            }
+            per_sub.push(owners);
+        }
+        let outcome = QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all };
+        Ok(FaultyOutcome {
+            outcome,
+            subs_resolved,
+            subs_answered,
+            subs_total: q.arity(),
+            retries: acct.retries,
+            dropped_msgs: acct.dropped_msgs,
+        })
     }
 
     fn directory_loads(&self) -> LoadDist {
@@ -327,5 +441,39 @@ mod tests {
         let (_, m) = setup();
         let loaded = m.directory_loads().loads().iter().filter(|&&l| l > 0.0).count();
         assert!((60..=105).contains(&loaded), "{loaded} of 256 nodes hold pieces");
+    }
+
+    #[test]
+    fn inert_fault_plan_query_is_identical_to_plain() {
+        let (w, m) = setup();
+        let plan = FaultPlan::new(3, 0.0, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for i in 0..30u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let plain = m.query_from(1, &q).unwrap();
+            let faulty = m.query_from_faulty(1, &q, &plan, i).unwrap();
+            assert_eq!(faulty.outcome, plain);
+            assert!(faulty.is_complete());
+        }
+    }
+
+    #[test]
+    fn faulty_queries_are_deterministic_and_degrade_under_loss() {
+        let (w, m) = setup();
+        let plan = FaultPlan::new(7, 0.2, 0.05).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut degraded = 0usize;
+        for i in 0..60u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let a = m.query_from_faulty(2, &q, &plan, i).unwrap();
+            let b = m.query_from_faulty(2, &q, &plan, i).unwrap();
+            assert_eq!(a, b);
+            if !a.is_complete() {
+                degraded += 1;
+            }
+        }
+        // MAAN's system-wide range walks make it the most exposed system:
+        // a long walk gives the drop coin many chances to fire.
+        assert!(degraded > 10, "only {degraded} of 60 queries degraded at 20% loss");
     }
 }

@@ -14,10 +14,13 @@
 //! distribution of all four systems (Theorem 4.5).
 
 use crate::host::ChordHost;
-use dht_core::{DhtError, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay};
+use dht_core::{
+    route_with_retry, sub_msg_id, walk_msg_id, DhtError, FaultAccount, FaultPlan, LoadDist,
+    LocalityHash, LookupTally, NodeIdx, Overlay,
+};
 use grid_resource::{
-    discovery::join_owners, AttrId, AttributeSpace, Query, QueryOutcome, ResourceDiscovery,
-    ResourceInfo, ValueTarget,
+    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
+    ResourceDiscovery, ResourceInfo, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -144,6 +147,91 @@ impl ResourceDiscovery for Mercury {
             per_sub.push(owners);
         }
         Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn query_from_faulty(
+        &self,
+        phys: usize,
+        q: &Query,
+        plan: &FaultPlan,
+        msg_seed: u64,
+    ) -> Result<FaultyOutcome, DhtError> {
+        if plan.is_inert() {
+            return Ok(FaultyOutcome::complete(self.query_from(phys, q)?, q.arity()));
+        }
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut acct = FaultAccount::default();
+        let mut per_sub = Vec::new();
+        let mut probed_all: Vec<NodeIdx> = Vec::new();
+        let mut walk: Vec<NodeIdx> = Vec::new();
+        let mut subs_resolved = 0usize;
+        let mut subs_answered = 0usize;
+        for (i, sub) in q.subs.iter().enumerate() {
+            if tally.hops >= plan.hop_budget() {
+                continue;
+            }
+            let sub_msg = sub_msg_id(msg_seed, i);
+            let hub = &self.hubs[sub.attr.0 as usize];
+            let (lo, hi) = match sub.target {
+                ValueTarget::Point(v) => (v, None),
+                ValueTarget::Range { low, high } => (low, Some(high)),
+            };
+            tally.lookups += 1;
+            let route = match route_with_retry(
+                hub.net(),
+                from,
+                self.value_key(lo),
+                plan,
+                sub_msg,
+                &mut acct,
+            ) {
+                Ok(r) => r,
+                Err(DhtError::MessageDropped { hops } | DhtError::DeadHop { hops }) => {
+                    tally.hops += hops;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            tally.hops += route.hops;
+            subs_answered += 1;
+            walk.clear();
+            let truncated = match hi {
+                None => {
+                    walk.push(route.terminal);
+                    false
+                }
+                Some(h) => hub.walk_range_faulty_into(
+                    route.terminal,
+                    self.value_key(lo),
+                    self.value_key(h),
+                    plan,
+                    walk_msg_id(sub_msg),
+                    &mut acct,
+                    &mut walk,
+                ),
+            };
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                hub.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
+            tally.matches += owners.len();
+            if !truncated {
+                subs_resolved += 1;
+            }
+            per_sub.push(owners);
+        }
+        let outcome = QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all };
+        Ok(FaultyOutcome {
+            outcome,
+            subs_resolved,
+            subs_answered,
+            subs_total: q.arity(),
+            retries: acct.retries,
+            dropped_msgs: acct.dropped_msgs,
+        })
     }
 
     fn directory_loads(&self) -> LoadDist {
@@ -351,6 +439,38 @@ mod tests {
         // node stores something.
         let loaded = loads.loads().iter().filter(|&&l| l > 0.0).count();
         assert!(loaded > 100, "only {loaded} of 128 nodes loaded");
+    }
+
+    #[test]
+    fn inert_fault_plan_query_is_identical_to_plain() {
+        let (w, m) = setup();
+        let plan = FaultPlan::new(3, 0.0, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        for i in 0..30u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let plain = m.query_from(1, &q).unwrap();
+            let faulty = m.query_from_faulty(1, &q, &plan, i).unwrap();
+            assert_eq!(faulty.outcome, plain);
+            assert!(faulty.is_complete());
+        }
+    }
+
+    #[test]
+    fn faulty_queries_are_deterministic_and_degrade_under_loss() {
+        let (w, m) = setup();
+        let plan = FaultPlan::new(7, 0.2, 0.05).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut degraded = 0usize;
+        for i in 0..60u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let a = m.query_from_faulty(2, &q, &plan, i).unwrap();
+            let b = m.query_from_faulty(2, &q, &plan, i).unwrap();
+            assert_eq!(a, b);
+            if !a.is_complete() {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "20% loss should degrade some queries");
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //! concentration (Theorem 4.4: `d×` worse than LORM on the percentiles).
 
 use crate::host::ChordHost;
-use dht_core::{ConsistentHash, DhtError, LoadDist, LookupTally, NodeIdx, Overlay};
+use dht_core::{
+    route_with_retry, sub_msg_id, ConsistentHash, DhtError, FaultAccount, FaultPlan, LoadDist,
+    LookupTally, NodeIdx, Overlay,
+};
 use grid_resource::{
-    discovery::join_owners, AttrId, AttributeSpace, Query, QueryOutcome, ResourceDiscovery,
-    ResourceInfo,
+    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
+    ResourceDiscovery, ResourceInfo,
 };
 use rand::rngs::SmallRng;
 
@@ -104,6 +107,64 @@ impl ResourceDiscovery for Sword {
             per_sub.push(owners);
         }
         Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn query_from_faulty(
+        &self,
+        phys: usize,
+        q: &Query,
+        plan: &FaultPlan,
+        msg_seed: u64,
+    ) -> Result<FaultyOutcome, DhtError> {
+        if plan.is_inert() {
+            return Ok(FaultyOutcome::complete(self.query_from(phys, q)?, q.arity()));
+        }
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut acct = FaultAccount::default();
+        let mut per_sub = Vec::new();
+        let mut probed_all = Vec::new();
+        let mut subs_resolved = 0usize;
+        for (i, sub) in q.subs.iter().enumerate() {
+            if tally.hops >= plan.hop_budget() {
+                continue;
+            }
+            tally.lookups += 1;
+            let sub_msg = sub_msg_id(msg_seed, i);
+            let route = match route_with_retry(
+                self.host.net(),
+                from,
+                self.key_of(sub.attr),
+                plan,
+                sub_msg,
+                &mut acct,
+            ) {
+                Ok(r) => r,
+                Err(DhtError::MessageDropped { hops } | DhtError::DeadHop { hops }) => {
+                    tally.hops += hops;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            tally.hops += route.hops;
+            tally.visited += 1;
+            let owners = self.host.matches_in(route.terminal, sub.attr, &sub.target);
+            tally.matches += owners.len();
+            probed_all.push(route.terminal);
+            per_sub.push(owners);
+            // SWORD stops at the root: a sub-query that reached it is
+            // fully resolved, there is no walk to truncate.
+            subs_resolved += 1;
+        }
+        let outcome = QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all };
+        Ok(FaultyOutcome {
+            outcome,
+            subs_resolved,
+            subs_answered: subs_resolved,
+            subs_total: q.arity(),
+            retries: acct.retries,
+            dropped_msgs: acct.dropped_msgs,
+        })
     }
 
     fn directory_loads(&self) -> LoadDist {
@@ -242,5 +303,39 @@ mod tests {
     fn total_pieces_is_one_per_report() {
         let (w, s) = setup();
         assert_eq!(s.total_pieces(), w.reports.len());
+    }
+
+    #[test]
+    fn inert_fault_plan_query_is_identical_to_plain() {
+        let (w, s) = setup();
+        let plan = FaultPlan::new(3, 0.0, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for i in 0..40u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let plain = s.query_from(1, &q).unwrap();
+            let faulty = s.query_from_faulty(1, &q, &plan, i).unwrap();
+            assert_eq!(faulty.outcome, plain);
+            assert!(faulty.is_complete());
+        }
+    }
+
+    #[test]
+    fn faulty_queries_are_deterministic_and_degrade_under_loss() {
+        let (w, s) = setup();
+        let plan = FaultPlan::new(7, 0.25, 0.05).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut degraded = 0usize;
+        for i in 0..80u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let a = s.query_from_faulty(2, &q, &plan, i).unwrap();
+            let b = s.query_from_faulty(2, &q, &plan, i).unwrap();
+            assert_eq!(a, b);
+            // SWORD has no walk: a sub either resolves or fails outright.
+            assert_eq!(a.subs_resolved, a.subs_answered);
+            if !a.is_complete() {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "25% loss should degrade some queries");
     }
 }

@@ -67,6 +67,24 @@ fn main() {
         }
         return;
     }
+    if cfg.chaos {
+        println!(
+            "# LORM chaos sweep — {} mode (seed {})\n",
+            if cfg.quick { "quick" } else { "full (paper §V)" },
+            cfg.seed
+        );
+        let c = bench::chaos::run_chaos(&cfg);
+        println!("{c}");
+        if let Some(path) = &cfg.json {
+            let json = bench::chaos::render_chaos_json(&cfg, &c);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("(chaos metrics written to {})", path.display());
+        }
+        return;
+    }
     println!(
         "# LORM reproduction — {} mode (seed {})\n",
         if cfg.quick { "quick" } else { "full (paper §V)" },

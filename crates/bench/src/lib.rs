@@ -8,6 +8,8 @@
 //!
 //! ```text
 //! repro [--quick] [fig3a fig3 fig4 fig5 fig6a fig6b t410 ablations | all]
+//! repro [--quick] perf    # wall-clock kernel baseline (perf-v1 schema)
+//! repro [--quick] chaos   # fault-injection sweep (chaos-v1 schema)
 //! ```
 //!
 //! `--quick` scales the experiment down (fewer nodes/attributes/queries)
@@ -17,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod perf;
 
 use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase};
@@ -140,11 +143,13 @@ pub struct ReproConfig {
     pub json: Option<PathBuf>,
     /// Run the wall-clock perf kernels instead of the figures.
     pub perf: bool,
+    /// Run the fault-injection chaos sweep instead of the figures.
+    pub chaos: bool,
 }
 
 impl Default for ReproConfig {
     fn default() -> Self {
-        Self { quick: false, seed: 0x1C99, shards: 0, json: None, perf: false }
+        Self { quick: false, seed: 0x1C99, shards: 0, json: None, perf: false, chaos: false }
     }
 }
 
@@ -323,10 +328,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
     args: I,
 ) -> Result<(ReproConfig, Vec<Artifact>), String> {
     const USAGE: &str = "usage: repro [--quick] [--seed=N] [--shards=N] \
-                         [--json <path>] [perf | theorems fig3a fig3bcd \
-                          fig3sweep fig4 fig5 fig6a fig6b t410 maintenance \
-                          churnfail hopdist latency loadbalance ablations | \
-                          all]";
+                         [--json <path>] [perf | chaos | theorems fig3a \
+                          fig3bcd fig3sweep fig4 fig5 fig6a fig6b t410 \
+                          maintenance churnfail hopdist latency loadbalance \
+                          ablations | all]";
     let mut cfg = ReproConfig::default();
     let mut artifacts: Vec<Artifact> = Vec::new();
     let mut args = args.into_iter();
@@ -350,6 +355,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
                     .map_err(|_| format!("bad shard count in {s:?}"))?;
             }
             "perf" => cfg.perf = true,
+            "chaos" => cfg.chaos = true,
             s => match Artifact::parse(s) {
                 Some(mut v) => artifacts.append(&mut v),
                 None => return Err(format!("unknown target {s:?}\n{USAGE}")),
@@ -515,6 +521,15 @@ mod tests {
         assert!(cfg.quick);
         let (cfg, _) = parse_args(["fig4".into()]).unwrap();
         assert!(!cfg.perf);
+    }
+
+    #[test]
+    fn parse_chaos_target() {
+        let (cfg, _) = parse_args(["--quick".into(), "chaos".into()]).unwrap();
+        assert!(cfg.chaos);
+        assert!(!cfg.perf);
+        let (cfg, _) = parse_args(["fig4".into()]).unwrap();
+        assert!(!cfg.chaos);
     }
 
     #[test]

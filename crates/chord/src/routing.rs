@@ -8,6 +8,7 @@
 
 use crate::network::Chord;
 use crate::node::FINGER_BITS;
+use dht_core::fault::{check_forward, FaultPlan, FaultSink, MsgId};
 use dht_core::{
     in_interval_oc, in_interval_oo, DhtError, HopCount, NodeIdx, Overlay, RouteResult, RouteSink,
     RouteStats,
@@ -27,6 +28,25 @@ impl Chord {
     pub(crate) fn route_stats_from(&self, from: NodeIdx, key: u64) -> Result<RouteStats, DhtError> {
         let mut hops = HopCount::default();
         let (terminal, exact) = self.route_inner(from, key, &mut hops)?;
+        Ok(RouteStats { hops: hops.get(), terminal, exact })
+    }
+
+    /// The fault-injecting variant: the same routing loop driven through a
+    /// [`FaultSink`], so per-message drop coins and the plan's failed-node
+    /// set can cut a lookup short with [`DhtError::MessageDropped`] /
+    /// [`DhtError::DeadHop`].
+    pub(crate) fn route_stats_faulty_from(
+        &self,
+        from: NodeIdx,
+        key: u64,
+        plan: &FaultPlan,
+        msg: MsgId,
+    ) -> Result<RouteStats, DhtError> {
+        let mut hops = HopCount::default();
+        let (terminal, exact) = {
+            let mut sink = FaultSink::new(&mut hops, plan, msg);
+            self.route_inner(from, key, &mut sink)?
+        };
         Ok(RouteStats { hops: hops.get(), terminal, exact })
     }
 
@@ -74,6 +94,7 @@ impl Chord {
                 .ok_or(DhtError::EmptyOverlay)?;
             // Key in (cur, succ] -> succ is the root.
             if in_interval_oc(node.id, self.nodes[succ.0].id, key) {
+                check_forward(sink, succ)?;
                 sink.visit(succ);
                 cur = succ;
                 break;
@@ -81,6 +102,7 @@ impl Chord {
             // Closest preceding live node among fingers + successor list.
             let next = self.closest_preceding(cur, key).unwrap_or(succ);
             let next = if next == cur { succ } else { next };
+            check_forward(sink, next)?;
             sink.visit(next);
             cur = next;
             if sink.hops() > budget {
@@ -302,6 +324,78 @@ mod tests {
         c.fail(v).unwrap();
         assert!(c.route(v, 7).is_err());
         assert!(c.route_stats(v, 7).is_err());
+    }
+
+    #[test]
+    fn inert_fault_plan_routes_identically() {
+        let c = net(256);
+        let plan = FaultPlan::none();
+        let mut rng = SmallRng::seed_from_u64(17);
+        for i in 0..300u64 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key: u64 = rng.gen();
+            let plain = c.route_stats(from, key).unwrap();
+            let faulty = c.route_stats_faulty(from, key, &plan, MsgId::first(i)).unwrap();
+            assert_eq!(plain, faulty, "inert plan must not perturb routing");
+        }
+    }
+
+    #[test]
+    fn full_drop_rate_kills_every_multi_hop_lookup() {
+        let c = net(256);
+        let plan = FaultPlan::new(1, 1.0, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(18);
+        let mut dropped = 0;
+        for i in 0..200u64 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key: u64 = rng.gen();
+            match c.route_stats_faulty(from, key, &plan, MsgId::first(i)) {
+                Ok(r) => assert_eq!(r.hops, 0, "only 0-hop local lookups can survive"),
+                Err(DhtError::MessageDropped { hops }) => {
+                    assert_eq!(hops, 0, "the very first forwarding must drop");
+                    dropped += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(dropped > 150, "most lookups are multi-hop: {dropped}");
+    }
+
+    #[test]
+    fn dead_hop_reported_when_plan_fails_every_node() {
+        let c = net(64);
+        // drop nothing, fail everything: the first forwarding dies on the
+        // (plan-)dead target.
+        let plan = FaultPlan::new(2, 0.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(19);
+        let mut dead = 0;
+        for i in 0..100u64 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key: u64 = rng.gen();
+            match c.route_stats_faulty(from, key, &plan, MsgId::first(i)) {
+                Ok(r) => assert_eq!(r.hops, 0),
+                Err(DhtError::DeadHop { hops }) => {
+                    assert_eq!(hops, 0);
+                    dead += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(dead > 70, "most lookups hit the dead first hop: {dead}");
+    }
+
+    #[test]
+    fn faulty_routing_is_deterministic() {
+        let c = net(300);
+        let plan = FaultPlan::new(5, 0.15, 0.1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(20);
+        let probes: Vec<(NodeIdx, u64)> =
+            (0..200).map(|_| (c.random_node(&mut rng).unwrap(), rng.gen())).collect();
+        for (i, &(from, key)) in probes.iter().enumerate() {
+            let a = c.route_stats_faulty(from, key, &plan, MsgId::first(i as u64));
+            let b = c.route_stats_faulty(from, key, &plan, MsgId::first(i as u64));
+            assert_eq!(a, b, "same plan + message identity must replay identically");
+        }
     }
 
     #[test]

@@ -144,3 +144,37 @@ fn reserved_tombstones_grow_arena_but_not_ring() {
         assert!(r.exact);
     }
 }
+
+#[test]
+fn successor_list_exhaustion_recovers_via_finger_fallback() {
+    // Regression for the abrupt-failure path: kill every entry of one
+    // node's successor list at once (the worst case a ChurnKind::Fail
+    // burst can produce) and check stabilization falls back to the
+    // finger table instead of erroring or re-bootstrapping.
+    let mut net = Chord::build(128, ChordConfig::default());
+    let idx = net.nodes_by_id()[0];
+    let succs = net.node(idx).unwrap().successor_list().to_vec();
+    assert_eq!(succs.len(), 4, "default successor-list length");
+    for &s in &succs {
+        net.fail(s).unwrap();
+    }
+    // node-local view: the whole list is dead
+    assert!(net.next_clockwise(idx).is_err(), "exhausted list must be visible");
+    // one stabilization round adopts a live finger as the new successor
+    net.stabilize(idx).unwrap();
+    let repaired = net.next_clockwise(idx).unwrap();
+    assert!(!succs.contains(&repaired), "repaired successor must be alive");
+    // full maintenance rounds then restore exact routing from the
+    // survivor. One round is not enough after four simultaneous deaths:
+    // successor-list repair propagates one hop per round, so a burst of
+    // length r takes ~r rounds to fully heal, as in the real protocol.
+    for _ in 0..3 {
+        net.stabilize_all();
+    }
+    let mut rng = SmallRng::seed_from_u64(0x5E);
+    for _ in 0..40 {
+        let r = net.route(idx, rand::Rng::gen(&mut rng)).unwrap();
+        assert!(r.exact);
+        assert!(!succs.contains(&r.terminal), "routed onto a failed node");
+    }
+}

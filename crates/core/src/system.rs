@@ -2,10 +2,13 @@
 
 use crate::keys::{KeyDeriver, Placement};
 use cycloid::{Cycloid, CycloidConfig, CycloidId};
-use dht_core::{DhtError, LoadDist, LookupTally, NodeIdx, Overlay};
+use dht_core::{
+    probe_step, route_with_retry, sub_msg_id, walk_msg_id, DhtError, FaultAccount, FaultPlan,
+    LoadDist, LookupTally, NodeIdx, Overlay,
+};
 use grid_resource::{
-    discovery::join_owners, AttributeSpace, Directory, Query, QueryOutcome, ResourceDiscovery,
-    ResourceInfo, ValueTarget,
+    discovery::join_owners, AttributeSpace, Directory, FaultyOutcome, Query, QueryOutcome,
+    ResourceDiscovery, ResourceInfo, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -171,6 +174,74 @@ impl Lorm {
     ) {
         self.directories[node.0].matching_owners_into(attr, t, out);
     }
+
+    /// Fault-aware variant of [`Self::range_walk_into`]: each advance is
+    /// a probe message subject to the plan's drop coin (one retry) and to
+    /// the dead-member check. Returns `true` when a fault truncated the
+    /// walk before the stop rule fired.
+    #[allow(clippy::too_many_arguments)] // mirrors the plain walk plus the fault triple
+    fn range_walk_faulty_into(
+        &self,
+        start: NodeIdx,
+        lo_pos: u8,
+        hi_pos: u8,
+        plan: &FaultPlan,
+        walk_msg: u64,
+        acct: &mut FaultAccount,
+        out: &mut Vec<NodeIdx>,
+    ) -> bool {
+        let d = self.overlay.dimension();
+        let span = CycloidId::cw_cyclic_dist(lo_pos, hi_pos, d);
+        out.push(start);
+        let mut cur = start;
+        for step in 1..=usize::from(d) {
+            let Some(next) = self.overlay.cluster_successor(cur).ok().flatten() else {
+                break;
+            };
+            if next == start {
+                break;
+            }
+            let Some(p) = self.transition_position(cur, next) else {
+                break;
+            };
+            if CycloidId::cw_cyclic_dist(lo_pos, p, d) > span {
+                break;
+            }
+            if !probe_step(plan, walk_msg, step, next, acct) {
+                return true;
+            }
+            out.push(next);
+            cur = next;
+        }
+        false
+    }
+
+    /// Fault-aware variant of [`Self::full_cluster_walk_into`].
+    fn full_cluster_walk_faulty_into(
+        &self,
+        start: NodeIdx,
+        plan: &FaultPlan,
+        walk_msg: u64,
+        acct: &mut FaultAccount,
+        out: &mut Vec<NodeIdx>,
+    ) -> bool {
+        let d = self.overlay.dimension();
+        out.push(start);
+        let mut cur = start;
+        for step in 1..=usize::from(d) {
+            match self.overlay.cluster_successor(cur).ok().flatten() {
+                Some(next) if next != start => {
+                    if !probe_step(plan, walk_msg, step, next, acct) {
+                        return true;
+                    }
+                    out.push(next);
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        false
+    }
 }
 
 impl ResourceDiscovery for Lorm {
@@ -246,6 +317,101 @@ impl ResourceDiscovery for Lorm {
             per_sub.push(owners);
         }
         Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn query_from_faulty(
+        &self,
+        phys: usize,
+        q: &Query,
+        plan: &FaultPlan,
+        msg_seed: u64,
+    ) -> Result<FaultyOutcome, DhtError> {
+        if plan.is_inert() {
+            return Ok(FaultyOutcome::complete(self.query_from(phys, q)?, q.arity()));
+        }
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut acct = FaultAccount::default();
+        let mut per_sub: Vec<Vec<usize>> = Vec::new();
+        let mut probed_all: Vec<NodeIdx> = Vec::new();
+        let mut walk: Vec<NodeIdx> = Vec::new();
+        let mut subs_resolved = 0usize;
+        let mut subs_answered = 0usize;
+        for (i, sub) in q.subs.iter().enumerate() {
+            // Per-query hop budget: once exhausted, remaining sub-queries
+            // fail unattempted.
+            if tally.hops >= plan.hop_budget() {
+                continue;
+            }
+            let sub_msg = sub_msg_id(msg_seed, i);
+            let (lookup_value, bounds) = match sub.target {
+                ValueTarget::Point(v) => (v, None),
+                ValueTarget::Range { low, high } => {
+                    (low, Some((self.keys.cyclic_of(low), self.keys.cyclic_of(high))))
+                }
+            };
+            let resc_id = self.keys.resc_id(sub.attr, lookup_value);
+            tally.lookups += 1;
+            let route =
+                match route_with_retry(&self.overlay, from, resc_id, plan, sub_msg, &mut acct) {
+                    Ok(r) => r,
+                    Err(DhtError::MessageDropped { hops } | DhtError::DeadHop { hops }) => {
+                        tally.hops += hops;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+            tally.hops += route.hops;
+            subs_answered += 1;
+            walk.clear();
+            let truncated = match bounds {
+                None => {
+                    walk.push(route.terminal);
+                    false
+                }
+                Some((lo, hi)) => {
+                    let wm = walk_msg_id(sub_msg);
+                    match self.keys.placement() {
+                        Placement::Lph => self.range_walk_faulty_into(
+                            route.terminal,
+                            lo,
+                            hi,
+                            plan,
+                            wm,
+                            &mut acct,
+                            &mut walk,
+                        ),
+                        Placement::Hashed => self.full_cluster_walk_faulty_into(
+                            route.terminal,
+                            plan,
+                            wm,
+                            &mut acct,
+                            &mut walk,
+                        ),
+                    }
+                }
+            };
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                self.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
+            tally.matches += owners.len();
+            if !truncated {
+                subs_resolved += 1;
+            }
+            per_sub.push(owners);
+        }
+        let outcome = QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all };
+        Ok(FaultyOutcome {
+            outcome,
+            subs_resolved,
+            subs_answered,
+            subs_total: q.arity(),
+            retries: acct.retries,
+            dropped_msgs: acct.dropped_msgs,
+        })
     }
 
     fn directory_loads(&self) -> LoadDist {
@@ -566,6 +732,78 @@ mod tests {
         let links = l.outlinks_per_node();
         assert!(links.max() <= 8.0, "constant degree violated: {}", links.max());
         assert!(links.mean() > 3.0);
+    }
+
+    #[test]
+    fn inert_fault_plan_query_is_identical_to_plain() {
+        let (w, l) = small_workload();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let plan = FaultPlan::new(0x51EE7, 0.0, 0.0).unwrap();
+        for i in 0..40u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let plain = l.query_from(1, &q).unwrap();
+            let faulty = l.query_from_faulty(1, &q, &plan, 1000 + i).unwrap();
+            assert_eq!(faulty.outcome, plain);
+            assert!(faulty.is_complete());
+            assert_eq!(faulty.retries, 0);
+            assert_eq!(faulty.dropped_msgs, 0);
+        }
+    }
+
+    #[test]
+    fn total_loss_fails_every_remote_sub_query() {
+        let (w, l) = small_workload();
+        let mut rng = SmallRng::seed_from_u64(22);
+        let plan = FaultPlan::new(0xBAD, 1.0, 0.0).unwrap();
+        let mut failed = 0usize;
+        for i in 0..40u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let f = l.query_from_faulty(2, &q, &plan, i).unwrap();
+            // Only a sub whose root happens to be the querier itself can
+            // survive total loss (zero-hop lookup, but the walk probes
+            // still all drop — so the walk stays at one node).
+            assert!(f.subs_resolved <= f.subs_answered);
+            assert!(f.dropped_msgs > 0);
+            if f.is_failed() {
+                failed += 1;
+            }
+        }
+        assert!(failed >= 35, "total loss should fail nearly every query, failed={failed}");
+    }
+
+    #[test]
+    fn faulty_queries_are_deterministic() {
+        let (w, l) = small_workload();
+        let plan = FaultPlan::new(0xFA11, 0.2, 0.1).unwrap();
+        let mut rng_a = SmallRng::seed_from_u64(23);
+        let mut rng_b = SmallRng::seed_from_u64(23);
+        for i in 0..30u64 {
+            let qa = w.random_query(3, QueryMix::Range, &mut rng_a);
+            let qb = w.random_query(3, QueryMix::Range, &mut rng_b);
+            let a = l.query_from_faulty(4, &qa, &plan, i).unwrap();
+            let b = l.query_from_faulty(4, &qb, &plan, i).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn moderate_loss_degrades_some_queries_without_errors() {
+        let (w, l) = small_workload();
+        let plan = FaultPlan::new(0xFA12, 0.2, 0.05).unwrap();
+        let mut rng = SmallRng::seed_from_u64(24);
+        let (mut complete, mut partial, mut failed) = (0usize, 0usize, 0usize);
+        for i in 0..120u64 {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let f = l.query_from_faulty(5, &q, &plan, i).unwrap();
+            match (f.is_complete(), f.is_failed()) {
+                (true, _) => complete += 1,
+                (_, true) => failed += 1,
+                _ => partial += 1,
+            }
+        }
+        assert_eq!(complete + partial + failed, 120);
+        assert!(complete > 0, "20% loss with retry should still complete some queries");
+        assert!(partial + failed > 0, "20% loss should degrade some queries");
     }
 
     #[test]

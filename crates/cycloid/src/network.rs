@@ -472,6 +472,21 @@ impl Overlay for Cycloid {
         self.route_stats_from(from, key)
     }
 
+    fn route_stats_faulty(
+        &self,
+        from: NodeIdx,
+        key: CycloidId,
+        plan: &dht_core::FaultPlan,
+        msg: dht_core::MsgId,
+    ) -> Result<RouteStats, DhtError> {
+        // Inert plans take the plain fast path: zero-fault runs must be
+        // byte-identical to fault-free runs.
+        if plan.is_inert() {
+            return self.route_stats_from(from, key);
+        }
+        self.route_stats_faulty_from(from, key, plan, msg)
+    }
+
     fn outlinks(&self, node: NodeIdx) -> Result<usize, DhtError> {
         let n = self.live_node(node)?;
         Ok(n.distinct_neighbors(node).iter().filter(|&&x| self.nodes[x.0].alive).count())

@@ -29,6 +29,7 @@
 
 use crate::id::CycloidId;
 use crate::network::Cycloid;
+use dht_core::fault::{check_forward, FaultPlan, FaultSink, MsgId};
 use dht_core::{DhtError, HopCount, NodeIdx, Overlay, RouteResult, RouteSink, RouteStats};
 
 /// A routing decision: forward normally, or forward while committing to
@@ -61,6 +62,25 @@ impl Cycloid {
         Ok(RouteStats { hops: hops.get(), terminal, exact })
     }
 
+    /// The fault-injecting variant: the same routing loop driven through a
+    /// [`FaultSink`], so per-message drop coins and the plan's failed-node
+    /// set can cut a lookup short with [`DhtError::MessageDropped`] /
+    /// [`DhtError::DeadHop`].
+    pub(crate) fn route_stats_faulty_from(
+        &self,
+        from: NodeIdx,
+        key: CycloidId,
+        plan: &FaultPlan,
+        msg: MsgId,
+    ) -> Result<RouteStats, DhtError> {
+        let mut hops = HopCount::default();
+        let (terminal, exact) = {
+            let mut sink = FaultSink::new(&mut hops, plan, msg);
+            self.route_inner(from, key, &mut sink)?
+        };
+        Ok(RouteStats { hops: hops.get(), terminal, exact })
+    }
+
     fn route_inner<S: RouteSink>(
         &self,
         from: NodeIdx,
@@ -89,10 +109,12 @@ impl Cycloid {
             };
             match step {
                 Some(Hop::Forward(n)) => {
+                    check_forward(sink, n)?;
                     sink.visit(n);
                     cur = n;
                 }
                 Some(Hop::Stuck(n)) => {
+                    check_forward(sink, n)?;
                     traverse_only = true;
                     sink.visit(n);
                     cur = n;
@@ -259,6 +281,55 @@ mod tests {
 
     fn random_key<R: Rng>(rng: &mut R, d: u8) -> CycloidId {
         CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d)
+    }
+
+    #[test]
+    fn inert_fault_plan_routes_identically() {
+        let c = net(512, 7);
+        let plan = FaultPlan::none();
+        let mut rng = SmallRng::seed_from_u64(31);
+        for i in 0..300u64 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key = random_key(&mut rng, 7);
+            let plain = c.route_stats(from, key).unwrap();
+            let faulty = c.route_stats_faulty(from, key, &plan, MsgId::first(i)).unwrap();
+            assert_eq!(plain, faulty, "inert plan must not perturb routing");
+        }
+    }
+
+    #[test]
+    fn full_drop_rate_kills_every_multi_hop_lookup() {
+        let c = net(512, 7);
+        let plan = FaultPlan::new(1, 1.0, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(32);
+        let mut dropped = 0;
+        for i in 0..200u64 {
+            let from = c.random_node(&mut rng).unwrap();
+            let key = random_key(&mut rng, 7);
+            match c.route_stats_faulty(from, key, &plan, MsgId::first(i)) {
+                Ok(r) => assert_eq!(r.hops, 0, "only 0-hop local lookups can survive"),
+                Err(DhtError::MessageDropped { hops }) => {
+                    assert_eq!(hops, 0, "the very first forwarding must drop");
+                    dropped += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(dropped > 140, "most lookups are multi-hop: {dropped}");
+    }
+
+    #[test]
+    fn faulty_routing_is_deterministic() {
+        let c = net(640, 7);
+        let plan = FaultPlan::new(5, 0.15, 0.1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(33);
+        let probes: Vec<(NodeIdx, CycloidId)> =
+            (0..200).map(|_| (c.random_node(&mut rng).unwrap(), random_key(&mut rng, 7))).collect();
+        for (i, &(from, key)) in probes.iter().enumerate() {
+            let a = c.route_stats_faulty(from, key, &plan, MsgId::first(i as u64));
+            let b = c.route_stats_faulty(from, key, &plan, MsgId::first(i as u64));
+            assert_eq!(a, b, "same plan + message identity must replay identically");
+        }
     }
 
     #[test]

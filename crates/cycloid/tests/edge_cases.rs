@@ -143,3 +143,34 @@ fn arena_len_grows_monotonically_and_survives_tombstones() {
     let _ = net.join_random().unwrap();
     assert_eq!(net.arena_len(), before + 1, "new joins append");
 }
+
+#[test]
+fn cluster_collapse_to_single_live_member_stays_routable() {
+    // Regression for the abrupt-failure path: a ChurnKind::Fail burst
+    // collapses one cluster down to a single live member. The inside
+    // ring must vanish cleanly and every key of the cluster must still
+    // resolve to the survivor from anywhere in the network.
+    let d = 8u8;
+    let mut net = Cycloid::build(2048, CycloidConfig { dimension: d, seed: 0xC0 });
+    let cub = 7u32;
+    let members = net.cluster_members(cub).to_vec();
+    assert!(members.len() > 1, "need a populated cluster to collapse");
+    let survivor = *members.last().unwrap();
+    for &m in &members[..members.len() - 1] {
+        net.fail(m).unwrap();
+    }
+    net.rebuild_all_links();
+    // collapsed: no inside ring left around the survivor
+    assert!(net.cluster_successor(survivor).unwrap().is_none());
+    assert!(net.cluster_predecessor(survivor).unwrap().is_none());
+    assert_eq!(net.cluster_members(cub), &[survivor]);
+    // every key of the collapsed cluster resolves to the survivor
+    let mut rng = SmallRng::seed_from_u64(0xC1);
+    for cyc in 0..d {
+        let key = CycloidId::new(cyc, cub, d);
+        assert_eq!(net.owner_of(key).unwrap(), survivor, "cyc {cyc}");
+        let from = net.random_node(&mut rng).unwrap();
+        let r = net.route(from, key).unwrap();
+        assert_eq!(r.terminal, survivor, "cyc {cyc}");
+    }
+}

@@ -40,6 +40,17 @@ pub enum DhtError {
         /// Human-readable description of the violated constraint.
         what: &'static str,
     },
+    /// A lookup message was dropped in transit by a fault plan.
+    MessageDropped {
+        /// Hops taken before the message was lost.
+        hops: usize,
+    },
+    /// A lookup message was forwarded along a stale link to a node that
+    /// had failed ungracefully.
+    DeadHop {
+        /// Hops taken before the message hit the dead node.
+        hops: usize,
+    },
 }
 
 impl fmt::Display for DhtError {
@@ -56,6 +67,12 @@ impl fmt::Display for DhtError {
                 write!(f, "invalid range [{low}, {high}]")
             }
             DhtError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            DhtError::MessageDropped { hops } => {
+                write!(f, "message dropped in transit after {hops} hops")
+            }
+            DhtError::DeadHop { hops } => {
+                write!(f, "message hit an ungracefully failed node after {hops} hops")
+            }
         }
     }
 }
@@ -94,6 +111,18 @@ mod tests {
         let e = DhtError::InvalidRange { low: 3.0, high: 1.0 };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('1'));
+    }
+
+    #[test]
+    fn display_message_dropped_mentions_hops() {
+        let e = DhtError::MessageDropped { hops: 5 };
+        assert!(e.to_string().contains("dropped") && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn display_dead_hop_mentions_failed_node() {
+        let e = DhtError::DeadHop { hops: 2 };
+        assert!(e.to_string().contains("failed node") && e.to_string().contains('2'));
     }
 
     #[test]

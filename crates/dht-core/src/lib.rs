@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod fault;
 pub mod hashing;
 pub mod latency;
 pub mod overlay;
@@ -38,10 +39,14 @@ pub mod stats;
 pub mod trace;
 
 pub use error::DhtError;
+pub use fault::{
+    check_forward, probe_step, route_with_retry, sub_msg_id, walk_msg_id, FaultAccount, FaultPlan,
+    FaultSink, MsgId,
+};
 pub use hashing::{lex_hash, lex_prefix_end, ConsistentHash, LocalityHash};
 pub use latency::LatencyModel;
 pub use overlay::{NodeIdx, Overlay};
 pub use ring::{clockwise_dist, in_interval_co, in_interval_oc, in_interval_oo, ring_dist};
 pub use sampling::{BoundedPareto, SeedSpawner, Zipf};
 pub use stats::{Histogram, LoadDist, Percentiles, Summary};
-pub use trace::{HopCount, LookupTally, RouteResult, RouteSink, RouteStats};
+pub use trace::{Forward, HopCount, LookupTally, RouteResult, RouteSink, RouteStats};

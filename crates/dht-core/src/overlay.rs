@@ -5,6 +5,7 @@
 //! and the measurement harness are agnostic to which DHT is underneath.
 
 use crate::error::DhtError;
+use crate::fault::{FaultPlan, MsgId};
 use crate::trace::{RouteResult, RouteStats};
 
 /// Arena index of a node within an overlay.
@@ -74,6 +75,24 @@ pub trait Overlay {
         // without a dedicated fast path; both simulators override it.
         let r = self.route(from, key)?;
         Ok(RouteStats { hops: r.hops(), terminal: r.terminal, exact: r.exact })
+    }
+
+    /// Route a lookup under a fault plan: forwarding consults the plan's
+    /// per-message drop coins and failed-node set, surfacing
+    /// [`DhtError::MessageDropped`] / [`DhtError::DeadHop`] outcomes.
+    /// Overlays route through a `FaultSink`-wrapped routing loop and
+    /// short-circuit inert plans to the plain fast path (byte-identical
+    /// results); the default ignores the plan — fault-unaware overlays
+    /// simply never degrade.
+    fn route_stats_faulty(
+        &self,
+        from: NodeIdx,
+        key: Self::Key,
+        plan: &FaultPlan,
+        msg: MsgId,
+    ) -> Result<RouteStats, DhtError> {
+        let _ = (plan, msg);
+        self.route_stats(from, key)
     }
 
     /// Number of *distinct* outgoing links `node` currently maintains.

@@ -20,6 +20,9 @@ pub struct Summary {
     max: f64,
     total: f64,
     failures: u64,
+    retries: u64,
+    partial: u64,
+    dropped_msgs: u64,
 }
 
 impl Summary {
@@ -33,6 +36,9 @@ impl Summary {
             max: f64::NEG_INFINITY,
             total: 0.0,
             failures: 0,
+            retries: 0,
+            partial: 0,
+            dropped_msgs: 0,
         }
     }
 
@@ -53,16 +59,44 @@ impl Summary {
         self.failures += 1;
     }
 
+    /// Record a partially-resolved observation: the value contributes to
+    /// the moments (a degraded query still did real work), and the
+    /// `partial` counter marks it so `failures + partial + successes`
+    /// accounts for every query issued.
+    pub fn record_partial(&mut self, x: f64) {
+        self.record(x);
+        self.partial += 1;
+    }
+
+    /// Add retry attempts spent resolving queries under a fault plan.
+    pub fn add_retries(&mut self, n: u64) {
+        self.retries += n;
+    }
+
+    /// Add messages dropped in transit by a fault plan.
+    pub fn add_dropped_msgs(&mut self, n: u64) {
+        self.dropped_msgs += n;
+    }
+
     /// Merge another summary into this one (parallel reduction).
     pub fn merge(&mut self, other: &Summary) {
         let failures = self.failures + other.failures;
         self.failures = failures;
+        let retries = self.retries + other.retries;
+        self.retries = retries;
+        let partial = self.partial + other.partial;
+        self.partial = partial;
+        let dropped_msgs = self.dropped_msgs + other.dropped_msgs;
+        self.dropped_msgs = dropped_msgs;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
             *self = other.clone();
             self.failures = failures;
+            self.retries = retries;
+            self.partial = partial;
+            self.dropped_msgs = dropped_msgs;
             return;
         }
         let n1 = self.count as f64;
@@ -85,6 +119,26 @@ impl Summary {
     /// Number of failed observations (see [`Summary::record_failure`]).
     pub fn failures(&self) -> u64 {
         self.failures
+    }
+
+    /// Retry attempts spent under a fault plan (0 on fault-free runs).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Partially-resolved observations (see [`Summary::record_partial`]).
+    pub fn partial(&self) -> u64 {
+        self.partial
+    }
+
+    /// Fully-successful observations: `count() - partial()`.
+    pub fn successes(&self) -> u64 {
+        self.count - self.partial
+    }
+
+    /// Messages dropped in transit under a fault plan.
+    pub fn dropped_msgs(&self) -> u64 {
+        self.dropped_msgs
     }
 
     /// Arithmetic mean (`0.0` when empty), computed as `total / count`.
@@ -375,6 +429,73 @@ mod tests {
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
         assert_eq!(s.total(), 40.0);
+    }
+
+    #[test]
+    fn degradation_counters_record_and_report() {
+        let mut s = Summary::new();
+        s.record(3.0);
+        s.record_partial(5.0);
+        s.record_failure();
+        s.add_retries(4);
+        s.add_dropped_msgs(2);
+        assert_eq!(s.count(), 2, "partial observations still count");
+        assert_eq!(s.partial(), 1);
+        assert_eq!(s.successes(), 1);
+        assert_eq!(s.failures(), 1);
+        assert_eq!(s.retries(), 4);
+        assert_eq!(s.dropped_msgs(), 2);
+        assert_eq!(s.total(), 8.0);
+    }
+
+    #[test]
+    fn degradation_counters_merge_additively() {
+        let mut a = Summary::new();
+        a.record_partial(1.0);
+        a.add_retries(2);
+        a.add_dropped_msgs(3);
+        let mut b = Summary::new();
+        b.record_partial(9.0);
+        b.record_failure();
+        b.add_retries(5);
+        b.add_dropped_msgs(7);
+        a.merge(&b);
+        assert_eq!(a.partial(), 2);
+        assert_eq!(a.retries(), 7);
+        assert_eq!(a.dropped_msgs(), 10);
+        assert_eq!(a.failures(), 1);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn degradation_counters_survive_empty_side_merges() {
+        // The empty-side early returns in merge() must not lose counters
+        // accumulated on the empty side (a shard can drop every query).
+        let mut empty = Summary::new();
+        empty.add_retries(3);
+        empty.add_dropped_msgs(1);
+        empty.record_failure();
+        let mut full = Summary::new();
+        full.record(2.0);
+        full.add_retries(10);
+        // empty (no observations) absorbing full
+        let mut left = empty.clone();
+        left.merge(&full);
+        assert_eq!(left.retries(), 13);
+        assert_eq!(left.dropped_msgs(), 1);
+        assert_eq!(left.failures(), 1);
+        assert_eq!(left.count(), 1);
+        // full absorbing empty
+        let mut right = full.clone();
+        right.merge(&empty);
+        assert_eq!(right.retries(), 13);
+        assert_eq!(right.dropped_msgs(), 1);
+        assert_eq!(right.failures(), 1);
+        assert_eq!(right.count(), 1);
+        // merge order must not matter for the counters
+        assert_eq!(left.retries(), right.retries());
+        assert_eq!(left.partial(), right.partial());
+        assert_eq!(left.dropped_msgs(), right.dropped_msgs());
     }
 
     #[test]

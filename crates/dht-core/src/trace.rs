@@ -56,6 +56,22 @@ impl RouteStats {
     }
 }
 
+/// Verdict on one forwarding step, produced by [`RouteSink::forward`].
+///
+/// The fault-free sinks always answer [`Forward::Deliver`]; the
+/// fault-injecting wrapper ([`FaultSink`](crate::fault::FaultSink))
+/// consults its [`FaultPlan`](crate::fault::FaultPlan) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Forward {
+    /// The message reaches the next node.
+    Deliver,
+    /// The message is lost in transit (per-message drop coin fired).
+    Dropped,
+    /// The next node has failed ungracefully; the forwarding link is a
+    /// stale finger / leaf-set entry and the message dies there.
+    DeadHop,
+}
+
 /// Observer of routing hops: the same routing loop serves the traced
 /// variant (recording into a `Vec<NodeIdx>` path) and the zero-allocation
 /// fast path (a bare [`HopCount`]), so the two can never diverge.
@@ -64,6 +80,14 @@ pub trait RouteSink {
     fn visit(&mut self, hop: NodeIdx);
     /// Hops recorded so far (drives the routing-loop budget).
     fn hops(&self) -> usize;
+    /// Judge a forwarding to `next` *before* it is recorded. The routing
+    /// loops ask this ahead of every `visit`; the default delivers
+    /// unconditionally, so plain sinks are byte-identical to the
+    /// pre-fault-injection behaviour.
+    fn forward(&mut self, next: NodeIdx) -> Forward {
+        let _ = next;
+        Forward::Deliver
+    }
 }
 
 impl RouteSink for Vec<NodeIdx> {

@@ -14,8 +14,11 @@ use rand::Rng;
 pub enum ChurnKind {
     /// A new node joins the overlay.
     Join,
-    /// A random existing node departs.
+    /// A random existing node departs gracefully (handoff + notify).
     Leave,
+    /// A random existing node fails ungracefully: no handoff, stale
+    /// neighbor links linger until the next maintenance round.
+    Fail,
 }
 
 /// One scheduled churn event.
@@ -41,8 +44,29 @@ impl ChurnSchedule {
     /// # Panics
     /// Panics if `rate` is not positive or `duration` is negative.
     pub fn generate<R: Rng + ?Sized>(rate: f64, duration: f64, rng: &mut R) -> Self {
+        Self::generate_with_failures(rate, duration, 1.0, rng)
+    }
+
+    /// Like [`Self::generate`], but each departure is gracefully handled
+    /// with probability `graceful_ratio` and otherwise becomes an
+    /// ungraceful [`ChurnKind::Fail`].
+    ///
+    /// With `graceful_ratio >= 1.0` no departure coin is drawn at all,
+    /// so the schedule (and the RNG stream consumed) is byte-identical
+    /// to [`Self::generate`] — the graceful-only figures are unchanged.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not positive, `duration` is negative, or
+    /// `graceful_ratio` is negative or NaN.
+    pub fn generate_with_failures<R: Rng + ?Sized>(
+        rate: f64,
+        duration: f64,
+        graceful_ratio: f64,
+        rng: &mut R,
+    ) -> Self {
         assert!(rate > 0.0, "churn rate must be positive");
         assert!(duration >= 0.0, "duration must be non-negative");
+        assert!(graceful_ratio >= 0.0, "graceful ratio must be non-negative");
         let mut events = Vec::new();
         for kind in [ChurnKind::Join, ChurnKind::Leave] {
             let mut t = 0.0;
@@ -54,6 +78,14 @@ impl ChurnSchedule {
                 if t > duration {
                     break;
                 }
+                let kind = if kind == ChurnKind::Leave
+                    && graceful_ratio < 1.0
+                    && !rng.gen_bool(graceful_ratio)
+                {
+                    ChurnKind::Fail
+                } else {
+                    kind
+                };
                 events.push(ChurnEvent { time: t, kind });
             }
         }
@@ -93,7 +125,7 @@ impl ChurnSchedule {
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(0xC0C0)
@@ -152,5 +184,45 @@ mod tests {
     fn all_times_within_duration() {
         let s = ChurnSchedule::generate(0.3, 500.0, &mut rng());
         assert!(s.events().iter().all(|e| e.time > 0.0 && e.time <= 500.0));
+    }
+
+    #[test]
+    fn graceful_only_ratio_is_byte_identical_to_generate() {
+        // ratio >= 1.0 must not consume any extra RNG draws, so both the
+        // schedule and the RNG left behind are identical.
+        let mut a = rng();
+        let mut b = rng();
+        let plain = ChurnSchedule::generate(0.4, 2000.0, &mut a);
+        let ratio = ChurnSchedule::generate_with_failures(0.4, 2000.0, 1.0, &mut b);
+        assert_eq!(plain.events(), ratio.events());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_graceful_ratio_turns_every_leave_into_fail() {
+        let s = ChurnSchedule::generate_with_failures(0.4, 2000.0, 0.0, &mut rng());
+        assert!(s.events().iter().all(|e| e.kind != ChurnKind::Leave));
+        let fails = s.events().iter().filter(|e| e.kind == ChurnKind::Fail).count();
+        assert!(fails > 0);
+    }
+
+    #[test]
+    fn fractional_ratio_mixes_leaves_and_fails() {
+        let s = ChurnSchedule::generate_with_failures(0.4, 10_000.0, 0.5, &mut rng());
+        let leaves = s.events().iter().filter(|e| e.kind == ChurnKind::Leave).count();
+        let fails = s.events().iter().filter(|e| e.kind == ChurnKind::Fail).count();
+        let joins = s.events().iter().filter(|e| e.kind == ChurnKind::Join).count();
+        assert!(leaves > 0 && fails > 0);
+        // Roughly half of ~rate*duration departures each way.
+        let departures = (leaves + fails) as f64;
+        assert!((fails as f64 - departures / 2.0).abs() < 0.15 * departures, "fails={fails}");
+        // Joins untouched by the ratio.
+        assert!((joins as f64 - 0.4 * 10_000.0).abs() < 0.1 * 0.4 * 10_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "graceful ratio must be non-negative")]
+    fn negative_graceful_ratio_panics() {
+        let _ = ChurnSchedule::generate_with_failures(0.4, 10.0, -0.1, &mut rng());
     }
 }

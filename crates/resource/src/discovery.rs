@@ -8,7 +8,7 @@
 //! `m` hub nodes for Mercury.
 
 use crate::model::{Query, ResourceInfo};
-use dht_core::{DhtError, LoadDist, LookupTally, NodeIdx};
+use dht_core::{DhtError, FaultPlan, LoadDist, LookupTally, NodeIdx};
 use rand::rngs::SmallRng;
 
 /// Result of resolving one multi-attribute query.
@@ -24,6 +24,63 @@ pub struct QueryOutcome {
     /// (overlay arena indices; repeats allowed when several sub-queries
     /// hit the same node). Used by the query-load-balance experiment.
     pub probed: Vec<NodeIdx>,
+}
+
+/// Outcome of one query resolved under a [`FaultPlan`]: the plain
+/// [`QueryOutcome`] plus degradation accounting.
+///
+/// Each sub-query ends in one of three states: *resolved* (lookup
+/// succeeded and the directory walk ran to completion), *degraded*
+/// (lookup succeeded but a fault truncated the walk, so the owner set
+/// may be incomplete), or *failed* (the lookup never reached a
+/// directory node within the retry budget). `subs_resolved` counts only
+/// the first class; the query as a whole is complete when every
+/// sub-query resolved and failed when none produced any answer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultyOutcome {
+    /// The (possibly partial) query result. Costs include hops wasted
+    /// on dropped or dead-ended attempts.
+    pub outcome: QueryOutcome,
+    /// Sub-queries that fully resolved (lookup ok, walk untruncated).
+    pub subs_resolved: usize,
+    /// Sub-queries whose lookup succeeded at all (resolved + degraded).
+    pub subs_answered: usize,
+    /// Total sub-queries in the query.
+    pub subs_total: usize,
+    /// Retries spent across all sub-query lookups.
+    pub retries: u64,
+    /// Messages lost in transit across all attempts.
+    pub dropped_msgs: u64,
+}
+
+impl FaultyOutcome {
+    /// Wrap a fault-free outcome: every sub-query fully resolved.
+    pub fn complete(outcome: QueryOutcome, subs_total: usize) -> Self {
+        Self {
+            outcome,
+            subs_resolved: subs_total,
+            subs_answered: subs_total,
+            subs_total,
+            retries: 0,
+            dropped_msgs: 0,
+        }
+    }
+
+    /// Every sub-query fully resolved: the result is authoritative.
+    pub fn is_complete(&self) -> bool {
+        self.subs_resolved == self.subs_total
+    }
+
+    /// No sub-query produced any answer: the query failed outright.
+    pub fn is_failed(&self) -> bool {
+        self.subs_answered == 0 && self.subs_total > 0
+    }
+
+    /// Some but not all sub-queries resolved, or a walk was truncated:
+    /// the owner set is usable but possibly incomplete.
+    pub fn is_partial(&self) -> bool {
+        !self.is_complete() && !self.is_failed()
+    }
 }
 
 /// A multi-attribute range-capable resource discovery system under test.
@@ -50,6 +107,27 @@ pub trait ResourceDiscovery {
     /// Resolve a multi-attribute query issued by physical node `phys`,
     /// counting every hop and visited directory node.
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError>;
+
+    /// Resolve a query while `plan` injects message drops and routes
+    /// around ungracefully failed nodes. `msg_seed` identifies the query
+    /// in the fault coin stream: the same `(plan, msg_seed)` pair always
+    /// draws the same faults regardless of sharding.
+    ///
+    /// The default is fault-unaware: it delegates to
+    /// [`Self::query_from`] and reports a complete outcome, which is
+    /// exactly right when `plan.is_inert()`. Systems override this to
+    /// add bounded retry, alternate-probe fallback, and partial-result
+    /// accounting.
+    fn query_from_faulty(
+        &self,
+        phys: usize,
+        q: &Query,
+        plan: &FaultPlan,
+        msg_seed: u64,
+    ) -> Result<FaultyOutcome, DhtError> {
+        let _ = (plan, msg_seed);
+        Ok(FaultyOutcome::complete(self.query_from(phys, q)?, q.arity()))
+    }
 
     /// Resource-information pieces currently stored per live physical node
     /// (the directory-size distribution of Figure 3(b–d)).
@@ -134,5 +212,46 @@ mod tests {
         let o = QueryOutcome::default();
         assert_eq!(o.tally, LookupTally::default());
         assert!(o.owners.is_empty());
+    }
+
+    #[test]
+    fn complete_faulty_outcome_classifies_as_complete() {
+        let f = FaultyOutcome::complete(QueryOutcome::default(), 3);
+        assert!(f.is_complete());
+        assert!(!f.is_partial());
+        assert!(!f.is_failed());
+        assert_eq!(f.subs_resolved, 3);
+        assert_eq!(f.subs_answered, 3);
+        assert_eq!(f.retries, 0);
+        assert_eq!(f.dropped_msgs, 0);
+    }
+
+    #[test]
+    fn all_subs_failed_classifies_as_failed() {
+        let f = FaultyOutcome { subs_total: 2, ..FaultyOutcome::default() };
+        assert!(f.is_failed());
+        assert!(!f.is_partial());
+        assert!(!f.is_complete());
+    }
+
+    #[test]
+    fn mixed_subs_classify_as_partial() {
+        // One sub resolved, one failed.
+        let f = FaultyOutcome {
+            subs_resolved: 1,
+            subs_answered: 1,
+            subs_total: 2,
+            ..FaultyOutcome::default()
+        };
+        assert!(f.is_partial());
+        // All answered but one walk truncated: still partial.
+        let g = FaultyOutcome {
+            subs_resolved: 1,
+            subs_answered: 2,
+            subs_total: 2,
+            ..FaultyOutcome::default()
+        };
+        assert!(g.is_partial());
+        assert!(!g.is_failed());
     }
 }

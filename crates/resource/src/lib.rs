@@ -27,6 +27,6 @@ pub mod workload;
 
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use directory::Directory;
-pub use discovery::{QueryOutcome, ResourceDiscovery};
+pub use discovery::{FaultyOutcome, QueryOutcome, ResourceDiscovery};
 pub use model::{AttrId, AttributeSpace, Query, ResourceInfo, SubQuery, ValueTarget};
 pub use workload::{AttrPopularity, QueryMix, ValueDist, Workload, WorkloadConfig};

@@ -43,6 +43,11 @@ pub struct ChurnSetup {
     /// extension: no handoff, stale links until maintenance — queries can
     /// fail or return stale results between rounds).
     pub graceful: bool,
+    /// Fraction of scheduled departures handled gracefully; the rest
+    /// become [`ChurnKind::Fail`] events. At the default `1.0` the
+    /// schedule is byte-identical to the graceful-only model (no extra
+    /// RNG draws), so the paper's figures are unchanged.
+    pub graceful_ratio: f64,
 }
 
 impl Default for ChurnSetup {
@@ -54,6 +59,7 @@ impl Default for ChurnSetup {
             arity: 5,
             maintenance_period: 50.0,
             graceful: true,
+            graceful_ratio: 1.0,
         }
     }
 }
@@ -165,6 +171,15 @@ pub fn run_churn_one(
                         }
                     }
                 }
+                ChurnKind::Fail => {
+                    // Scheduled ungraceful failure: no handoff regardless
+                    // of the graceful-departure setting.
+                    if sys.num_physical() > 2 {
+                        if let Some(p) = pick_live(sys, max_phys, &mut rng) {
+                            let _ = sys.fail_physical(p);
+                        }
+                    }
+                }
             }
             events_applied += 1;
         }
@@ -236,7 +251,12 @@ pub fn fig6(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric) -> Fig6 {
     let mut rows = Vec::new();
     for &rate in &setup.rates {
         let mut sched_rng = SmallRng::seed_from_u64(cfg.seed ^ (rate * 1000.0) as u64);
-        let schedule = ChurnSchedule::generate(rate, duration, &mut sched_rng);
+        let schedule = ChurnSchedule::generate_with_failures(
+            rate,
+            duration,
+            setup.graceful_ratio,
+            &mut sched_rng,
+        );
         let mut cells: Vec<(System, ChurnCell)> = Vec::with_capacity(4);
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = System::ALL

@@ -1,6 +1,7 @@
 //! One module per paper artifact (figure / theorem) plus ablations.
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -13,7 +14,7 @@ pub mod worstcase;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use analysis::System;
-use dht_core::Summary;
+use dht_core::{hashing::splitmix64, FaultPlan, Summary};
 use grid_resource::{Query, QueryMix, ResourceDiscovery, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -153,6 +154,102 @@ pub fn run_batch_sharded(
     merge_in_order(parts)
 }
 
+/// The fault-coin seed of the query at global batch position `index`: a
+/// pure function of the plan seed and the position, so sharding can
+/// never change which faults a query draws.
+fn msg_seed_at(plan: &FaultPlan, index: usize) -> u64 {
+    splitmix64(plan.seed() ^ index as u64)
+}
+
+/// Run a contiguous slice of a batch under a fault plan. `base` is the
+/// global batch index of the slice's first query.
+fn run_shard_faulty(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    shard: &[(usize, Query)],
+    metric: Metric,
+    plan: &FaultPlan,
+    base: usize,
+) -> Summary {
+    let mut s = Summary::new();
+    for (j, (phys, q)) in shard.iter().enumerate() {
+        match sys.query_from_faulty(*phys, q, plan, msg_seed_at(plan, base + j)) {
+            Ok(f) => {
+                let v = match metric {
+                    Metric::Hops => f.outcome.tally.hops as f64,
+                    Metric::Visited => f.outcome.tally.visited as f64,
+                };
+                if f.is_failed() {
+                    s.record_failure();
+                } else if f.is_partial() {
+                    s.record_partial(v);
+                } else {
+                    s.record(v);
+                }
+                s.add_retries(f.retries);
+                s.add_dropped_msgs(f.dropped_msgs);
+            }
+            Err(_) => s.record_failure(),
+        }
+    }
+    s
+}
+
+/// [`run_batch`] under a fault plan, on [`default_shards`] workers.
+/// With an inert plan the result is bit-identical to [`run_batch`].
+pub fn run_batch_faulty(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    plan: &FaultPlan,
+) -> Summary {
+    run_batch_faulty_sharded(sys, batch, metric, plan, default_shards())
+}
+
+/// [`run_batch_faulty`] with an explicit shard count. Fault coins are a
+/// pure function of `(plan seed, global batch position)` and reduction
+/// follows the same ordered micro-chunk scheme as [`run_batch_sharded`],
+/// so every summary field — including the degradation counters — is
+/// bit-identical across shard counts.
+pub fn run_batch_faulty_sharded(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    plan: &FaultPlan,
+    shards: usize,
+) -> Summary {
+    let micro: Vec<(usize, &[(usize, Query)])> =
+        batch.chunks(MICRO_CHUNK.max(1)).enumerate().collect();
+    if shards <= 1 || micro.len() <= 1 {
+        return merge_in_order(
+            micro.into_iter().map(|(i, c)| run_shard_faulty(sys, c, metric, plan, i * MICRO_CHUNK)),
+        );
+    }
+    let per_worker = micro.len().div_ceil(shards);
+    let mut parts: Vec<Summary> = Vec::with_capacity(micro.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = micro
+            .chunks(per_worker)
+            .map(|chunks| {
+                scope.spawn(move |_| {
+                    chunks
+                        .iter()
+                        .map(|(i, c)| run_shard_faulty(sys, c, metric, plan, i * MICRO_CHUNK))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint:allow(panic-hygiene): join fails only if the worker
+            // panicked; re-raising that panic is the intended behaviour.
+            parts.extend(h.join().expect("shard worker panicked"));
+        }
+    })
+    // lint:allow(panic-hygiene): crossbeam scope errs only when a
+    // child panicked; re-raising that panic is the intended behaviour.
+    .expect("crossbeam scope");
+    merge_in_order(parts)
+}
+
 /// Run the same batch against every mounted system in parallel (one thread
 /// per system — they are independent and `query_from` is `&self` — each of
 /// which shards its batch further, for `systems × shards` total workers).
@@ -241,6 +338,58 @@ mod tests {
                 assert_eq!(par.mean().to_bits(), seq.mean().to_bits(), "{name} shards={shards}");
                 assert_eq!(par.min().to_bits(), seq.min().to_bits(), "{name} shards={shards}");
                 assert_eq!(par.max().to_bits(), seq.max().to_bits(), "{name} shards={shards}");
+            }
+        }
+    }
+
+    fn assert_summaries_bit_identical(a: &Summary, b: &Summary, ctx: &str) {
+        assert_eq!(a.count(), b.count(), "{ctx}");
+        assert_eq!(a.failures(), b.failures(), "{ctx}");
+        assert_eq!(a.partial(), b.partial(), "{ctx}");
+        assert_eq!(a.retries(), b.retries(), "{ctx}");
+        assert_eq!(a.dropped_msgs(), b.dropped_msgs(), "{ctx}");
+        assert_eq!(a.total().to_bits(), b.total().to_bits(), "{ctx}");
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "{ctx}");
+        assert_eq!(a.min().to_bits(), b.min().to_bits(), "{ctx}");
+        assert_eq!(a.max().to_bits(), b.max().to_bits(), "{ctx}");
+    }
+
+    #[test]
+    fn inert_faulty_batch_is_bit_identical_to_plain_batch() {
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 15, 3, 2, QueryMix::Range, 0x99);
+        let plan = FaultPlan::new(0xFA57, 0.0, 0.0).unwrap();
+        for sys in &bed.systems {
+            for shards in [1usize, 3] {
+                let plain = run_batch_sharded(sys.as_ref(), &batch, Metric::Hops, shards);
+                let faulty =
+                    run_batch_faulty_sharded(sys.as_ref(), &batch, Metric::Hops, &plan, shards);
+                let ctx = format!("{} shards={shards}", sys.name());
+                assert_summaries_bit_identical(&faulty, &plain, &ctx);
+                assert_eq!(faulty.retries(), 0, "{ctx}");
+                assert_eq!(faulty.partial(), 0, "{ctx}");
+                assert_eq!(faulty.dropped_msgs(), 0, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_batch_is_bit_identical_for_every_shard_count() {
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 15, 3, 3, QueryMix::Range, 0x3B);
+        let plan = FaultPlan::new(0xFA58, 0.15, 0.05).unwrap();
+        for sys in &bed.systems {
+            let seq = run_batch_faulty_sharded(sys.as_ref(), &batch, Metric::Hops, &plan, 1);
+            assert!(seq.dropped_msgs() > 0, "{}: 15% loss should drop some messages", sys.name());
+            for shards in [2usize, 3, 7, 16] {
+                let par =
+                    run_batch_faulty_sharded(sys.as_ref(), &batch, Metric::Hops, &plan, shards);
+                let ctx = format!("{} shards={shards}", sys.name());
+                assert_summaries_bit_identical(&par, &seq, &ctx);
             }
         }
     }

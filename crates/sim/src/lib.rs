@@ -13,6 +13,7 @@
 //! | [`experiments::fig6`] | Fig. 6(a,b) both metrics under Poisson churn |
 //! | [`experiments::worstcase`] | Theorem 4.10's worst-case contacted-node bound |
 //! | [`experiments::ablation`] | design-choice ablations (value skew, LPH vs modulo, leaf sets) |
+//! | [`experiments::chaos`] | (extension) success rate / hop inflation under injected faults |
 //!
 //! Every experiment returns a plain result struct whose `Display` renders
 //! the same rows/series the paper plots, alongside the matching

@@ -115,13 +115,18 @@ impl fmt::Display for Report {
     }
 }
 
-/// Serialize one labelled [`Summary`] as a JSON object.
-fn summary_json(label: &str, s: &Summary) -> String {
+/// Serialize one labelled [`Summary`] as a JSON object (shared by the
+/// bench crate's `chaos-v1` export so both schemas render summaries
+/// identically).
+pub fn summary_json(label: &str, s: &Summary) -> String {
     format!(
-        "{{\"label\":{},\"count\":{},\"failures\":{},\"mean\":{},\"std\":{},\"min\":{},\"max\":{},\"total\":{}}}",
+        "{{\"label\":{},\"count\":{},\"failures\":{},\"partial\":{},\"retries\":{},\"dropped\":{},\"mean\":{},\"std\":{},\"min\":{},\"max\":{},\"total\":{}}}",
         json_str(label),
         s.count(),
         s.failures(),
+        s.partial(),
+        s.retries(),
+        s.dropped_msgs(),
         json_num(s.mean()),
         json_num(s.std_dev()),
         json_num(s.min()),
@@ -193,6 +198,9 @@ mod tests {
         assert!(j.contains("\"label\":\"LORM\""));
         assert!(j.contains("\"count\":1"));
         assert!(j.contains("\"failures\":1"));
+        assert!(j.contains("\"partial\":0"));
+        assert!(j.contains("\"retries\":0"));
+        assert!(j.contains("\"dropped\":0"));
         assert!(j.contains("\"mean\":3"));
         assert!(j.contains("\"notes\":[\"line\\t1\"]"));
     }

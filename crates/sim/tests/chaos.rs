@@ -1,0 +1,157 @@
+//! Chaos soak: the seeded fault sweep on a 1024-node bed, all four
+//! systems. Pins the three dynamic guarantees of the fault layer that
+//! the unit tests only check on small beds:
+//!
+//! * success rates degrade **monotonically** in the loss rate at fixed
+//!   failure fraction (the fault-coin firing sets are nested by rate);
+//! * every query is accounted for: `failures + partial + successes ==
+//!   total`, in every cell, for every system;
+//! * a zero-fault [`FaultPlan`] leaves the exported `Report` JSON
+//!   **byte-identical** to the fault-free path, at 1 and 3 shards.
+
+use dht_core::FaultPlan;
+use grid_resource::QueryMix;
+use sim::experiments::chaos::{chaos, ChaosSetup};
+use sim::experiments::{query_batch, run_batch_faulty_sharded, run_batch_sharded, Metric};
+use sim::setup::{SimConfig, TestBed};
+use sim::Report;
+use std::sync::OnceLock;
+
+/// One shared 1024-node bed: building the four systems dominates the
+/// soak budget, and every test here replays batches against it.
+fn bed() -> &'static TestBed {
+    static BED: OnceLock<TestBed> = OnceLock::new();
+    BED.get_or_init(|| {
+        TestBed::new(SimConfig {
+            nodes: 1024,
+            dimension: 8,
+            attrs: 20,
+            values: 60,
+            ..SimConfig::default()
+        })
+    })
+}
+
+#[test]
+fn soak_sweep_degrades_monotonically_and_accounts_every_query() {
+    let setup = ChaosSetup {
+        loss_rates: vec![0.0, 0.05, 0.2],
+        fail_fracs: vec![0.0, 0.1],
+        origins: 50,
+        per_origin: 4,
+        arity: 3,
+        ..ChaosSetup::default()
+    };
+    let c = chaos(bed(), setup.clone());
+    let total = (setup.origins * setup.per_origin) as u64;
+    assert_eq!(c.queries as u64, total);
+    assert_eq!(c.systems.len(), 4, "all four systems swept");
+    for sys in &c.systems {
+        for &ff in &setup.fail_fracs {
+            let mut prev = f64::INFINITY;
+            for &loss in &setup.loss_rates {
+                let cell = sys
+                    .cells
+                    .iter()
+                    .find(|cl| cl.loss == loss && cl.fail_frac == ff)
+                    .expect("swept cell");
+                // every query lands in exactly one bucket
+                assert_eq!(cell.total_queries(), total, "{} loss {loss}", sys.name);
+                assert_eq!(
+                    cell.summary.successes() + cell.summary.partial() + cell.summary.failures(),
+                    total,
+                    "{} loss {loss} fail {ff}",
+                    sys.name
+                );
+                // monotone degradation in the loss rate at fixed failure
+                // fraction — exact, not just statistical: the fault-coin
+                // firing set at a higher rate is a superset
+                let rate = cell.success_rate();
+                assert!(
+                    rate <= prev,
+                    "{} success rate not monotone: {rate} after {prev} (loss {loss}, fail {ff})",
+                    sys.name
+                );
+                prev = rate;
+            }
+        }
+        // the zero-fault anchor cell is perfect
+        let anchor = &sys.cells[0];
+        assert_eq!((anchor.loss, anchor.fail_frac), (0.0, 0.0));
+        assert_eq!(anchor.success_rate(), 1.0, "{}", sys.name);
+        assert_eq!(anchor.summary.dropped_msgs(), 0, "{}", sys.name);
+        // and the 20%-loss cells actually exercised the fault layer
+        let lossy =
+            sys.cells.iter().find(|cl| cl.loss == 0.2 && cl.fail_frac == 0.0).expect("lossy cell");
+        assert!(lossy.summary.dropped_msgs() > 0, "{}", sys.name);
+    }
+}
+
+#[test]
+fn zero_fault_plan_report_json_is_byte_identical_to_fault_free() {
+    let bed = bed();
+    let batch = query_batch(&bed.workload, bed.cfg.nodes, 30, 3, 3, QueryMix::Range, 0xFA117);
+    let plan = FaultPlan::none();
+    for metric in [Metric::Hops, Metric::Visited] {
+        let mut plain = Report::new();
+        let mut faulty_seq = Report::new();
+        let mut faulty_par = Report::new();
+        for sys in &bed.systems {
+            plain.summary(sys.name(), run_batch_sharded(sys.as_ref(), &batch, metric, 1));
+            faulty_seq.summary(
+                sys.name(),
+                run_batch_faulty_sharded(sys.as_ref(), &batch, metric, &plan, 1),
+            );
+            faulty_par.summary(
+                sys.name(),
+                run_batch_faulty_sharded(sys.as_ref(), &batch, metric, &plan, 3),
+            );
+        }
+        assert_eq!(plain.to_json(), faulty_seq.to_json(), "{metric:?} shards=1");
+        assert_eq!(plain.to_json(), faulty_par.to_json(), "{metric:?} shards=3");
+    }
+}
+
+#[test]
+fn faulty_sweep_is_a_pure_function_of_the_seeds() {
+    // Same bed, same batch, same plan — the degraded summaries must be
+    // bit-identical across repeated runs (the chaos-v1 export contract).
+    let bed = bed();
+    let batch = query_batch(&bed.workload, bed.cfg.nodes, 20, 3, 3, QueryMix::Range, 0x50AC);
+    let plan = FaultPlan::new(0xC4A0_5EED, 0.2, 0.1).unwrap();
+    for sys in &bed.systems {
+        let a = run_batch_faulty_sharded(sys.as_ref(), &batch, Metric::Hops, &plan, 3);
+        let b = run_batch_faulty_sharded(sys.as_ref(), &batch, Metric::Hops, &plan, 3);
+        assert_eq!(a.count(), b.count(), "{}", sys.name());
+        assert_eq!(a.failures(), b.failures(), "{}", sys.name());
+        assert_eq!(a.partial(), b.partial(), "{}", sys.name());
+        assert_eq!(a.retries(), b.retries(), "{}", sys.name());
+        assert_eq!(a.dropped_msgs(), b.dropped_msgs(), "{}", sys.name());
+        assert_eq!(a.total().to_bits(), b.total().to_bits(), "{}", sys.name());
+    }
+}
+
+#[test]
+fn churn_with_interleaved_ungraceful_failures_stays_sound() {
+    // ChurnKind::Fail events interleaved mid-schedule (half the
+    // departures abrupt): the figure pipeline must survive the stale
+    // routing state — cluster collapses, dead successor-list entries —
+    // without panicking, and stay deterministic.
+    use sim::experiments::fig6::{fig6, ChurnSetup};
+    let cfg = SimConfig {
+        nodes: 384,
+        dimension: 6,
+        attrs: 10,
+        values: 30,
+        seed: 0xFA11,
+        ..SimConfig::default()
+    };
+    let setup =
+        ChurnSetup { graceful_ratio: 0.5, requests: 200, rates: vec![0.4], ..ChurnSetup::quick() };
+    let once = fig6(&cfg, &setup, Metric::Hops).report().to_json();
+    let again = fig6(&cfg, &setup, Metric::Hops).report().to_json();
+    assert_eq!(once, again, "ungraceful churn must stay deterministic");
+    for name in ["LORM", "Mercury", "SWORD", "MAAN"] {
+        assert!(once.contains(name), "{name} missing from report: {once}");
+    }
+}

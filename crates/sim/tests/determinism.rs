@@ -29,3 +29,38 @@ fn fig4_report_is_bit_identical_across_runs_and_shard_counts() {
     let sharded = fig4_json(3);
     assert_eq!(once, sharded, "shard count is an execution detail and must not leak into results");
 }
+
+#[test]
+fn graceful_ratio_one_leaves_fig6_byte_identical() {
+    // The failure-enabled schedule generator draws zero extra RNG at
+    // ratio 1.0, so threading `graceful_ratio` through the churn
+    // pipeline must not perturb the paper's figures at the default.
+    use sim::experiments::fig6::{fig6, ChurnSetup};
+    use sim::experiments::Metric;
+    let cfg = SimConfig { nodes: 256, attrs: 12, values: 50, dimension: 6, ..SimConfig::default() };
+    let setup = ChurnSetup { requests: 200, rates: vec![0.2], ..ChurnSetup::quick() };
+    assert_eq!(setup.graceful_ratio, 1.0, "default is graceful-only");
+    let explicit = ChurnSetup { graceful_ratio: 1.0, ..setup.clone() };
+    let default_json = fig6(&cfg, &setup, Metric::Hops).report().to_json();
+    let explicit_json = fig6(&cfg, &explicit, Metric::Hops).report().to_json();
+    assert_eq!(default_json, explicit_json);
+}
+
+#[test]
+fn failure_schedule_generation_is_deterministic() {
+    // Same seed, same ratio → the interleaved ChurnKind::Fail events
+    // land at identical times in identical order.
+    use grid_resource::ChurnSchedule;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let gen = || {
+        let mut rng = SmallRng::seed_from_u64(0xF41D);
+        ChurnSchedule::generate_with_failures(0.4, 100.0, 0.5, &mut rng)
+    };
+    let (a, b) = (gen(), gen());
+    assert_eq!(a.events(), b.events());
+    assert!(
+        a.events().iter().any(|e| e.kind == grid_resource::ChurnKind::Fail),
+        "ratio 0.5 over 100s must schedule some abrupt failures"
+    );
+}

@@ -589,6 +589,22 @@ mod tests {
     }
 
     #[test]
+    fn fault_aware_fast_paths_are_fine() {
+        // The fault-injection layer's entry points are allocation-free
+        // twins of `route_stats` and must not trip the exact-ident
+        // `.route(` matcher: `route_stats_faulty`, `route_with_retry`,
+        // the faulty walk variants, and `probe_step`.
+        let r = sim_lib(
+            "fn f(o: &O, p: &FaultPlan, a: &mut FaultAccount) {\n    \
+             let s = o.route_stats_faulty(x, k, p, m);\n    \
+             let t = dht_core::route_with_retry(o, x, k, p, m, a);\n    \
+             let w = h.walk_range_faulty_into(s, lo, hi, p, m, a, out);\n    \
+             let g = dht_core::probe_step(p, m, 1, n, a);\n}",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
     fn live_nodes_clone_is_flagged_but_suppressible() {
         let r = sim_lib("fn f(o: &O) { let l = o.live_nodes_cloned(); }");
         assert_eq!(names(&r), ["route-path-alloc"]);

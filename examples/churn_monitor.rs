@@ -54,6 +54,18 @@ fn main() {
                         }
                     }
                 }
+                grid_resource::ChurnKind::Fail => {
+                    // abrupt failure: never drawn by `generate` (this
+                    // example's graceful-only schedule), only by
+                    // `generate_with_failures` at a ratio below 1.0
+                    for _ in 0..32 {
+                        let p = rng.gen_range(0..max_phys);
+                        if grid.is_live(p) {
+                            grid.fail_physical(p).unwrap();
+                            break;
+                        }
+                    }
+                }
             }
         }
         // periodic maintenance every 30 s: repair + re-report
