@@ -48,6 +48,7 @@ impl Default for CompositeConfig {
 }
 
 /// The flat composite-key ablation system.
+#[derive(Clone)]
 pub struct CompositeFlat {
     host: ChordHost,
     /// Per-attribute segment base (`H(attr)` truncated to the prefix).
@@ -93,6 +94,10 @@ impl CompositeFlat {
 }
 
 impl ResourceDiscovery for CompositeFlat {
+    fn clone_box(&self) -> Box<dyn ResourceDiscovery + Send + Sync> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "Composite"
     }

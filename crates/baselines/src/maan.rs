@@ -40,6 +40,7 @@ impl Default for MaanConfig {
 }
 
 /// The MAAN baseline system.
+#[derive(Clone)]
 pub struct Maan {
     host: ChordHost,
     attr_keys: Vec<u64>,
@@ -79,6 +80,10 @@ impl Maan {
 }
 
 impl ResourceDiscovery for Maan {
+    fn clone_box(&self) -> Box<dyn ResourceDiscovery + Send + Sync> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "MAAN"
     }
@@ -295,8 +300,9 @@ impl ResourceDiscovery for Maan {
         self.phys_node[phys] = None;
         // A piece stored under both keys appears twice in the handoff;
         // alternate attribution so exactly one copy lands under each key.
-        let mut attr_placed: std::collections::BTreeSet<(u32, u64, usize)> =
-            std::collections::BTreeSet::new();
+        // Sorted flat Vec as a set: handoffs are one directory's worth of
+        // pieces, so binary-search + ordered insert beats a tree.
+        let mut attr_placed: Vec<(u32, u64, usize)> = Vec::new();
         for info in handoff {
             let ak = self.attr_key(info.attr);
             let vk = self.value_key(info.value);
@@ -310,13 +316,13 @@ impl ResourceDiscovery for Maan {
                 (false, true) => vk,
                 // both (or indeterminate): first copy to the attribute
                 // root, second to the value root
-                _ => {
-                    if attr_placed.insert(sig) {
+                _ => match attr_placed.binary_search(&sig) {
+                    Err(pos) => {
+                        attr_placed.insert(pos, sig);
                         ak
-                    } else {
-                        vk
                     }
-                }
+                    Ok(_) => vk,
+                },
             };
             let _ = self.host.store_at_owner(key, info);
         }

@@ -38,6 +38,7 @@ impl Default for MercuryConfig {
 }
 
 /// The Mercury baseline system: one Chord hub per attribute.
+#[derive(Clone)]
 pub struct Mercury {
     hubs: Vec<ChordHost>,
     lph: LocalityHash,
@@ -82,6 +83,10 @@ impl Mercury {
 }
 
 impl ResourceDiscovery for Mercury {
+    fn clone_box(&self) -> Box<dyn ResourceDiscovery + Send + Sync> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "Mercury"
     }

@@ -33,6 +33,7 @@ impl Default for SwordConfig {
 }
 
 /// The SWORD baseline system.
+#[derive(Clone)]
 pub struct Sword {
     host: ChordHost,
     /// `H(attribute name)`, cached per attribute.
@@ -65,6 +66,10 @@ impl Sword {
 }
 
 impl ResourceDiscovery for Sword {
+    fn clone_box(&self) -> Box<dyn ResourceDiscovery + Send + Sync> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "SWORD"
     }

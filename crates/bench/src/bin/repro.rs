@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures. See `bench` crate docs.
 #![allow(clippy::print_stdout)] // terminal output is this binary's UI
 
-use bench::{parse_args, render_json, run_artifact_report, ArtifactRun};
+use bench::{parse_args, render_json, run_artifact_report_cached, ArtifactRun};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -65,6 +65,34 @@ fn main() {
             }
             println!("(perf metrics written to {})", path.display());
         }
+        if let Some(path) = &cfg.baseline {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("failed to read baseline {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            let base = match bench::perf::parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("failed to parse baseline {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            let deltas = bench::perf::diff_baseline(&kernels, &base);
+            println!("{}", bench::perf::render_delta_table(path, &deltas));
+            if deltas.iter().any(|d| d.regressed) {
+                eprintln!(
+                    "perf regression: at least one kernel slowed past its gate \
+                     ({:.0}% query / {:.0}% build) vs {}",
+                    (bench::perf::REGRESSION_THRESHOLD - 1.0) * 100.0,
+                    (bench::perf::BUILD_REGRESSION_THRESHOLD - 1.0) * 100.0,
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if cfg.chaos {
@@ -90,10 +118,14 @@ fn main() {
         if cfg.quick { "quick" } else { "full (paper §V)" },
         cfg.seed
     );
+    // One cache for the whole invocation: artifacts sharing a bed
+    // configuration (fig4 + fig5 + t410 at the same scale, say) build it
+    // once and reuse it.
+    let cache = sim::BedCache::new();
     let mut runs: Vec<ArtifactRun> = Vec::with_capacity(artifacts.len());
     for a in artifacts {
         let started = std::time::Instant::now();
-        let report = run_artifact_report(a, &cfg);
+        let report = run_artifact_report_cached(a, &cfg, &cache);
         let elapsed = started.elapsed();
         println!("{report}");
         println!("(elapsed: {elapsed:.1?})\n");

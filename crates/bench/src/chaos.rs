@@ -11,12 +11,20 @@
 
 use crate::ReproConfig;
 use sim::experiments::chaos::{chaos, Chaos, ChaosSetup};
-use sim::TestBed;
+use sim::BedCache;
 
 /// Run the chaos sweep at the configuration's scale.
 pub fn run_chaos(cfg: &ReproConfig) -> Chaos {
+    run_chaos_cached(cfg, &BedCache::new())
+}
+
+/// Run the chaos sweep against a shared bed cache: the sweep itself
+/// already reuses one bed across every (loss × fail) cell, so the cache's
+/// contribution is sharing that bed with any other pipeline in the same
+/// invocation (e.g. the perf harness's figure kernels).
+pub fn run_chaos_cached(cfg: &ReproConfig, cache: &BedCache) -> Chaos {
     let setup = if cfg.quick { ChaosSetup::quick() } else { ChaosSetup::default() };
-    let bed = TestBed::new(cfg.sim());
+    let bed = cache.bed(cfg.sim());
     chaos(&bed, setup)
 }
 
@@ -79,7 +87,7 @@ pub fn render_chaos_json(cfg: &ReproConfig, c: &Chaos) -> String {
 mod tests {
     use super::*;
     use sim::experiments::chaos::ChaosSetup;
-    use sim::SimConfig;
+    use sim::{SimConfig, TestBed};
 
     fn tiny_chaos() -> (ReproConfig, Chaos) {
         let cfg = ReproConfig { quick: true, seed: 7, chaos: true, ..ReproConfig::default() };

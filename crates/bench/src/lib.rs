@@ -23,7 +23,7 @@ pub mod chaos;
 pub mod perf;
 
 use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase};
-use sim::{Report, SimConfig, TestBed};
+use sim::{BedCache, Report, SimConfig};
 use std::path::PathBuf;
 
 /// Which artifacts to regenerate.
@@ -145,11 +145,22 @@ pub struct ReproConfig {
     pub perf: bool,
     /// Run the fault-injection chaos sweep instead of the figures.
     pub chaos: bool,
+    /// Perf mode only: diff the run against this committed BENCH file and
+    /// exit non-zero on a >25% per-kernel wall-clock regression.
+    pub baseline: Option<PathBuf>,
 }
 
 impl Default for ReproConfig {
     fn default() -> Self {
-        Self { quick: false, seed: 0x1C99, shards: 0, json: None, perf: false, chaos: false }
+        Self {
+            quick: false,
+            seed: 0x1C99,
+            shards: 0,
+            json: None,
+            perf: false,
+            chaos: false,
+            baseline: None,
+        }
     }
 }
 
@@ -184,33 +195,49 @@ impl ReproConfig {
     }
 }
 
-/// Run one artifact and build its structured report.
+/// Run one artifact and build its structured report, with a transient
+/// bed cache (single-artifact callers). Batch callers — the `repro` main
+/// loop, the perf pipelines — use [`run_artifact_report_cached`] so one
+/// stabilized bed serves every artifact with the same configuration.
 pub fn run_artifact_report(a: Artifact, cfg: &ReproConfig) -> Report {
+    run_artifact_report_cached(a, cfg, &BedCache::new())
+}
+
+/// Run one artifact against a caller-owned [`BedCache`]: every artifact
+/// that mounts the standard test bed shares one `Arc` build per distinct
+/// configuration, and the churn sweeps clone cached prototypes instead of
+/// rebuilding per (rate, system) cell.
+pub fn run_artifact_report_cached(a: Artifact, cfg: &ReproConfig, cache: &BedCache) -> Report {
     let sim_cfg = cfg.sim();
     match a {
         Artifact::Fig3a => fig3::fig3a(&cfg.fig3a_dims(), sim_cfg.attrs, cfg.seed).report(),
         Artifact::Fig3Dirs => {
-            let bed = TestBed::new(sim_cfg);
+            let bed = cache.bed(sim_cfg);
             fig3::fig3_directories(&bed).report()
         }
         Artifact::Fig4 => {
-            let bed = TestBed::new(sim_cfg);
+            let bed = cache.bed(sim_cfg);
             // paper: 100 nodes × 10 queries each
             let (origins, per) = if cfg.quick { (20, 5) } else { (100, 10) };
             fig4::fig4(&bed, 1..=10, origins, per).report()
         }
         Artifact::Fig5 => {
-            let bed = TestBed::new(sim_cfg);
+            let bed = cache.bed(sim_cfg);
             fig5::fig5(&bed, 1..=10, cfg.queries()).report()
         }
         Artifact::Fig6a => {
-            fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Hops).report()
+            fig6::fig6_cached(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Hops, cache)
+                .report()
         }
-        Artifact::Fig6b => {
-            fig6::fig6(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Visited).report()
-        }
+        Artifact::Fig6b => fig6::fig6_cached(
+            &sim_cfg,
+            &cfg.churn_setup(),
+            sim::experiments::Metric::Visited,
+            cache,
+        )
+        .report(),
         Artifact::T410 => {
-            let bed = TestBed::new(sim_cfg);
+            let bed = cache.bed(sim_cfg);
             let queries = if cfg.quick { 5 } else { 20 };
             worstcase::worstcase(&bed, 1, queries).report()
         }
@@ -218,7 +245,9 @@ pub fn run_artifact_report(a: Artifact, cfg: &ReproConfig) -> Report {
             // range queries return many matches, so lost directory entries
             // are actually observable as stale answers
             let setup = fig6::ChurnSetup { graceful: false, ..cfg.churn_setup() };
-            let mut rep = fig6::fig6(&sim_cfg, &setup, sim::experiments::Metric::Visited).report();
+            let mut rep =
+                fig6::fig6_cached(&sim_cfg, &setup, sim::experiments::Metric::Visited, cache)
+                    .report();
             rep.note(
                 "(extension: departures are abrupt failures; stale links and lost \
                  directory entries persist until the next maintenance round)",
@@ -226,13 +255,13 @@ pub fn run_artifact_report(a: Artifact, cfg: &ReproConfig) -> Report {
             rep
         }
         Artifact::HopDist => {
-            let bed = TestBed::new(sim_cfg);
+            let bed = cache.bed(sim_cfg);
             let queries = if cfg.quick { 400 } else { 3000 };
             sim::experiments::hopdist::hop_distribution(&bed, queries).report()
         }
         Artifact::Theorems => theorem_report(&sim_cfg.params()),
         Artifact::Latency => {
-            let bed = TestBed::new(sim_cfg);
+            let bed = cache.bed(sim_cfg);
             let queries = if cfg.quick { 60 } else { 300 };
             sim::experiments::latency::latency(&bed, queries, 3, dht_core::LatencyModel::wan())
                 .report()
@@ -241,7 +270,7 @@ pub fn run_artifact_report(a: Artifact, cfg: &ReproConfig) -> Report {
             sim::experiments::maintenance::registration_cost(&sim_cfg).report()
         }
         Artifact::LoadBalance => {
-            let bed = TestBed::new(sim_cfg);
+            let bed = cache.bed(sim_cfg);
             let queries = cfg.queries();
             sim::experiments::maintenance::query_load_balance(&bed, queries, 3).report()
         }
@@ -328,7 +357,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
     args: I,
 ) -> Result<(ReproConfig, Vec<Artifact>), String> {
     const USAGE: &str = "usage: repro [--quick] [--seed=N] [--shards=N] \
-                         [--json <path>] [perf | chaos | theorems fig3a \
+                         [--json <path>] [--baseline <BENCH.json>] \
+                         [perf | chaos | theorems fig3a \
                           fig3bcd fig3sweep fig4 fig5 fig6a fig6b t410 \
                           maintenance churnfail hopdist latency loadbalance \
                           ablations | all]";
@@ -344,6 +374,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
             }
             s if s.starts_with("--json=") => {
                 cfg.json = Some(PathBuf::from(&s["--json=".len()..]));
+            }
+            "--baseline" => {
+                let path = args.next().ok_or(format!("--baseline needs a path\n{USAGE}"))?;
+                cfg.baseline = Some(PathBuf::from(path));
+            }
+            s if s.starts_with("--baseline=") => {
+                cfg.baseline = Some(PathBuf::from(&s["--baseline=".len()..]));
             }
             s if s.starts_with("--seed=") => {
                 cfg.seed =

@@ -4,7 +4,6 @@ use crate::node::{ChordNode, FINGER_BITS};
 use dht_core::{ConsistentHash, DhtError, NodeIdx, Overlay, RouteResult, RouteStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
 
 /// Construction parameters for a [`Chord`] overlay.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +44,12 @@ pub struct Chord {
     /// Live node indices sorted by ring id — ground truth for `owner_of`
     /// and for fast bulk construction. Never consulted by routing.
     sorted: Vec<NodeIdx>,
-    used_ids: BTreeSet<u64>,
+    /// Every identifier ever assigned (live nodes + tombstones), kept as
+    /// a sorted flat `Vec` — membership is a binary search, and cloning
+    /// the overlay (bed snapshots) is one `memcpy` instead of a tree
+    /// rebuild. Ordered inserts are O(n) but only run on join/tombstone,
+    /// never on the routing or query path.
+    used_ids: Vec<u64>,
     rng: SmallRng,
 }
 
@@ -56,7 +60,7 @@ impl Chord {
             nodes: Vec::new(),
             cfg,
             sorted: Vec::new(),
-            used_ids: BTreeSet::new(),
+            used_ids: Vec::new(),
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xC0FFEE),
         }
     }
@@ -69,13 +73,25 @@ impl Chord {
         let hash = ConsistentHash::new(cfg.seed);
         for i in 0..n {
             let mut id = hash.hash_u64(i as u64);
-            while net.used_ids.contains(&id) {
+            while net.id_used(id) {
                 id = id.wrapping_add(0x9e3779b97f4a7c15);
             }
             net.push_node(id);
         }
         net.rebuild_all_state();
         net
+    }
+
+    /// Is `id` already assigned (live node or reserved tombstone)?
+    fn id_used(&self, id: u64) -> bool {
+        self.used_ids.binary_search(&id).is_ok()
+    }
+
+    /// Record `id` as assigned, keeping `used_ids` sorted.
+    fn record_id(&mut self, id: u64) {
+        if let Err(pos) = self.used_ids.binary_search(&id) {
+            self.used_ids.insert(pos, id);
+        }
     }
 
     /// Size of the node arena (live + tomb-stoned slots). Directory
@@ -100,10 +116,10 @@ impl Chord {
     /// two arena nodes on one ring position.
     pub fn reserve_tombstone(&mut self) -> NodeIdx {
         let mut id = self.rng.gen::<u64>();
-        while self.used_ids.contains(&id) {
+        while self.id_used(id) {
             id = id.wrapping_add(0x9e3779b97f4a7c15);
         }
-        self.used_ids.insert(id);
+        self.record_id(id);
         let idx = NodeIdx(self.nodes.len());
         let mut node = ChordNode::new(id);
         node.alive = false;
@@ -114,7 +130,7 @@ impl Chord {
     fn push_node(&mut self, id: u64) -> NodeIdx {
         let idx = NodeIdx(self.nodes.len());
         self.nodes.push(ChordNode::new(id));
-        self.used_ids.insert(id);
+        self.record_id(id);
         let pos = self.sorted.partition_point(|&j| self.nodes[j.0].id < id);
         self.sorted.insert(pos, idx);
         debug_assert!(
@@ -213,7 +229,7 @@ impl Chord {
     /// or per-node repair runs, as in the real protocol.
     pub fn join(&mut self, bootstrap: NodeIdx) -> Result<NodeIdx, DhtError> {
         let mut id = self.rng.gen::<u64>();
-        while self.used_ids.contains(&id) {
+        while self.id_used(id) {
             id = id.wrapping_add(0x9e3779b97f4a7c15);
         }
         self.join_with_id(bootstrap, id)
@@ -221,7 +237,7 @@ impl Chord {
 
     /// Join with an explicit identifier (tests, adversarial placements).
     pub fn join_with_id(&mut self, bootstrap: NodeIdx, id: u64) -> Result<NodeIdx, DhtError> {
-        if self.used_ids.contains(&id) {
+        if self.id_used(id) {
             return Err(DhtError::IdSpaceExhausted);
         }
         self.live_node(bootstrap)?;
@@ -264,7 +280,9 @@ impl Chord {
         self.live_node(idx)?;
         self.nodes[idx.0].alive = false;
         let id = self.nodes[idx.0].id;
-        self.used_ids.remove(&id);
+        if let Ok(pos) = self.used_ids.binary_search(&id) {
+            self.used_ids.remove(pos);
+        }
         if let Ok(pos) = self.sorted.binary_search_by(|&j| self.nodes[j.0].id.cmp(&id)) {
             self.sorted.remove(pos);
         }
@@ -642,12 +660,12 @@ mod tests {
         let t = c.reserve_tombstone();
         let tid = c.nodes[t.0].id;
         assert!(!c.nodes[t.0].alive);
-        assert!(c.used_ids.contains(&tid), "tombstone id must be recorded");
+        assert!(c.id_used(tid), "tombstone id must be recorded");
         assert_eq!(c.join_with_id(boot, tid), Err(DhtError::IdSpaceExhausted));
         // And the next tombstone cannot collide with an existing node
         // either: force the rng's next draw onto an occupied id by
         // exhausting... (cheaper: just check distinctness over a batch).
-        let mut seen: Vec<u64> = c.used_ids.iter().copied().collect();
+        let mut seen: Vec<u64> = c.used_ids.to_vec();
         for _ in 0..32 {
             let t = c.reserve_tombstone();
             seen.push(c.nodes[t.0].id);

@@ -36,6 +36,7 @@ impl Default for LormConfig {
 /// construction; nodes joining later get fresh indices. Every node keeps a
 /// *directory*: the resource information pieces whose `rescID` it is the
 /// root of.
+#[derive(Clone)]
 pub struct Lorm {
     overlay: Cycloid,
     keys: KeyDeriver,
@@ -245,6 +246,10 @@ impl Lorm {
 }
 
 impl ResourceDiscovery for Lorm {
+    fn clone_box(&self) -> Box<dyn ResourceDiscovery + Send + Sync> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "LORM"
     }

@@ -8,16 +8,21 @@
 //! index a real directory node would keep).
 
 use crate::model::{AttrId, ResourceInfo, ValueTarget};
-use std::collections::BTreeMap;
 
 /// One node's directory: resource information bucketed by attribute.
 ///
-/// Buckets are kept in a `BTreeMap` so that [`Directory::drain`] and
-/// [`Directory::iter`] walk attributes in a fixed order — departure
-/// handoffs and inspection must not depend on per-process hasher state.
+/// Buckets live in a flat `Vec` sorted by attribute id, so that
+/// [`Directory::drain`] and [`Directory::iter`] walk attributes in a
+/// fixed order — departure handoffs and inspection must not depend on
+/// per-process hasher state. The flat layout also makes cloning a
+/// directory (the bed-snapshot hot path) a handful of contiguous
+/// `memcpy`s instead of a node-by-node tree rebuild; lookups are a
+/// binary search over at most `m` attribute buckets.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    by_attr: BTreeMap<u32, Vec<ResourceInfo>>,
+    /// `(attr, pieces)` buckets, sorted by attribute id. Within a bucket
+    /// pieces stay in insertion order.
+    by_attr: Vec<(u32, Vec<ResourceInfo>)>,
     len: usize,
 }
 
@@ -27,9 +32,19 @@ impl Directory {
         Self::default()
     }
 
+    fn bucket(&self, attr: u32) -> Option<&[ResourceInfo]> {
+        self.by_attr
+            .binary_search_by_key(&attr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.by_attr[i].1.as_slice())
+    }
+
     /// Store one piece.
     pub fn push(&mut self, info: ResourceInfo) {
-        self.by_attr.entry(info.attr.0).or_default().push(info);
+        match self.by_attr.binary_search_by_key(&info.attr.0, |&(a, _)| a) {
+            Ok(i) => self.by_attr[i].1.push(info),
+            Err(i) => self.by_attr.insert(i, (info.attr.0, vec![info])),
+        }
         self.len += 1;
     }
 
@@ -47,7 +62,7 @@ impl Directory {
     /// attribute order.
     pub fn drain(&mut self) -> Vec<ResourceInfo> {
         let mut out = Vec::with_capacity(self.len);
-        for mut v in std::mem::take(&mut self.by_attr).into_values() {
+        for (_, mut v) in std::mem::take(&mut self.by_attr) {
             out.append(&mut v);
         }
         self.len = 0;
@@ -72,19 +87,19 @@ impl Directory {
     /// query hot loops use, so one scratch buffer serves every probed node
     /// of a sub-query.
     pub fn matching_owners_into(&self, attr: AttrId, target: &ValueTarget, out: &mut Vec<usize>) {
-        if let Some(v) = self.by_attr.get(&attr.0) {
+        if let Some(v) = self.bucket(attr.0) {
             out.extend(v.iter().filter(|r| target.matches(r.value)).map(|r| r.owner));
         }
     }
 
     /// Iterate over all stored pieces (inspection/tests).
     pub fn iter(&self) -> impl Iterator<Item = &ResourceInfo> {
-        self.by_attr.values().flatten()
+        self.by_attr.iter().flat_map(|(_, v)| v.iter())
     }
 
     /// Does the directory hold any piece of this attribute?
     pub fn has_attr(&self, attr: AttrId) -> bool {
-        self.by_attr.get(&attr.0).is_some_and(|v| !v.is_empty())
+        self.bucket(attr.0).is_some_and(|v| !v.is_empty())
     }
 }
 

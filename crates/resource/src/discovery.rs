@@ -88,6 +88,13 @@ pub trait ResourceDiscovery {
     /// Short system name used in reports ("LORM", "Mercury", …).
     fn name(&self) -> &'static str;
 
+    /// Deep-copy this system behind a fresh box — the snapshot primitive
+    /// of the bed cache. The clone carries *all* state (overlay links,
+    /// directories, RNGs), so driving the clone and the original through
+    /// identical operation sequences yields identical results, and
+    /// mutating one never observably affects the other.
+    fn clone_box(&self) -> Box<dyn ResourceDiscovery + Send + Sync>;
+
     /// Number of live physical nodes.
     fn num_physical(&self) -> usize;
 
@@ -156,6 +163,12 @@ pub trait ResourceDiscovery {
     /// Run one maintenance round (stabilization / link repair) across the
     /// system's overlay(s).
     fn stabilize(&mut self);
+}
+
+impl Clone for Box<dyn ResourceDiscovery + Send + Sync> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The requester-side "database-like join on `ip_addr`": intersect the

@@ -85,6 +85,8 @@ pub fn ablate_placement(cfg: &SimConfig, queries: usize) -> Ablation {
     for (label, placement) in
         [("LPH (paper)", Placement::Lph), ("hashed (ablation)", Placement::Hashed)]
     {
+        // lint:allow(bed-rebuild): each iteration mounts a different
+        // placement policy, so the builds genuinely differ
         let mut sys = Lorm::new(
             cfg.nodes,
             &workload.space,
@@ -149,6 +151,8 @@ pub fn ablate_value_skew(cfg: &SimConfig) -> Ablation {
             // lint:allow(panic-hygiene): SimConfig always yields a valid
             // WorkloadConfig (nonzero counts, ordered domain).
             .expect("valid config");
+        // lint:allow(bed-rebuild): each iteration mounts a workload drawn
+        // from a different value distribution
         let mut sys = Lorm::new(
             cfg.nodes,
             &workload.space,
@@ -173,6 +177,8 @@ pub fn ablate_value_skew(cfg: &SimConfig) -> Ablation {
 pub fn ablate_succ_list(n: usize, fail_fraction: f64, lookups: usize, seed: u64) -> Ablation {
     let mut rows = Vec::new();
     for r in [1usize, 2, 4, 8] {
+        // lint:allow(bed-rebuild): the sweep varies the successor-list
+        // length under ablation; every build differs
         let mut net = Chord::build(n, ChordConfig { succ_list_len: r, seed });
         let mut rng = SmallRng::seed_from_u64(seed ^ r as u64);
         let kill = ((n as f64) * fail_fraction) as usize;
@@ -223,6 +229,8 @@ pub fn ablate_dimension(dims: &[u8], lookups: usize, seed: u64) -> Ablation {
     let mut rows = Vec::new();
     for &d in dims {
         let n = d as usize * (1usize << d);
+        // lint:allow(bed-rebuild): the sweep varies the Cycloid dimension
+        // (and with it n); every build differs
         let net = Cycloid::build(n, CycloidConfig { dimension: d, seed });
         let mut rng = SmallRng::seed_from_u64(seed ^ d as u64);
         let mut hops = Summary::new();
@@ -394,6 +402,8 @@ pub fn ablate_attr_popularity(cfg: &SimConfig, queries: usize) -> Ablation {
             .expect("valid config");
         let mut maxima = Vec::with_capacity(System::ALL.len());
         for s in System::ALL {
+            // lint:allow(bed-rebuild): one build per distinct system over a
+            // shared workload, not per sweep point
             let sys = crate::setup::build_system(s, &workload, cfg);
             let mut counts: Vec<usize> = vec![0; cfg.nodes];
             for _ in 0..queries {

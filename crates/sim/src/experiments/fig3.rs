@@ -52,6 +52,8 @@ pub fn fig3a(dimensions: &[u8], attrs: usize, seed: u64) -> Fig3a {
         let n = d as usize * (1usize << d);
         // Mercury: sum of per-hub average outlinks over m independent hubs.
         let hub_avg = |hub: usize| {
+            // lint:allow(bed-rebuild): one hub network per (dimension, hub)
+            // pair; the sweep varies both
             let net = Chord::build(
                 n,
                 ChordConfig {
@@ -80,6 +82,8 @@ pub fn fig3a(dimensions: &[u8], attrs: usize, seed: u64) -> Fig3a {
         // child panicked; re-raising that panic is the intended behaviour.
         .expect("crossbeam scope");
         // LORM: one Cycloid of the same size.
+        // lint:allow(bed-rebuild): the outlink sweep varies the Cycloid
+        // dimension; every build differs
         let cy = Cycloid::build(n, CycloidConfig { dimension: d, seed });
         let lorm_total: usize = cy.live_nodes().iter().map(|&i| cy.outlinks(i).unwrap_or(0)).sum();
         let lorm = lorm_total as f64 / n as f64;
@@ -254,6 +258,8 @@ pub fn fig3_directory_sweep(dimensions: &[u8], cfg: &SimConfig) -> Vec<SweepRow>
         .expect("valid workload config");
         let mut dists = Vec::with_capacity(System::ALL.len());
         for s in System::ALL {
+            // lint:allow(bed-rebuild): one build per distinct system at
+            // this network size, not per sweep point
             let sys = crate::setup::build_system(s, &workload, &size_cfg);
             let loads = sys.directory_loads();
             dists.push(DirRow {

@@ -15,9 +15,10 @@
 //! simulated seconds, and joins/graceful departures additionally repair
 //! their local neighborhood immediately, as the protocols do.
 
+use crate::cache::BedCache;
 use crate::experiments::Metric;
 use crate::report::Report;
-use crate::setup::{build_system, SimConfig};
+use crate::setup::SimConfig;
 use crate::table::Table;
 use analysis::{self as th, System};
 use dht_core::Summary;
@@ -237,16 +238,20 @@ pub fn run_churn_one(
     }
 }
 
-/// Run the full Figure 6 sweep for one metric. Builds a fresh system per
-/// (rate, system) pair so runs are independent, running the four systems
-/// concurrently.
+/// Run the full Figure 6 sweep for one metric, with a transient bed
+/// cache: each system is built once and every (rate, system) run starts
+/// from a deep clone of that prototype — identical to a fresh build, but
+/// the sweep pays construction once per system instead of once per cell.
 pub fn fig6(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric) -> Fig6 {
+    fig6_cached(cfg, setup, metric, &BedCache::new())
+}
+
+/// [`fig6`] against a caller-owned [`BedCache`], so repeated sweeps (both
+/// fig6 metrics, the perf kernels) share one set of prototypes.
+pub fn fig6_cached(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric, cache: &BedCache) -> Fig6 {
     let p = cfg.params();
-    let mut wl_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xF6);
-    let workload = Workload::generate(cfg.workload_config(), &mut wl_rng)
-        // lint:allow(panic-hygiene): SimConfig always yields a valid
-        // WorkloadConfig (nonzero counts, ordered domain).
-        .expect("valid config");
+    let wl_seed = cfg.seed ^ 0xF6;
+    let workload = cache.churn_workload(cfg, wl_seed);
     let duration = setup.requests as f64 / setup.request_rate;
     let mut rows = Vec::new();
     for &rate in &setup.rates {
@@ -265,7 +270,10 @@ pub fn fig6(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric) -> Fig6 {
                     let workload = &workload;
                     let schedule = &schedule;
                     scope.spawn(move |_| {
-                        let mut sys = build_system(s, workload, cfg);
+                        // First rate: builds the prototype (misses run in
+                        // parallel, one per system). Later rates: a deep
+                        // clone, byte-identical to a fresh build.
+                        let mut sys = cache.churn_proto(s, cfg, wl_seed);
                         let cell = run_churn_one(
                             sys.as_mut(),
                             workload,
@@ -393,6 +401,7 @@ impl fmt::Display for Fig6 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::setup::build_system;
 
     fn small_cfg() -> SimConfig {
         SimConfig { nodes: 384, attrs: 20, values: 50, dimension: 7, ..SimConfig::default() }

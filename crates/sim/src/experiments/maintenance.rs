@@ -61,6 +61,8 @@ pub fn registration_cost(cfg: &SimConfig) -> Registration {
     let mut rows = Vec::new();
     let mut summaries = Vec::new();
     for s in System::ALL {
+        // lint:allow(bed-rebuild): one build per distinct system; the
+        // measured round then re-places from scratch
         let mut sys = build_system(s, &workload, cfg);
         // build_system pre-places; start the measured round from scratch
         sys.place_all(&[]);

@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod experiments;
 pub mod report;
 pub mod setup;
 pub mod table;
 
+pub use cache::BedCache;
 pub use report::Report;
 pub use setup::{build_system, SimConfig, TestBed};
 pub use table::Table;

@@ -85,6 +85,15 @@ pub fn build_system(
     sys
 }
 
+/// A deep snapshot of a bed's mutable state — the mounted systems,
+/// captured via [`ResourceDiscovery::clone_box`]. The workload, config
+/// and seed streams are immutable once built, so they need no capture:
+/// [`TestBed::restore`] swaps the systems back and the bed is
+/// byte-for-byte the bed that was snapshotted.
+pub struct BedSnapshot {
+    systems: Vec<Box<dyn ResourceDiscovery + Send + Sync>>,
+}
+
 /// A complete test bed: the workload plus all four mounted systems.
 pub struct TestBed {
     /// The experiment configuration.
@@ -102,27 +111,44 @@ impl TestBed {
     /// step of every static experiment: Mercury alone instantiates `m`
     /// Chord hubs of `n` nodes.
     pub fn new(cfg: SimConfig) -> Self {
+        let (workload, seeds) = Self::workload_of(&cfg);
+        let systems = System::ALL.iter().map(|&s| build_system(s, &workload, &cfg)).collect();
+        Self { cfg, workload, systems, seeds }
+    }
+
+    /// The workload and seed streams a bed with this configuration mounts
+    /// — the exact draw [`TestBed::new`] makes. Exposed so harnesses that
+    /// time each `build_system` call individually (`repro perf`) can
+    /// assemble a bed byte-identical to a `TestBed::new` build.
+    pub fn workload_of(cfg: &SimConfig) -> (Workload, SeedSpawner) {
         let seeds = SeedSpawner::new(cfg.seed);
         let mut wl_rng = seeds.labelled(0xA0);
         let workload = Workload::generate(cfg.workload_config(), &mut wl_rng)
             // lint:allow(panic-hygiene): SimConfig always yields a valid
             // WorkloadConfig (nonzero counts, ordered domain).
             .expect("valid workload config");
-        let systems = System::ALL.iter().map(|&s| build_system(s, &workload, &cfg)).collect();
-        Self { cfg, workload, systems, seeds }
+        (workload, seeds)
     }
 
     /// Build a test bed with only the given systems (cheaper when Mercury
     /// is not needed).
     pub fn with_systems(cfg: SimConfig, systems: &[System]) -> Self {
-        let seeds = SeedSpawner::new(cfg.seed);
-        let mut wl_rng = seeds.labelled(0xA0);
-        let workload = Workload::generate(cfg.workload_config(), &mut wl_rng)
-            // lint:allow(panic-hygiene): SimConfig always yields a valid
-            // WorkloadConfig (nonzero counts, ordered domain).
-            .expect("valid workload config");
+        let (workload, seeds) = Self::workload_of(&cfg);
         let systems = systems.iter().map(|&s| build_system(s, &workload, &cfg)).collect();
         Self { cfg, workload, systems, seeds }
+    }
+
+    /// Capture a deep snapshot of every mounted system. Churn the bed
+    /// freely afterwards; [`TestBed::restore`] rewinds it to this moment.
+    pub fn snapshot(&self) -> BedSnapshot {
+        BedSnapshot { systems: self.systems.iter().map(|s| s.clone_box()).collect() }
+    }
+
+    /// Rewind the bed to a snapshot taken by [`TestBed::snapshot`]. The
+    /// restored bed is indistinguishable from one that was never mutated:
+    /// clones are deep (overlay links, directories, RNG state included).
+    pub fn restore(&mut self, snap: BedSnapshot) {
+        self.systems = snap.systems;
     }
 
     /// Borrow a mounted system by its enum tag (panics if not mounted).
@@ -134,6 +160,20 @@ impl TestBed {
             // contract (documented above); failing fast is intended.
             .unwrap_or_else(|| panic!("{} not mounted", s.name()))
             .as_ref()
+    }
+}
+
+impl Clone for TestBed {
+    /// Deep-copy the whole bed: systems via [`ResourceDiscovery::clone_box`],
+    /// workload and seed streams by value. The clone and the original are
+    /// fully independent and behave identically under identical drives.
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg,
+            workload: self.workload.clone(),
+            systems: self.systems.clone(),
+            seeds: self.seeds.clone(),
+        }
     }
 }
 

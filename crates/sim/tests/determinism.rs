@@ -31,6 +31,45 @@ fn fig4_report_is_bit_identical_across_runs_and_shard_counts() {
 }
 
 #[test]
+fn cached_bed_fig4_is_byte_identical_to_fresh_build() {
+    // The BedCache's determinism contract: a report produced from a
+    // cached (shared) bed must be byte-for-byte the report a freshly
+    // built bed produces — at every shard count.
+    use sim::BedCache;
+    let cfg = SimConfig { nodes: 256, attrs: 12, values: 50, dimension: 6, ..SimConfig::default() };
+    for shards in [1usize, 3] {
+        set_default_shards(shards);
+        let cache = BedCache::new();
+        let cached = cache.bed(cfg);
+        let cached_json = fig4(&cached, [1, 3], 16, 4).report().to_json();
+        let fresh_json = fig4(&TestBed::new(cfg), [1, 3], 16, 4).report().to_json();
+        let reused_json = fig4(&cache.bed(cfg), [1, 3], 16, 4).report().to_json();
+        set_default_shards(0);
+        assert_eq!(cached_json, fresh_json, "cached vs fresh at shards={shards}");
+        assert_eq!(cached_json, reused_json, "second cache hit at shards={shards}");
+        assert_eq!(cache.builds(), 1, "one build serves every consumer");
+    }
+}
+
+#[test]
+fn cached_churn_prototypes_leave_fig6_byte_identical() {
+    // fig6 clones cached prototypes instead of rebuilding per churn
+    // rate; the clones must behave exactly like fresh builds, and a
+    // second run off the same cache must reproduce the first.
+    use sim::cache::BedCache;
+    use sim::experiments::fig6::{fig6, fig6_cached, ChurnSetup};
+    use sim::experiments::Metric;
+    let cfg = SimConfig { nodes: 256, attrs: 12, values: 50, dimension: 6, ..SimConfig::default() };
+    let setup = ChurnSetup { requests: 150, rates: vec![0.2, 0.5], ..ChurnSetup::quick() };
+    let fresh = fig6(&cfg, &setup, Metric::Hops).report().to_json();
+    let cache = BedCache::new();
+    let cached = fig6_cached(&cfg, &setup, Metric::Hops, &cache).report().to_json();
+    let again = fig6_cached(&cfg, &setup, Metric::Hops, &cache).report().to_json();
+    assert_eq!(fresh, cached, "cached prototypes vs fresh builds");
+    assert_eq!(cached, again, "prototype clones are reusable");
+}
+
+#[test]
 fn graceful_ratio_one_leaves_fig6_byte_identical() {
     // The failure-enabled schedule generator draws zero extra RNG at
     // ratio 1.0, so threading `graceful_ratio` through the churn

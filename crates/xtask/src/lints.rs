@@ -20,6 +20,13 @@ pub const FLOAT_BLESSED: &[&str] = &["crates/dht-core/src/stats.rs", "crates/sim
 /// per-lookup `Vec` is the product there, not an accident.
 pub const ROUTE_BLESSED: &[&str] = &["crates/sim/src/experiments/hopdist.rs"];
 
+/// Files blessed to construct beds, overlays, and systems freely: the
+/// construction modules themselves. Everywhere else in simulation-path
+/// library code, building inside a loop is the exact cost the
+/// `BedCache` exists to amortize (one stabilized build per distinct
+/// configuration, cloned or shared thereafter).
+pub const BED_BLESSED: &[&str] = &["crates/sim/src/setup.rs", "crates/sim/src/cache.rs"];
+
 /// Every lint name with a one-line description (the `--list` catalogue).
 pub const LINTS: &[(&str, &str)] = &[
     (
@@ -48,13 +55,24 @@ pub const LINTS: &[(&str, &str)] = &[
          outside the trace allowlist — hot paths must use `.route_stats(...)` / borrowed \
          `.live_nodes()`",
     ),
+    (
+        "bed-rebuild",
+        "overlay/system construction inside a loop in simulation-path library code outside the \
+         blessed construction modules — build once via the BedCache and clone/share snapshots",
+    ),
     ("unused-suppression", "a lint:allow comment that suppressed nothing"),
     ("bad-suppression", "a malformed lint:allow comment (unknown lint or missing reason)"),
 ];
 
 /// Names that a `lint:allow(...)` directive may reference.
-const SUPPRESSIBLE: &[&str] =
-    &["hash-collections", "wall-clock", "panic-hygiene", "float-accumulate", "route-path-alloc"];
+const SUPPRESSIBLE: &[&str] = &[
+    "hash-collections",
+    "wall-clock",
+    "panic-hygiene",
+    "float-accumulate",
+    "route-path-alloc",
+    "bed-rebuild",
+];
 
 /// How a file participates in its crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +112,10 @@ impl FileCtx {
 
     fn route_blessed(&self) -> bool {
         ROUTE_BLESSED.contains(&self.rel_path.as_str())
+    }
+
+    fn bed_blessed(&self) -> bool {
+        BED_BLESSED.contains(&self.rel_path.as_str())
     }
 }
 
@@ -144,6 +166,9 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
         }
         if !ctx.route_blessed() {
             route_path_alloc(ctx, &lexed.toks, &lib_code, &mut raw);
+        }
+        if !ctx.bed_blessed() {
+            bed_rebuild(ctx, &lexed.toks, &lib_code, &mut raw);
         }
     }
     panic_hygiene(ctx, &lexed.toks, &lib_code, &mut raw);
@@ -427,6 +452,117 @@ fn route_path_alloc(
     }
 }
 
+/// Lint 6 — redundant bed construction: `build_system(...)` or an
+/// overlay/system constructor (`TestBed::new`, `Chord::build`,
+/// `Lorm::new`, ...) lexically inside a `for`/`while`/`loop` body in
+/// simulation-path library code outside the blessed construction modules
+/// ([`BED_BLESSED`]). A stabilized bed is a pure function of its
+/// configuration; rebuilding it per sweep point is the cost the
+/// `BedCache` amortizes away. Sites that genuinely need a fresh build
+/// per iteration (parameter sweeps that *vary* the configuration)
+/// annotate with `// lint:allow(bed-rebuild): <why>`.
+fn bed_rebuild(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    lib_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    /// Types whose `::new` / `::build` / `::with_systems` calls stand up
+    /// an overlay or a full discovery system.
+    const CONSTRUCTED: &[&str] = &[
+        "TestBed",
+        "Chord",
+        "Cycloid",
+        "ChordHost",
+        "Lorm",
+        "Maan",
+        "Sword",
+        "Mercury",
+        "CompositeFlat",
+    ];
+    const CTOR_METHODS: &[&str] = &["new", "build", "with_systems"];
+
+    let mut depth = 0i32;
+    let mut pending_loop = false;
+    let mut loop_depths: Vec<i32> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+            if pending_loop {
+                loop_depths.push(depth);
+                pending_loop = false;
+            }
+            continue;
+        }
+        if t.is_punct('}') {
+            if loop_depths.last() == Some(&depth) {
+                loop_depths.pop();
+            }
+            depth -= 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "for" || t.text == "while" || t.text == "loop" {
+            // Only statement-position keywords open loops: `for` also
+            // appears in `impl Trait for Type` (preceded by an ident or
+            // `>`), which must not count. Labeled loops (`'a: loop`) are
+            // preceded by `:`.
+            let stmt_start = i == 0
+                || toks[i - 1].is_punct('{')
+                || toks[i - 1].is_punct('}')
+                || toks[i - 1].is_punct(';')
+                || toks[i - 1].is_punct(':')
+                || toks[i - 1].is_ident("else")
+                || toks[i - 1].is_ident("unsafe");
+            if stmt_start {
+                pending_loop = true;
+            }
+            continue;
+        }
+        if loop_depths.is_empty() || !lib_code(i) {
+            continue;
+        }
+        let next_paren = i + 1 < toks.len() && toks[i + 1].is_punct('(');
+        if t.text == "build_system" && next_paren {
+            push(
+                out,
+                ctx,
+                "bed-rebuild",
+                t.line,
+                "`build_system(...)` inside a loop: a stabilized system is a pure function of \
+                 its configuration — build once via `BedCache` (or hoist the build) and \
+                 clone/share it, or annotate why each iteration needs a fresh build"
+                    .into(),
+            );
+            continue;
+        }
+        if CONSTRUCTED.contains(&t.text.as_str())
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == TokKind::Ident
+            && CTOR_METHODS.contains(&toks[i + 3].text.as_str())
+            && toks[i + 4].is_punct('(')
+        {
+            push(
+                out,
+                ctx,
+                "bed-rebuild",
+                t.line,
+                format!(
+                    "`{}::{}(...)` inside a loop: overlay construction is the dominant sweep \
+                     cost — build once via `BedCache` and clone/share snapshots, or annotate \
+                     why each iteration needs a fresh build",
+                    t.text,
+                    toks[i + 3].text
+                ),
+            );
+        }
+    }
+}
+
 /// Names bound to floats in this file: `NAME : f64|f32` (fields, params,
 /// annotated lets) and `let mut NAME = <rhs containing a float literal or
 /// f64/f32 mention before the terminating `;`>`.
@@ -630,6 +766,58 @@ mod tests {
     fn route_in_test_region_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t(o: &O) { o.route(x, k); }\n}";
         let r = sim_lib(src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn build_in_loop_is_flagged() {
+        let r = sim_lib(
+            "fn f(cfgs: &[SimConfig]) {\n    for c in cfgs {\n        let b = build_system(s, &w, c);\n    }\n}",
+        );
+        assert_eq!(names(&r), ["bed-rebuild"]);
+        let r = sim_lib(
+            "fn f(rates: &[f64]) {\n    for _r in rates {\n        let n = Chord::build(64, cfg);\n    }\n}",
+        );
+        assert_eq!(names(&r), ["bed-rebuild"]);
+    }
+
+    #[test]
+    fn build_outside_loop_is_fine() {
+        let r = sim_lib(
+            "fn f() {\n    let b = build_system(s, &w, &c);\n    let n = TestBed::new(c);\n    for q in qs {\n        b.query(q);\n    }\n}",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let r = sim_lib(
+            "impl ResourceDiscovery for Lorm {\n    fn f(&self) {\n        let n = Chord::build(64, cfg);\n    }\n}",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn build_in_loop_is_suppressible_and_exempt_in_blessed_files() {
+        let r = sim_lib(
+            "fn f(cfgs: &[SimConfig]) {\n    for c in cfgs {\n        // lint:allow(bed-rebuild): each sweep point varies the config\n        let b = build_system(s, &w, c);\n    }\n}",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressions_used, 1);
+        let ctx = FileCtx {
+            crate_dir: "sim".into(),
+            class: FileClass::Lib,
+            rel_path: "crates/sim/src/cache.rs".into(),
+        };
+        let r = lint_file(&ctx, "fn f() { loop { let b = build_system(s, &w, &c); break; } }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn non_ctor_assoc_calls_in_loops_are_fine() {
+        let r = sim_lib(
+            "fn f() {\n    while go {\n        let id = Chord::ids(7);\n        let s = System::Lorm;\n    }\n}",
+        );
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 

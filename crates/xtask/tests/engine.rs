@@ -77,6 +77,29 @@ fn float_accumulate_quiet_on_integer_and_sum() {
 }
 
 #[test]
+fn bed_rebuild_fires_on_violation() {
+    let r = run("bed_violate.rs");
+    assert_eq!(lint_names(&r), vec!["bed-rebuild"; 3], "{:?}", r.diagnostics);
+}
+
+#[test]
+fn bed_rebuild_quiet_on_hoisted_builds_and_impl_for() {
+    let r = run("bed_clean.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn bed_rebuild_exempt_in_blessed_construction_modules() {
+    let ctx = FileCtx {
+        crate_dir: "sim".into(),
+        class: FileClass::Lib,
+        rel_path: "crates/sim/src/setup.rs".into(),
+    };
+    let r = lint_file(&ctx, &fixture("bed_violate.rs"));
+    assert!(!r.diagnostics.iter().any(|d| d.lint == "bed-rebuild"), "{:?}", r.diagnostics);
+}
+
+#[test]
 fn reasoned_suppressions_silence_findings() {
     let r = run("suppress_ok.rs");
     assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);

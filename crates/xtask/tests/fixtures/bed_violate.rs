@@ -1,0 +1,34 @@
+//! Fixture: overlay/system construction inside loops in simulation-path
+//! library code must fire — each site rebuilds a bed the cache could
+//! have cloned or shared.
+
+pub fn sweep(points: &[usize], workload: &Workload, cfg: &SimConfig) -> Vec<usize> {
+    let mut out = Vec::new();
+    for _arity in points {
+        let sys = build_system(System::Lorm, workload, cfg);
+        out.push(sys.total_pieces());
+    }
+    let mut r = 0usize;
+    while r < 4 {
+        let net = Chord::build(64, ChordConfig::default());
+        out.push(net.len());
+        r += 1;
+    }
+    loop {
+        let bed = TestBed::new(*cfg);
+        out.push(bed.systems.len());
+        break;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may rebuild beds freely.
+    #[test]
+    fn t() {
+        for _ in 0..2 {
+            let _ = TestBed::new(SimConfig::default());
+        }
+    }
+}
