@@ -2,7 +2,9 @@
 //! all three baseline systems.
 
 use chord::{Chord, ChordConfig};
-use dht_core::{probe_step, DhtError, FaultAccount, FaultPlan, NodeIdx, Overlay, RouteStats};
+use dht_core::{
+    probe_step, BuildMode, DhtError, FaultAccount, FaultPlan, NodeIdx, Overlay, RouteStats,
+};
 use grid_resource::{AttrId, Directory, ResourceInfo, ValueTarget};
 
 /// One Chord overlay with a resource-information directory on every node.
@@ -17,7 +19,13 @@ pub struct ChordHost {
 impl ChordHost {
     /// Build a stabilized host of `n` nodes.
     pub fn build(n: usize, seed: u64) -> Self {
-        let net = Chord::build(n, ChordConfig { seed, ..ChordConfig::default() });
+        Self::build_with_mode(n, seed, BuildMode::Bulk)
+    }
+
+    /// Build a stabilized host with an explicit overlay build mode (both
+    /// modes yield byte-identical hosts; see [`BuildMode`]).
+    pub fn build_with_mode(n: usize, seed: u64, mode: BuildMode) -> Self {
+        let net = Chord::build_with_mode(n, ChordConfig { seed, ..ChordConfig::default() }, mode);
         let dirs = vec![Directory::new(); net.arena_len()];
         Self { net, dirs }
     }
@@ -50,6 +58,31 @@ impl ChordHost {
         self.sync_arena();
         self.dirs[root.0].push(info);
         Ok(root)
+    }
+
+    /// Store a whole placement batch at the ground-truth owners of its
+    /// keys in one pass — the bed-construction twin of calling
+    /// [`Self::store_at_owner`] per item.
+    ///
+    /// Items whose key cannot be resolved (empty overlay) are skipped,
+    /// matching the per-item path's error handling at the call sites. The
+    /// batch is grouped by destination node with one stable sort, and each
+    /// node's group lands through [`Directory::bulk_load`] — so per-node
+    /// arrival order (and therefore every report byte) is identical to the
+    /// sequential path, without its per-attribute `Vec::insert` shifts.
+    pub fn store_all_at_owners(&mut self, items: impl IntoIterator<Item = (u64, ResourceInfo)>) {
+        let mut routed: Vec<(NodeIdx, ResourceInfo)> = items
+            .into_iter()
+            .filter_map(|(key, info)| self.net.owner_of(key).ok().map(|root| (root, info)))
+            .collect();
+        routed.sort_by_key(|&(root, _)| root);
+        self.sync_arena();
+        let mut rest = routed.as_slice();
+        while let Some(&(root, _)) = rest.first() {
+            let run = rest.iter().take_while(|&&(r, _)| r == root).count();
+            self.dirs[root.0].bulk_load(rest[..run].iter().map(|&(_, info)| info).collect());
+            rest = &rest[run..];
+        }
     }
 
     /// Store by routing from `from` (the per-report insert path). Returns
@@ -313,6 +346,37 @@ mod tests {
         assert_eq!(walk, vec![start], "first probe drops twice: only the start is covered");
         assert_eq!(acct.dropped_msgs, 2);
         assert_eq!(acct.retries, 1);
+    }
+
+    #[test]
+    fn bulk_store_matches_sequential_store() {
+        // Scrambled keys and duplicate destinations: the bulk path must
+        // reproduce the sequential path's per-node directories exactly.
+        let pieces: Vec<(u64, ResourceInfo)> = (0..200u64)
+            .map(|i| {
+                let key = i.wrapping_mul(0x9e3779b97f4a7c15);
+                (
+                    key,
+                    ResourceInfo {
+                        attr: AttrId((i % 7) as u32),
+                        value: i as f64,
+                        owner: i as usize,
+                    },
+                )
+            })
+            .collect();
+        let mut seq = ChordHost::build(64, 11);
+        let mut bulk = ChordHost::build(64, 11);
+        for &(key, info) in &pieces {
+            seq.store_at_owner(key, info).unwrap();
+        }
+        bulk.store_all_at_owners(pieces.iter().copied());
+        assert_eq!(seq.total_pieces(), bulk.total_pieces());
+        for &node in seq.net().live_nodes() {
+            let a: Vec<usize> = seq.directory(node).iter().map(|r| r.owner).collect();
+            let b: Vec<usize> = bulk.directory(node).iter().map(|r| r.owner).collect();
+            assert_eq!(a, b, "directory of {node} diverged");
+        }
     }
 
     #[test]

@@ -17,8 +17,8 @@
 
 use crate::host::ChordHost;
 use dht_core::{
-    hashing::splitmix64, route_with_retry, sub_msg_id, walk_msg_id, ConsistentHash, DhtError,
-    FaultAccount, FaultPlan, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay,
+    hashing::splitmix64, route_with_retry, sub_msg_id, walk_msg_id, BuildMode, ConsistentHash,
+    DhtError, FaultAccount, FaultPlan, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay,
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
@@ -46,17 +46,29 @@ pub struct Maan {
     attr_keys: Vec<u64>,
     lph: LocalityHash,
     phys_node: Vec<Option<NodeIdx>>,
+    mode: BuildMode,
 }
 
 impl Maan {
     /// Build a MAAN system of `n` physical nodes.
     pub fn new(n: usize, space: &AttributeSpace, cfg: MaanConfig) -> Self {
-        let host = ChordHost::build(n, cfg.seed);
+        Self::new_with_mode(n, space, cfg, BuildMode::Bulk)
+    }
+
+    /// Build with an explicit construction mode (overlay assembly and
+    /// report placement; both modes are byte-identical, see [`BuildMode`]).
+    pub fn new_with_mode(
+        n: usize,
+        space: &AttributeSpace,
+        cfg: MaanConfig,
+        mode: BuildMode,
+    ) -> Self {
+        let host = ChordHost::build_with_mode(n, cfg.seed, mode);
         let hash = ConsistentHash::new(cfg.seed);
         let attr_keys = space.ids().map(|a| hash.hash_str(space.name(a))).collect();
         // 0 span = the full 64-bit ring: the paper's system-wide value space.
         let lph = space.lph(0);
-        Self { host, attr_keys, lph, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect() }
+        Self { host, attr_keys, lph, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(), mode }
     }
 
     /// The attribute-registration key.
@@ -98,9 +110,22 @@ impl ResourceDiscovery for Maan {
 
     fn place_all(&mut self, reports: &[ResourceInfo]) {
         self.host.clear();
-        for &r in reports {
-            let _ = self.host.store_at_owner(self.attr_key(r.attr), r);
-            let _ = self.host.store_at_owner(self.value_key(r.value), r);
+        match self.mode {
+            BuildMode::Bulk => {
+                // Two registrations per report, in the same per-report
+                // attr-then-value order as the sequential path.
+                let items: Vec<(u64, ResourceInfo)> = reports
+                    .iter()
+                    .flat_map(|&r| [(self.attr_key(r.attr), r), (self.value_key(r.value), r)])
+                    .collect();
+                self.host.store_all_at_owners(items);
+            }
+            BuildMode::Incremental => {
+                for &r in reports {
+                    let _ = self.host.store_at_owner(self.attr_key(r.attr), r);
+                    let _ = self.host.store_at_owner(self.value_key(r.value), r);
+                }
+            }
         }
     }
 

@@ -15,8 +15,8 @@
 
 use crate::host::ChordHost;
 use dht_core::{
-    route_with_retry, sub_msg_id, walk_msg_id, DhtError, FaultAccount, FaultPlan, LoadDist,
-    LocalityHash, LookupTally, NodeIdx, Overlay,
+    route_with_retry, sub_msg_id, walk_msg_id, BuildMode, DhtError, FaultAccount, FaultPlan,
+    LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay,
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
@@ -45,6 +45,7 @@ pub struct Mercury {
     /// Physical node -> arena index, identical in every hub by
     /// construction (hubs are built and churned in lock-step).
     phys_node: Vec<Option<NodeIdx>>,
+    mode: BuildMode,
 }
 
 impl Mercury {
@@ -55,11 +56,28 @@ impl Mercury {
     /// hundred MB. For outlink measurements at larger `n`, build hubs one
     /// at a time instead (see `sim`'s Figure 3(a) harness).
     pub fn new(n: usize, space: &AttributeSpace, cfg: MercuryConfig) -> Self {
+        Self::new_with_mode(n, space, cfg, BuildMode::Bulk)
+    }
+
+    /// Build with an explicit construction mode (overlay assembly and
+    /// report placement; both modes are byte-identical, see [`BuildMode`]).
+    pub fn new_with_mode(
+        n: usize,
+        space: &AttributeSpace,
+        cfg: MercuryConfig,
+        mode: BuildMode,
+    ) -> Self {
         let hubs = (0..space.len())
-            .map(|h| ChordHost::build(n, cfg.seed ^ (h as u64).wrapping_mul(0x9e3779b97f4a7c15)))
+            .map(|h| {
+                ChordHost::build_with_mode(
+                    n,
+                    cfg.seed ^ (h as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    mode,
+                )
+            })
             .collect();
         let lph = space.lph(0);
-        Self { hubs, lph, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect() }
+        Self { hubs, lph, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(), mode }
     }
 
     /// Number of hubs (`m`).
@@ -103,9 +121,29 @@ impl ResourceDiscovery for Mercury {
         for hub in &mut self.hubs {
             hub.clear();
         }
-        for &r in reports {
-            let key = self.lph.hash(r.value);
-            let _ = self.hubs[r.attr.0 as usize].store_at_owner(key, r);
+        match self.mode {
+            BuildMode::Bulk => {
+                // Group reports per hub with one stable sort, then batch
+                // each hub's slice through the bulk store path. Stability
+                // preserves the per-hub arrival order of the sequential
+                // loop, so the resulting directories are byte-identical.
+                let mut by_hub: Vec<ResourceInfo> = reports.to_vec();
+                by_hub.sort_by_key(|r| r.attr.0);
+                let mut rest = by_hub.as_slice();
+                while let Some(&head) = rest.first() {
+                    let run = rest.iter().take_while(|r| r.attr == head.attr).count();
+                    let items: Vec<(u64, ResourceInfo)> =
+                        rest[..run].iter().map(|&r| (self.lph.hash(r.value), r)).collect();
+                    self.hubs[head.attr.0 as usize].store_all_at_owners(items);
+                    rest = &rest[run..];
+                }
+            }
+            BuildMode::Incremental => {
+                for &r in reports {
+                    let key = self.lph.hash(r.value);
+                    let _ = self.hubs[r.attr.0 as usize].store_at_owner(key, r);
+                }
+            }
         }
     }
 

@@ -10,8 +10,8 @@
 
 use crate::host::ChordHost;
 use dht_core::{
-    route_with_retry, sub_msg_id, ConsistentHash, DhtError, FaultAccount, FaultPlan, LoadDist,
-    LookupTally, NodeIdx, Overlay,
+    route_with_retry, sub_msg_id, BuildMode, ConsistentHash, DhtError, FaultAccount, FaultPlan,
+    LoadDist, LookupTally, NodeIdx, Overlay,
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
@@ -39,15 +39,27 @@ pub struct Sword {
     /// `H(attribute name)`, cached per attribute.
     attr_keys: Vec<u64>,
     phys_node: Vec<Option<NodeIdx>>,
+    mode: BuildMode,
 }
 
 impl Sword {
     /// Build a SWORD system of `n` physical nodes.
     pub fn new(n: usize, space: &AttributeSpace, cfg: SwordConfig) -> Self {
-        let host = ChordHost::build(n, cfg.seed);
+        Self::new_with_mode(n, space, cfg, BuildMode::Bulk)
+    }
+
+    /// Build with an explicit construction mode (overlay assembly and
+    /// report placement; both modes are byte-identical, see [`BuildMode`]).
+    pub fn new_with_mode(
+        n: usize,
+        space: &AttributeSpace,
+        cfg: SwordConfig,
+        mode: BuildMode,
+    ) -> Self {
+        let host = ChordHost::build_with_mode(n, cfg.seed, mode);
         let hash = ConsistentHash::new(cfg.seed);
         let attr_keys = space.ids().map(|a| hash.hash_str(space.name(a))).collect();
-        Self { host, attr_keys, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect() }
+        Self { host, attr_keys, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(), mode }
     }
 
     /// The DHT key of an attribute.
@@ -84,8 +96,17 @@ impl ResourceDiscovery for Sword {
 
     fn place_all(&mut self, reports: &[ResourceInfo]) {
         self.host.clear();
-        for &r in reports {
-            let _ = self.host.store_at_owner(self.key_of(r.attr), r);
+        match self.mode {
+            BuildMode::Bulk => {
+                let items: Vec<(u64, ResourceInfo)> =
+                    reports.iter().map(|&r| (self.key_of(r.attr), r)).collect();
+                self.host.store_all_at_owners(items);
+            }
+            BuildMode::Incremental => {
+                for &r in reports {
+                    let _ = self.host.store_at_owner(self.key_of(r.attr), r);
+                }
+            }
         }
     }
 

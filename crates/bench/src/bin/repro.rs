@@ -5,28 +5,38 @@ use bench::{parse_args, render_json, run_artifact_report_cached, ArtifactRun};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counts every heap allocation so `repro perf` can report
-/// allocations-per-lookup. Counting is a single relaxed atomic increment;
-/// the `System` allocator does the real work.
+/// Counts every heap allocation (and the bytes moving in each direction)
+/// so `repro perf` can report allocations-per-lookup and `repro scale`
+/// can report live bytes-per-node. Counting is a handful of relaxed
+/// atomic increments; the `System` allocator does the real work.
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Monotonic total bytes ever allocated (never decremented; live bytes
+/// are `ALLOC_BYTES - FREED_BYTES`).
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Monotonic total bytes ever freed.
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
 
 // SAFETY: delegates allocation and deallocation verbatim to `System`;
-// the only addition is a relaxed counter bump, which cannot violate any
+// the only addition is relaxed counter bumps, which cannot violate any
 // allocator invariant.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        FREED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -38,6 +48,10 @@ fn count_allocs(f: &mut dyn FnMut()) -> u64 {
     let before = ALLOCS.load(Ordering::Relaxed);
     f();
     ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn heap_bytes() -> (u64, u64) {
+    (ALLOC_BYTES.load(Ordering::Relaxed), FREED_BYTES.load(Ordering::Relaxed))
 }
 
 fn main() {
@@ -92,6 +106,28 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+    if cfg.scale {
+        println!(
+            "# LORM scale sweep — {} mode (seed {})\n",
+            if cfg.quick { "quick (1k-50k)" } else { "full (1k-1M)" },
+            cfg.seed
+        );
+        let run = bench::scale::run_scale(&cfg, Some(heap_bytes));
+        println!("{}", bench::scale::render_scale_table(&run));
+        if let Some(path) = &cfg.json {
+            let json = bench::scale::render_scale_json(&cfg, &run);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("(scale metrics written to {})", path.display());
+        }
+        if run.checks.iter().any(|c| !c.ok) {
+            eprintln!("scale sweep: at least one growth check failed (see table above)");
+            std::process::exit(1);
         }
         return;
     }

@@ -10,6 +10,7 @@
 //! repro [--quick] [fig3a fig3 fig4 fig5 fig6a fig6b t410 ablations | all]
 //! repro [--quick] perf    # wall-clock kernel baseline (perf-v1 schema)
 //! repro [--quick] chaos   # fault-injection sweep (chaos-v1 schema)
+//! repro [--quick] scale   # 1k -> 1M scaling sweep (perf-v2 schema)
 //! ```
 //!
 //! `--quick` scales the experiment down (fewer nodes/attributes/queries)
@@ -21,6 +22,7 @@
 
 pub mod chaos;
 pub mod perf;
+pub mod scale;
 
 use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase};
 use sim::{BedCache, Report, SimConfig};
@@ -145,6 +147,8 @@ pub struct ReproConfig {
     pub perf: bool,
     /// Run the fault-injection chaos sweep instead of the figures.
     pub chaos: bool,
+    /// Run the 1k → 1M scaling sweep instead of the figures.
+    pub scale: bool,
     /// Perf mode only: diff the run against this committed BENCH file and
     /// exit non-zero on a >25% per-kernel wall-clock regression.
     pub baseline: Option<PathBuf>,
@@ -159,6 +163,7 @@ impl Default for ReproConfig {
             json: None,
             perf: false,
             chaos: false,
+            scale: false,
             baseline: None,
         }
     }
@@ -358,7 +363,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
 ) -> Result<(ReproConfig, Vec<Artifact>), String> {
     const USAGE: &str = "usage: repro [--quick] [--seed=N] [--shards=N] \
                          [--json <path>] [--baseline <BENCH.json>] \
-                         [perf | chaos | theorems fig3a \
+                         [perf | chaos | scale | theorems fig3a \
                           fig3bcd fig3sweep fig4 fig5 fig6a fig6b t410 \
                           maintenance churnfail hopdist latency loadbalance \
                           ablations | all]";
@@ -393,6 +398,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
             }
             "perf" => cfg.perf = true,
             "chaos" => cfg.chaos = true,
+            "scale" => cfg.scale = true,
             s => match Artifact::parse(s) {
                 Some(mut v) => artifacts.append(&mut v),
                 None => return Err(format!("unknown target {s:?}\n{USAGE}")),
@@ -567,6 +573,15 @@ mod tests {
         assert!(!cfg.perf);
         let (cfg, _) = parse_args(["fig4".into()]).unwrap();
         assert!(!cfg.chaos);
+    }
+
+    #[test]
+    fn parse_scale_target() {
+        let (cfg, _) = parse_args(["--quick".into(), "scale".into()]).unwrap();
+        assert!(cfg.scale);
+        assert!(!cfg.perf && !cfg.chaos);
+        let (cfg, _) = parse_args(["fig4".into()]).unwrap();
+        assert!(!cfg.scale);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! The Chord network: arena of nodes, construction, churn, repair.
 
 use crate::node::{ChordNode, FINGER_BITS};
-use dht_core::{ConsistentHash, DhtError, NodeIdx, Overlay, RouteResult, RouteStats};
+use dht_core::{BuildMode, ConsistentHash, DhtError, NodeIdx, Overlay, RouteResult, RouteStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Sentinel for "no link" in the flat link arrays (`u32::MAX` — the arena
+/// is capped well below it).
+pub(crate) const NO_LINK: u32 = u32::MAX;
 
 /// Construction parameters for a [`Chord`] overlay.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +32,13 @@ impl Default for ChordConfig {
 /// Nodes live in an arena; departed nodes are tomb-stoned, never reused,
 /// so `NodeIdx` values stay valid for the lifetime of an experiment.
 ///
+/// Node state is stored struct-of-arrays: parallel flat `Vec`s indexed by
+/// arena slot, with link arrays (`fingers`, `succs`) strided per node and
+/// holding `u32` arena slots. A million-node ring is therefore ~7
+/// contiguous allocations (~300 MB, dominated by the 64-entry finger
+/// stride) instead of a million boxed nodes, and cloning the overlay — the
+/// bed-snapshot hot path — is a handful of `memcpy`s.
+///
 /// ```
 /// use chord::{Chord, ChordConfig};
 /// use dht_core::Overlay;
@@ -39,7 +51,21 @@ impl Default for ChordConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Chord {
-    pub(crate) nodes: Vec<ChordNode>,
+    /// Ring identifier per arena slot.
+    ids: Vec<u64>,
+    /// Liveness flag per arena slot (false = tomb-stoned).
+    alive: Vec<bool>,
+    /// Predecessor per arena slot ([`NO_LINK`] = unknown).
+    preds: Vec<u32>,
+    /// Finger tables, strided [`FINGER_BITS`] per slot; `fingers[s*64+i]`
+    /// targets `successor(id + 2^i)`. Entries may be stale after churn
+    /// until `fix_fingers` runs; [`NO_LINK`] = unset.
+    fingers: Vec<u32>,
+    /// Successor lists, strided `cfg.succ_list_len` per slot; only the
+    /// first `succ_lens[s]` entries are meaningful.
+    succs: Vec<u32>,
+    /// Live length of each slot's successor list.
+    succ_lens: Vec<u8>,
     cfg: ChordConfig,
     /// Live node indices sorted by ring id — ground truth for `owner_of`
     /// and for fast bulk construction. Never consulted by routing.
@@ -47,8 +73,9 @@ pub struct Chord {
     /// Every identifier ever assigned (live nodes + tombstones), kept as
     /// a sorted flat `Vec` — membership is a binary search, and cloning
     /// the overlay (bed snapshots) is one `memcpy` instead of a tree
-    /// rebuild. Ordered inserts are O(n) but only run on join/tombstone,
-    /// never on the routing or query path.
+    /// rebuild. Ordered inserts are O(n) but only run on genuine runtime
+    /// join/tombstone events — initial beds go through [`Chord::build`]'s
+    /// bulk path, which sorts once.
     used_ids: Vec<u64>,
     rng: SmallRng,
 }
@@ -57,7 +84,12 @@ impl Chord {
     /// An empty overlay.
     pub fn new(cfg: ChordConfig) -> Self {
         Self {
-            nodes: Vec::new(),
+            ids: Vec::new(),
+            alive: Vec::new(),
+            preds: Vec::new(),
+            fingers: Vec::new(),
+            succs: Vec::new(),
+            succ_lens: Vec::new(),
             cfg,
             sorted: Vec::new(),
             used_ids: Vec::new(),
@@ -66,20 +98,62 @@ impl Chord {
     }
 
     /// Bulk-construct a fully stabilized network of `n` nodes with random
-    /// distinct identifiers. This is the fast path used to set up static
-    /// experiments; incremental joins exercise the protocol path.
+    /// distinct identifiers. This is the fast O(n log n) path used to set
+    /// up static experiments; incremental joins exercise the protocol
+    /// path. Equivalent to `build_with_mode(n, cfg, BuildMode::Bulk)`.
     pub fn build(n: usize, cfg: ChordConfig) -> Self {
+        Self::build_with_mode(n, cfg, BuildMode::Bulk)
+    }
+
+    /// Construct a fully stabilized network with an explicit build mode.
+    /// Both modes draw the same identifier sequence and produce
+    /// byte-identical overlays; `Incremental` is the O(n²)-aggregate
+    /// reference path kept for validating the bulk constructor.
+    pub fn build_with_mode(n: usize, cfg: ChordConfig, mode: BuildMode) -> Self {
         let mut net = Self::new(cfg);
-        let hash = ConsistentHash::new(cfg.seed);
-        for i in 0..n {
-            let mut id = hash.hash_u64(i as u64);
-            while net.id_used(id) {
-                id = id.wrapping_add(0x9e3779b97f4a7c15);
+        match mode {
+            BuildMode::Bulk => net.bulk_join(n),
+            BuildMode::Incremental => {
+                let hash = ConsistentHash::new(cfg.seed);
+                for i in 0..n {
+                    let mut id = hash.hash_u64(i as u64);
+                    while net.id_used(id) {
+                        id = id.wrapping_add(0x9e3779b97f4a7c15);
+                    }
+                    net.push_node(id);
+                }
             }
-            net.push_node(id);
         }
         net.rebuild_all_state();
         net
+    }
+
+    /// Assemble the initial membership in one sorted pass: draw all `n`
+    /// identifiers (same collision-probing sequence as the incremental
+    /// path, against a `BTreeSet` instead of repeated ordered `Vec`
+    /// inserts), push the arena rows in draw order, then derive `used_ids`
+    /// and the sorted ring by sorting once — O(n log n) total where the
+    /// per-join inserts were O(n²) aggregate.
+    fn bulk_join(&mut self, n: usize) {
+        debug_assert!(self.ids.is_empty(), "bulk join only assembles fresh overlays");
+        let hash = ConsistentHash::new(self.cfg.seed);
+        let mut taken: BTreeSet<u64> = BTreeSet::new();
+        let mut drawn: Vec<u64> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut id = hash.hash_u64(i as u64);
+            while !taken.insert(id) {
+                id = id.wrapping_add(0x9e3779b97f4a7c15);
+            }
+            drawn.push(id);
+        }
+        self.reserve_arena(n);
+        for &id in &drawn {
+            self.push_arena(id, true);
+        }
+        self.used_ids = taken.into_iter().collect();
+        let mut sorted: Vec<NodeIdx> = (0..n).map(NodeIdx).collect();
+        sorted.sort_unstable_by_key(|&i| self.ids[i.0]);
+        self.sorted = sorted;
     }
 
     /// Is `id` already assigned (live node or reserved tombstone)?
@@ -97,12 +171,88 @@ impl Chord {
     /// Size of the node arena (live + tomb-stoned slots). Directory
     /// bookkeeping in higher layers indexes by arena slot.
     pub fn arena_len(&self) -> usize {
-        self.nodes.len()
+        self.ids.len()
     }
 
     /// Configuration the network was built with.
     pub fn config(&self) -> &ChordConfig {
         &self.cfg
+    }
+
+    /// Pre-size every parallel array for `extra` more slots.
+    fn reserve_arena(&mut self, extra: usize) {
+        self.ids.reserve(extra);
+        self.alive.reserve(extra);
+        self.preds.reserve(extra);
+        self.succ_lens.reserve(extra);
+        self.succs.reserve(extra * self.cfg.succ_list_len);
+        self.fingers.reserve(extra * FINGER_BITS);
+    }
+
+    /// Append one blank arena row (no links yet).
+    fn push_arena(&mut self, id: u64, alive: bool) -> NodeIdx {
+        debug_assert!(self.ids.len() < NO_LINK as usize, "arena exceeds u32 slot range");
+        let idx = NodeIdx(self.ids.len());
+        self.ids.push(id);
+        self.alive.push(alive);
+        self.preds.push(NO_LINK);
+        self.succ_lens.push(0);
+        self.succs.resize(self.succs.len() + self.cfg.succ_list_len, NO_LINK);
+        self.fingers.resize(self.fingers.len() + FINGER_BITS, NO_LINK);
+        idx
+    }
+
+    // --- flat-array accessors (crate-internal; the routing hot loop and
+    // the `ChordNode` view both read through these) ---
+
+    #[inline]
+    pub(crate) fn id_at(&self, slot: usize) -> u64 {
+        self.ids[slot]
+    }
+
+    #[inline]
+    pub(crate) fn alive_at(&self, slot: usize) -> bool {
+        self.alive[slot]
+    }
+
+    #[inline]
+    pub(crate) fn pred_at(&self, slot: usize) -> Option<NodeIdx> {
+        let p = self.preds[slot];
+        (p != NO_LINK).then_some(NodeIdx(p as usize))
+    }
+
+    /// The meaningful prefix of `slot`'s successor list.
+    #[inline]
+    pub(crate) fn raw_succs(&self, slot: usize) -> &[u32] {
+        let r = self.cfg.succ_list_len;
+        &self.succs[slot * r..slot * r + self.succ_lens[slot] as usize]
+    }
+
+    /// The full [`FINGER_BITS`] finger stride of `slot` (entries may be
+    /// [`NO_LINK`] on nodes that never stabilized).
+    #[inline]
+    pub(crate) fn raw_fingers(&self, slot: usize) -> &[u32] {
+        &self.fingers[slot * FINGER_BITS..(slot + 1) * FINGER_BITS]
+    }
+
+    /// Overwrite `slot`'s successor list (truncating to the configured
+    /// length; the tail of the stride is cleared).
+    fn write_succs(&mut self, slot: usize, list: &[u32]) {
+        let r = self.cfg.succ_list_len;
+        let n = list.len().min(r);
+        self.succs[slot * r..slot * r + n].copy_from_slice(&list[..n]);
+        for e in &mut self.succs[slot * r + n..(slot + 1) * r] {
+            *e = NO_LINK;
+        }
+        self.succ_lens[slot] = n as u8;
+    }
+
+    /// Overwrite `slot`'s successor list from `NodeIdx` values (tests that
+    /// plant adversarial list shapes).
+    #[cfg(test)]
+    pub(crate) fn set_successor_list(&mut self, idx: NodeIdx, list: &[NodeIdx]) {
+        let raw: Vec<u32> = list.iter().map(|&i| i.0 as u32).collect();
+        self.write_succs(idx.0, &raw);
     }
 
     /// Reserve an arena slot as a tombstone: the slot counts towards
@@ -120,21 +270,16 @@ impl Chord {
             id = id.wrapping_add(0x9e3779b97f4a7c15);
         }
         self.record_id(id);
-        let idx = NodeIdx(self.nodes.len());
-        let mut node = ChordNode::new(id);
-        node.alive = false;
-        self.nodes.push(node);
-        idx
+        self.push_arena(id, false)
     }
 
     fn push_node(&mut self, id: u64) -> NodeIdx {
-        let idx = NodeIdx(self.nodes.len());
-        self.nodes.push(ChordNode::new(id));
+        let idx = self.push_arena(id, true);
         self.record_id(id);
-        let pos = self.sorted.partition_point(|&j| self.nodes[j.0].id < id);
+        let pos = self.sorted.partition_point(|&j| self.ids[j.0] < id);
         self.sorted.insert(pos, idx);
         debug_assert!(
-            self.sorted.windows(2).all(|w| self.nodes[w[0].0].id < self.nodes[w[1].0].id),
+            self.sorted.windows(2).all(|w| self.ids[w[0].0] < self.ids[w[1].0]),
             "sorted ring order broken by insert"
         );
         idx
@@ -143,37 +288,39 @@ impl Chord {
     /// Recompute every node's successor list, predecessor and fingers from
     /// ground truth (perfect stabilization). Used by `build` and by tests.
     pub fn rebuild_all_state(&mut self) {
-        let live: Vec<NodeIdx> = self.sorted.clone();
-        let n = live.len();
+        let n = self.sorted.len();
         if n == 0 {
             return;
         }
         debug_assert!(
-            live.iter().all(|&i| self.nodes[i.0].alive),
+            self.sorted.iter().all(|&i| self.alive[i.0]),
             "sorted ring must hold only live nodes"
         );
-        // Flat copy of the ring ids: the n·64 finger binary-searches below
-        // then run over a contiguous u64 array instead of chasing
-        // `nodes[sorted[m].0].id` pointers per probe (bulk construction is
-        // the dominant cost of building Mercury's m hubs).
-        let ids: Vec<u64> = live.iter().map(|&i| self.nodes[i.0].id).collect();
-        for (pos, &idx) in live.iter().enumerate() {
-            let mut succs = Vec::with_capacity(self.cfg.succ_list_len);
-            for k in 1..=self.cfg.succ_list_len.min(n.saturating_sub(1)).max(1) {
-                succs.push(live[(pos + k) % n]);
+        // Flat copies of the ring: the n·64 finger binary-searches below
+        // run over contiguous arrays instead of chasing `sorted[m].0`
+        // indirections per probe (bulk construction is the dominant cost
+        // of building Mercury's m hubs).
+        let live: Vec<u32> = self.sorted.iter().map(|&i| i.0 as u32).collect();
+        let ids: Vec<u64> = self.sorted.iter().map(|&i| self.ids[i.0]).collect();
+        let r = self.cfg.succ_list_len;
+        let k_max = r.min(n.saturating_sub(1)).max(1);
+        for pos in 0..n {
+            let slot = live[pos] as usize;
+            for k in 1..=k_max {
+                self.succs[slot * r + k - 1] = live[(pos + k) % n];
             }
-            let pred = live[(pos + n - 1) % n];
+            for e in &mut self.succs[slot * r + k_max..(slot + 1) * r] {
+                *e = NO_LINK;
+            }
+            self.succ_lens[slot] = k_max as u8;
+            self.preds[slot] = live[(pos + n - 1) % n];
             let id = ids[pos];
-            let mut fingers = Vec::with_capacity(FINGER_BITS);
-            for i in 0..FINGER_BITS {
+            let frow = &mut self.fingers[slot * FINGER_BITS..(slot + 1) * FINGER_BITS];
+            for (i, f) in frow.iter_mut().enumerate() {
                 let target = id.wrapping_add(1u64 << i);
                 let fpos = ids.partition_point(|&v| v < target);
-                fingers.push(live[fpos % n]);
+                *f = live[fpos % n];
             }
-            let node = &mut self.nodes[idx.0];
-            node.successors = succs;
-            node.predecessor = Some(pred);
-            node.fingers = fingers;
         }
     }
 
@@ -181,19 +328,22 @@ impl Chord {
     /// whose interval `(pred, id]` contains `key`).
     fn true_owner(&self, key: u64) -> NodeIdx {
         debug_assert!(!self.sorted.is_empty());
-        let pos = self.sorted.partition_point(|&j| self.nodes[j.0].id < key);
+        let pos = self.sorted.partition_point(|&j| self.ids[j.0] < key);
         self.sorted[pos % self.sorted.len()]
     }
 
-    /// Borrow a node's state.
-    pub fn node(&self, idx: NodeIdx) -> Result<&ChordNode, DhtError> {
-        self.nodes.get(idx.0).ok_or(DhtError::NodeNotFound { index: idx.0 })
+    /// Borrow a node's state (a view over the flat arena arrays).
+    pub fn node(&self, idx: NodeIdx) -> Result<ChordNode<'_>, DhtError> {
+        if idx.0 < self.ids.len() {
+            Ok(ChordNode { net: self, slot: idx.0 })
+        } else {
+            Err(DhtError::NodeNotFound { index: idx.0 })
+        }
     }
 
-    fn live_node(&self, idx: NodeIdx) -> Result<&ChordNode, DhtError> {
-        let n = self.node(idx)?;
-        if n.alive {
-            Ok(n)
+    fn check_live(&self, idx: NodeIdx) -> Result<(), DhtError> {
+        if *self.alive.get(idx.0).unwrap_or(&false) {
+            Ok(())
         } else {
             Err(DhtError::NodeNotFound { index: idx.0 })
         }
@@ -201,22 +351,27 @@ impl Chord {
 
     /// Identifier of `idx`.
     pub fn id_of(&self, idx: NodeIdx) -> Result<u64, DhtError> {
-        Ok(self.node(idx)?.id)
+        self.ids.get(idx.0).copied().ok_or(DhtError::NodeNotFound { index: idx.0 })
     }
 
     /// First *alive* entry of `idx`'s successor list (node-local view).
     pub fn next_clockwise(&self, idx: NodeIdx) -> Result<NodeIdx, DhtError> {
-        let n = self.live_node(idx)?;
-        n.successors.iter().copied().find(|&s| self.nodes[s.0].alive).ok_or(DhtError::EmptyOverlay)
+        self.check_live(idx)?;
+        self.raw_succs(idx.0)
+            .iter()
+            .copied()
+            .find(|&s| self.alive[s as usize])
+            .map(|s| NodeIdx(s as usize))
+            .ok_or(DhtError::EmptyOverlay)
     }
 
     /// Predecessor pointer if alive (node-local view). Range probes that
     /// walk counter-clockwise use this; a dead predecessor stalls the walk
     /// until stabilization, exactly as in the real protocol.
     pub fn next_counterclockwise(&self, idx: NodeIdx) -> Result<NodeIdx, DhtError> {
-        let n = self.live_node(idx)?;
-        match n.predecessor {
-            Some(p) if self.nodes[p.0].alive => Ok(p),
+        self.check_live(idx)?;
+        match self.preds[idx.0] {
+            p if p != NO_LINK && self.alive[p as usize] => Ok(NodeIdx(p as usize)),
             _ => Err(DhtError::EmptyOverlay),
         }
     }
@@ -240,50 +395,48 @@ impl Chord {
         if self.id_used(id) {
             return Err(DhtError::IdSpaceExhausted);
         }
-        self.live_node(bootstrap)?;
+        self.check_live(bootstrap)?;
         // Find the successor of the new id by routing from the bootstrap
         // (untraced: only the terminal matters).
         let succ = self.route_stats_from(bootstrap, id)?.terminal;
         let idx = self.push_node(id);
+        let r = self.cfg.succ_list_len;
         // Splice: new node's successor list comes from succ.
-        let succ_node = &self.nodes[succ.0];
-        let mut slist = Vec::with_capacity(self.cfg.succ_list_len);
-        slist.push(succ);
-        slist.extend(succ_node.successors.iter().copied().take(self.cfg.succ_list_len - 1));
-        let pred = succ_node.predecessor;
-        {
-            let node = &mut self.nodes[idx.0];
-            node.successors = slist;
-            node.predecessor = pred;
-        }
-        self.nodes[succ.0].predecessor = Some(idx);
-        if let Some(p) = pred {
-            if self.nodes[p.0].alive {
-                let pnode = &mut self.nodes[p.0];
-                pnode.successors.insert(0, idx);
-                pnode.successors.truncate(self.cfg.succ_list_len);
-            }
+        let mut slist: Vec<u32> = Vec::with_capacity(r);
+        slist.push(succ.0 as u32);
+        slist.extend(self.raw_succs(succ.0).iter().copied().take(r - 1));
+        let pred = self.preds[succ.0];
+        self.write_succs(idx.0, &slist);
+        self.preds[idx.0] = pred;
+        self.preds[succ.0] = idx.0 as u32;
+        if pred != NO_LINK && self.alive[pred as usize] {
+            let p = pred as usize;
+            let mut plist: Vec<u32> = Vec::with_capacity(r + 1);
+            plist.push(idx.0 as u32);
+            plist.extend(self.raw_succs(p).iter().copied());
+            self.write_succs(p, &plist);
         }
         // Initialize fingers by routing (the joining node's own lookups,
-        // untraced — 64 of them per join).
-        let mut fingers = Vec::with_capacity(FINGER_BITS);
-        for i in 0..FINGER_BITS {
+        // untraced — 64 of them per join). Buffered and written at the
+        // end: the lookups must see the new node's table empty, exactly as
+        // the protocol's not-yet-initialized joiner would answer.
+        let mut frow = [NO_LINK; FINGER_BITS];
+        for (i, f) in frow.iter_mut().enumerate() {
             let target = id.wrapping_add(1u64 << i);
-            let f = self.route_stats_from(succ, target).map(|r| r.terminal).unwrap_or(succ);
-            fingers.push(f);
+            *f = self.route_stats_from(succ, target).map(|r| r.terminal).unwrap_or(succ).0 as u32;
         }
-        self.nodes[idx.0].fingers = fingers;
+        self.fingers[idx.0 * FINGER_BITS..(idx.0 + 1) * FINGER_BITS].copy_from_slice(&frow);
         Ok(idx)
     }
 
     fn retire(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
-        self.live_node(idx)?;
-        self.nodes[idx.0].alive = false;
-        let id = self.nodes[idx.0].id;
+        self.check_live(idx)?;
+        self.alive[idx.0] = false;
+        let id = self.ids[idx.0];
         if let Ok(pos) = self.used_ids.binary_search(&id) {
             self.used_ids.remove(pos);
         }
-        if let Ok(pos) = self.sorted.binary_search_by(|&j| self.nodes[j.0].id.cmp(&id)) {
+        if let Ok(pos) = self.sorted.binary_search_by(|&j| self.ids[j.0].cmp(&id)) {
             self.sorted.remove(pos);
         }
         Ok(())
@@ -292,22 +445,24 @@ impl Chord {
     /// Graceful departure: the node tells its neighbors, who splice it out
     /// immediately. Other nodes' fingers stay stale until repair.
     pub fn leave(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
-        let node = self.live_node(idx)?.clone();
+        self.check_live(idx)?;
+        let succ_list: Vec<u32> = self.raw_succs(idx.0).to_vec();
+        let pred_raw = self.preds[idx.0];
         self.retire(idx)?;
-        let succ = node.successors.iter().copied().find(|&s| self.nodes[s.0].alive);
-        let pred = node.predecessor.filter(|&p| self.nodes[p.0].alive);
+        let succ = succ_list.iter().copied().find(|&s| self.alive[s as usize]);
+        let pred = (pred_raw != NO_LINK && self.alive[pred_raw as usize]).then_some(pred_raw);
         if let (Some(s), Some(p)) = (succ, pred) {
-            if s != idx && p != idx {
-                self.nodes[s.0].predecessor = Some(p);
-                let pnode = &mut self.nodes[p.0];
-                pnode.successors.retain(|&x| x != idx);
-                pnode.successors.insert(0, s);
+            if s as usize != idx.0 && p as usize != idx.0 {
+                self.preds[s as usize] = p;
+                let pi = p as usize;
+                let mut list: Vec<u32> =
+                    self.raw_succs(pi).iter().copied().filter(|&x| x as usize != idx.0).collect();
+                list.insert(0, s);
                 // Order-preserving seen-set dedup: `Vec::dedup` only
                 // removes *adjacent* duplicates, so a non-adjacent copy of
                 // the spliced-in successor (or any stale repeat) would
                 // survive and waste a repair slot. The list is at most
                 // `succ_list_len + 1` long, so the quadratic scan is free.
-                let list = &mut pnode.successors;
                 let mut keep = 0;
                 for i in 0..list.len() {
                     let x = list[i];
@@ -317,7 +472,7 @@ impl Chord {
                     }
                 }
                 list.truncate(keep);
-                list.truncate(self.cfg.succ_list_len);
+                self.write_succs(pi, &list);
             }
         }
         Ok(())
@@ -332,50 +487,59 @@ impl Chord {
     /// refresh the successor (adopting the successor's predecessor when it
     /// sits between), repair the successor list, and re-notify.
     pub fn stabilize(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
-        let me = self.live_node(idx)?;
-        let my_id = me.id;
+        self.check_live(idx)?;
+        let my_id = self.ids[idx.0];
         // First alive successor-list entry becomes the working successor.
-        let Some(mut succ) = me.successors.iter().copied().find(|&s| self.nodes[s.0].alive) else {
+        let first_alive = self.raw_succs(idx.0).iter().copied().find(|&s| self.alive[s as usize]);
+        let Some(mut succ) = first_alive.map(|s| s as usize) else {
             // Total successor loss: re-bootstrap from ground truth would be
             // cheating; the real protocol falls back to the finger table.
-            let fallback = me.fingers.iter().copied().find(|&f| self.nodes[f.0].alive && f != idx);
+            let fallback = self
+                .raw_fingers(idx.0)
+                .iter()
+                .copied()
+                .filter(|&f| f != NO_LINK)
+                .find(|&f| self.alive[f as usize] && f as usize != idx.0);
             match fallback {
                 Some(f) => {
-                    self.nodes[idx.0].successors = vec![f];
+                    self.write_succs(idx.0, &[f]);
                     return Ok(());
                 }
                 None => return Err(DhtError::EmptyOverlay),
             }
         };
         // Adopt successor's predecessor if it lies in (me, succ).
-        if let Some(p) = self.nodes[succ.0].predecessor {
-            if p != idx
-                && self.nodes[p.0].alive
-                && dht_core::in_interval_oo(my_id, self.nodes[succ.0].id, self.nodes[p.0].id)
+        let sp = self.preds[succ];
+        if sp != NO_LINK {
+            let p = sp as usize;
+            if p != idx.0
+                && self.alive[p]
+                && dht_core::in_interval_oo(my_id, self.ids[succ], self.ids[p])
             {
                 succ = p;
             }
         }
         // Rebuild successor list from succ's list.
-        let mut slist = Vec::with_capacity(self.cfg.succ_list_len);
-        slist.push(succ);
-        for &s in &self.nodes[succ.0].successors {
-            if slist.len() >= self.cfg.succ_list_len {
+        let r = self.cfg.succ_list_len;
+        let mut slist: Vec<u32> = Vec::with_capacity(r);
+        slist.push(succ as u32);
+        for &s in self.raw_succs(succ) {
+            if slist.len() >= r {
                 break;
             }
-            if self.nodes[s.0].alive && s != idx && !slist.contains(&s) {
+            if self.alive[s as usize] && s as usize != idx.0 && !slist.contains(&s) {
                 slist.push(s);
             }
         }
-        self.nodes[idx.0].successors = slist;
+        self.write_succs(idx.0, &slist);
         // Notify: succ adopts me as predecessor if better.
-        let adopt = match self.nodes[succ.0].predecessor {
-            None => true,
-            Some(p) if !self.nodes[p.0].alive => true,
-            Some(p) => dht_core::in_interval_oo(self.nodes[p.0].id, self.nodes[succ.0].id, my_id),
+        let adopt = match self.preds[succ] {
+            NO_LINK => true,
+            p if !self.alive[p as usize] => true,
+            p => dht_core::in_interval_oo(self.ids[p as usize], self.ids[succ], my_id),
         };
         if adopt {
-            self.nodes[succ.0].predecessor = Some(idx);
+            self.preds[succ] = idx.0 as u32;
         }
         Ok(())
     }
@@ -383,11 +547,12 @@ impl Chord {
     /// Recompute every finger of `idx` by issuing lookups through the
     /// current (possibly stale) overlay state.
     pub fn fix_fingers(&mut self, idx: NodeIdx) -> Result<(), DhtError> {
-        let id = self.live_node(idx)?.id;
+        self.check_live(idx)?;
+        let id = self.ids[idx.0];
         for i in 0..FINGER_BITS {
             let target = id.wrapping_add(1u64 << i);
             if let Ok(r) = self.route_stats_from(idx, target) {
-                self.nodes[idx.0].fingers[i] = r.terminal;
+                self.fingers[idx.0 * FINGER_BITS + i] = r.terminal.0 as u32;
             }
         }
         Ok(())
@@ -398,12 +563,12 @@ impl Chord {
         // Owned snapshot: stabilization mutates node state while iterating.
         let live: Vec<NodeIdx> = self.sorted.clone();
         for &idx in &live {
-            if self.nodes[idx.0].alive {
+            if self.alive[idx.0] {
                 let _ = self.stabilize(idx);
             }
         }
         for &idx in &live {
-            if self.nodes[idx.0].alive {
+            if self.alive[idx.0] {
                 let _ = self.fix_fingers(idx);
             }
         }
@@ -421,6 +586,22 @@ impl Chord {
         } else {
             Some(self.sorted[rng.gen_range(0..self.sorted.len())])
         }
+    }
+
+    /// Distinct links of `slot`: fingers ∪ successor list ∪ predecessor,
+    /// sorted and deduplicated (unfiltered for liveness).
+    fn distinct_neighbors(&self, slot: usize) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .raw_fingers(slot)
+            .iter()
+            .chain(self.raw_succs(slot).iter())
+            .chain(self.preds[slot..=slot].iter())
+            .copied()
+            .filter(|&x| x != NO_LINK)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 }
 
@@ -466,8 +647,12 @@ impl Overlay for Chord {
     }
 
     fn outlinks(&self, node: NodeIdx) -> Result<usize, DhtError> {
-        let n = self.live_node(node)?;
-        Ok(n.distinct_neighbors().iter().filter(|&&x| self.nodes[x.0].alive && x != node).count())
+        self.check_live(node)?;
+        Ok(self
+            .distinct_neighbors(node.0)
+            .iter()
+            .filter(|&&x| self.alive[x as usize] && x as usize != node.0)
+            .count())
     }
 }
 
@@ -489,6 +674,22 @@ mod tests {
             assert!(node.successor().is_some());
             assert!(node.predecessor().is_some());
             assert_eq!(node.fingers().len(), FINGER_BITS);
+        }
+    }
+
+    #[test]
+    fn bulk_and_incremental_builds_are_identical() {
+        for n in [1usize, 2, 5, 64, 257] {
+            let cfg = ChordConfig::default();
+            let bulk = Chord::build_with_mode(n, cfg, BuildMode::Bulk);
+            let inc = Chord::build_with_mode(n, cfg, BuildMode::Incremental);
+            assert_eq!(bulk.ids, inc.ids, "arena order diverged at n={n}");
+            assert_eq!(bulk.used_ids, inc.used_ids);
+            assert_eq!(bulk.sorted, inc.sorted);
+            assert_eq!(bulk.preds, inc.preds);
+            assert_eq!(bulk.succs, inc.succs);
+            assert_eq!(bulk.succ_lens, inc.succ_lens);
+            assert_eq!(bulk.fingers, inc.fingers);
         }
     }
 
@@ -643,9 +844,9 @@ mod tests {
         // Plant a stale copy of `succ` separated from the front by `other`:
         // after the splice inserts `succ` at the head, the list reads
         // [succ, other, succ] — `Vec::dedup` would keep the trailing copy.
-        c.nodes[pred.0].successors = vec![victim, other, succ];
+        c.set_successor_list(pred, &[victim, other, succ]);
         c.leave(victim).unwrap();
-        let after = &c.nodes[pred.0].successors;
+        let after = c.node(pred).unwrap().successor_list();
         assert_eq!(after.iter().filter(|&&x| x == succ).count(), 1, "dup survived: {after:?}");
         assert_eq!(&after[..2], &[succ, other]);
     }
@@ -658,8 +859,8 @@ mod tests {
         let mut c = net(4);
         let boot = c.nodes_by_id()[0];
         let t = c.reserve_tombstone();
-        let tid = c.nodes[t.0].id;
-        assert!(!c.nodes[t.0].alive);
+        let tid = c.id_of(t).unwrap();
+        assert!(!c.node(t).unwrap().is_alive());
         assert!(c.id_used(tid), "tombstone id must be recorded");
         assert_eq!(c.join_with_id(boot, tid), Err(DhtError::IdSpaceExhausted));
         // And the next tombstone cannot collide with an existing node
@@ -668,7 +869,7 @@ mod tests {
         let mut seen: Vec<u64> = c.used_ids.to_vec();
         for _ in 0..32 {
             let t = c.reserve_tombstone();
-            seen.push(c.nodes[t.0].id);
+            seen.push(c.id_of(t).unwrap());
         }
         let n = seen.len();
         seen.sort_unstable();

@@ -1,100 +1,102 @@
-//! Per-node Chord state.
+//! Per-node Chord state: a borrowed view over the arena's flat arrays.
 
+use crate::network::Chord;
 use dht_core::NodeIdx;
+use std::fmt;
 
 /// Number of finger-table entries (the identifier space is 64 bits wide).
 pub const FINGER_BITS: usize = 64;
 
-/// The complete local state of one Chord node.
+/// A read-only view of one Chord node's local state.
 ///
-/// Everything a node uses to route must live here: the routing code only
-/// ever reads the state of the node currently holding the message.
-#[derive(Debug, Clone)]
-pub struct ChordNode {
-    /// Ring identifier.
-    pub(crate) id: u64,
-    /// False once the node departed (slot tomb-stoned).
-    pub(crate) alive: bool,
-    /// `fingers[i]` targets `successor(id + 2^i)`. Entries may be stale
-    /// after churn until `fix_fingers` runs.
-    pub(crate) fingers: Vec<NodeIdx>,
-    /// First `r` successors on the ring (repair chain under churn).
-    pub(crate) successors: Vec<NodeIdx>,
-    /// Immediate predecessor, if known.
-    pub(crate) predecessor: Option<NodeIdx>,
+/// Node state lives in struct-of-arrays form on [`Chord`] — parallel flat
+/// `Vec`s for ids, liveness, fingers, successor lists and predecessors,
+/// indexed by arena slot — so a million-node overlay is a handful of
+/// contiguous allocations instead of a million boxed nodes. This view
+/// borrows the arena and exposes the classic per-node accessors;
+/// everything a node uses to route must be reachable through it (the
+/// routing code only ever reads the state of the node currently holding
+/// the message).
+#[derive(Clone, Copy)]
+pub struct ChordNode<'a> {
+    pub(crate) net: &'a Chord,
+    pub(crate) slot: usize,
 }
 
-impl ChordNode {
-    pub(crate) fn new(id: u64) -> Self {
-        Self { id, alive: true, fingers: Vec::new(), successors: Vec::new(), predecessor: None }
-    }
-
+impl ChordNode<'_> {
     /// Ring identifier of this node.
     pub fn id(&self) -> u64 {
-        self.id
+        self.net.id_at(self.slot)
     }
 
     /// Is the node currently part of the overlay?
     pub fn is_alive(&self) -> bool {
-        self.alive
+        self.net.alive_at(self.slot)
     }
 
     /// Immediate successor (first entry of the successor list).
     pub fn successor(&self) -> Option<NodeIdx> {
-        self.successors.first().copied()
+        self.net.raw_succs(self.slot).first().map(|&s| NodeIdx(s as usize))
     }
 
     /// The successor list.
-    pub fn successor_list(&self) -> &[NodeIdx] {
-        &self.successors
+    pub fn successor_list(&self) -> Vec<NodeIdx> {
+        self.net.raw_succs(self.slot).iter().map(|&s| NodeIdx(s as usize)).collect()
     }
 
     /// Immediate predecessor, if known.
     pub fn predecessor(&self) -> Option<NodeIdx> {
-        self.predecessor
+        self.net.pred_at(self.slot)
     }
 
     /// Finger table (may contain duplicates; see
     /// [`Chord::outlinks`](crate::Chord) for the distinct count).
-    pub fn fingers(&self) -> &[NodeIdx] {
-        &self.fingers
-    }
-
-    /// Distinct live outlinks: fingers ∪ successor list ∪ predecessor.
-    pub(crate) fn distinct_neighbors(&self) -> Vec<NodeIdx> {
-        let mut v: Vec<NodeIdx> = self
-            .fingers
+    pub fn fingers(&self) -> Vec<NodeIdx> {
+        self.net
+            .raw_fingers(self.slot)
             .iter()
-            .chain(self.successors.iter())
-            .chain(self.predecessor.iter())
-            .copied()
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+            .filter(|&&f| f != crate::network::NO_LINK)
+            .map(|&f| NodeIdx(f as usize))
+            .collect()
+    }
+}
+
+impl fmt::Debug for ChordNode<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChordNode")
+            .field("slot", &self.slot)
+            .field("id", &self.id())
+            .field("alive", &self.is_alive())
+            .field("successors", &self.successor_list())
+            .field("predecessor", &self.predecessor())
+            .finish_non_exhaustive()
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::network::{Chord, ChordConfig};
 
     #[test]
-    fn fresh_node_has_no_links() {
-        let n = ChordNode::new(42);
-        assert_eq!(n.id(), 42);
-        assert!(n.is_alive());
-        assert!(n.successor().is_none());
-        assert!(n.predecessor().is_none());
-        assert!(n.distinct_neighbors().is_empty());
+    fn tombstone_view_has_no_links() {
+        let mut c = Chord::build(4, ChordConfig::default());
+        let t = c.reserve_tombstone();
+        let v = c.node(t).unwrap();
+        assert!(!v.is_alive());
+        assert!(v.successor().is_none());
+        assert!(v.predecessor().is_none());
+        assert!(v.fingers().is_empty());
     }
 
     #[test]
-    fn distinct_neighbors_dedupes() {
-        let mut n = ChordNode::new(1);
-        n.fingers = vec![NodeIdx(2), NodeIdx(2), NodeIdx(3)];
-        n.successors = vec![NodeIdx(2), NodeIdx(4)];
-        n.predecessor = Some(NodeIdx(3));
-        assert_eq!(n.distinct_neighbors(), vec![NodeIdx(2), NodeIdx(3), NodeIdx(4)]);
+    fn view_matches_arena_state() {
+        let c = Chord::build(16, ChordConfig::default());
+        for &idx in c.nodes_by_id() {
+            let v = c.node(idx).unwrap();
+            assert!(v.is_alive());
+            assert_eq!(v.id(), c.id_of(idx).unwrap());
+            assert_eq!(v.successor(), v.successor_list().first().copied());
+            assert_eq!(v.fingers().len(), super::FINGER_BITS);
+        }
     }
 }

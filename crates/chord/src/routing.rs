@@ -69,31 +69,36 @@ impl Chord {
         let budget = 4 * FINGER_BITS + 16;
         let mut cur = from;
         loop {
-            let node = &self.nodes[cur.0];
+            let cur_id = self.id_at(cur.0);
             // Does `cur` itself own the key? (pred, cur] ∋ key
-            if let Some(pred) = node.predecessor {
-                if self.nodes[pred.0].alive && in_interval_oc(self.nodes[pred.0].id, node.id, key) {
+            if let Some(pred) = self.pred_at(cur.0) {
+                if self.alive_at(pred.0) && in_interval_oc(self.id_at(pred.0), cur_id, key) {
                     break;
                 }
             }
             // First alive successor; if the whole successor list is dead
             // (massive correlated failure), fall back to the nearest alive
             // clockwise finger as acting successor, as the protocol does.
-            let succ = node
-                .successors
+            let succ = self
+                .raw_succs(cur.0)
                 .iter()
                 .copied()
-                .find(|&s| self.nodes[s.0].alive)
+                .find(|&s| self.alive_at(s as usize))
                 .or_else(|| {
-                    node.fingers
+                    self.raw_fingers(cur.0)
                         .iter()
                         .copied()
-                        .filter(|&f| self.nodes[f.0].alive && f != cur)
-                        .min_by_key(|&f| dht_core::clockwise_dist(node.id, self.nodes[f.0].id))
+                        .filter(|&f| {
+                            f != crate::network::NO_LINK
+                                && self.alive_at(f as usize)
+                                && f as usize != cur.0
+                        })
+                        .min_by_key(|&f| dht_core::clockwise_dist(cur_id, self.id_at(f as usize)))
                 })
+                .map(|s| NodeIdx(s as usize))
                 .ok_or(DhtError::EmptyOverlay)?;
             // Key in (cur, succ] -> succ is the root.
-            if in_interval_oc(node.id, self.nodes[succ.0].id, key) {
+            if in_interval_oc(cur_id, self.id_at(succ.0), key) {
                 check_forward(sink, succ)?;
                 sink.visit(succ);
                 cur = succ;
@@ -124,24 +129,27 @@ impl Chord {
     /// entries every hop. Only when no finger precedes the key does the
     /// (short) successor list get scored the exhaustive way.
     fn closest_preceding(&self, cur: NodeIdx, key: u64) -> Option<NodeIdx> {
-        let node = &self.nodes[cur.0];
-        let cur_id = node.id;
-        for &cand in node.fingers.iter().rev() {
-            let c = &self.nodes[cand.0];
-            if c.alive && cand != cur && in_interval_oo(cur_id, key, c.id) {
-                return Some(cand);
+        let cur_id = self.id_at(cur.0);
+        for &cand in self.raw_fingers(cur.0).iter().rev() {
+            if cand == crate::network::NO_LINK {
+                continue;
+            }
+            let c = cand as usize;
+            if self.alive_at(c) && c != cur.0 && in_interval_oo(cur_id, key, self.id_at(c)) {
+                return Some(NodeIdx(c));
             }
         }
         let mut best: Option<(u64, NodeIdx)> = None;
-        for &cand in node.successors.iter() {
-            let c = &self.nodes[cand.0];
-            if !c.alive || cand == cur {
+        for &cand in self.raw_succs(cur.0) {
+            let c = cand as usize;
+            if !self.alive_at(c) || c == cur.0 {
                 continue;
             }
-            if in_interval_oo(cur_id, key, c.id) {
-                let progress = dht_core::clockwise_dist(cur_id, c.id);
+            let cid = self.id_at(c);
+            if in_interval_oo(cur_id, key, cid) {
+                let progress = dht_core::clockwise_dist(cur_id, cid);
                 if best.is_none_or(|(p, _)| progress > p) {
-                    best = Some((progress, cand));
+                    best = Some((progress, NodeIdx(c)));
                 }
             }
         }

@@ -3,8 +3,8 @@
 use crate::keys::{KeyDeriver, Placement};
 use cycloid::{Cycloid, CycloidConfig, CycloidId};
 use dht_core::{
-    probe_step, route_with_retry, sub_msg_id, walk_msg_id, DhtError, FaultAccount, FaultPlan,
-    LoadDist, LookupTally, NodeIdx, Overlay,
+    probe_step, route_with_retry, sub_msg_id, walk_msg_id, BuildMode, DhtError, FaultAccount,
+    FaultPlan, LoadDist, LookupTally, NodeIdx, Overlay,
 };
 use grid_resource::{
     discovery::join_owners, AttributeSpace, Directory, FaultyOutcome, Query, QueryOutcome,
@@ -45,6 +45,7 @@ pub struct Lorm {
     /// Physical node -> overlay node (`None` after departure).
     phys_node: Vec<Option<NodeIdx>>,
     total_pieces: usize,
+    mode: BuildMode,
 }
 
 impl Lorm {
@@ -53,7 +54,25 @@ impl Lorm {
     /// # Panics
     /// Panics if `n` exceeds the Cycloid capacity `d·2^d`.
     pub fn new(n: usize, space: &AttributeSpace, cfg: LormConfig) -> Self {
-        let overlay = Cycloid::build(n, CycloidConfig { dimension: cfg.dimension, seed: cfg.seed });
+        Self::new_with_mode(n, space, cfg, BuildMode::Bulk)
+    }
+
+    /// Build with an explicit construction mode (overlay assembly and
+    /// report placement; both modes are byte-identical, see [`BuildMode`]).
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the Cycloid capacity `d·2^d`.
+    pub fn new_with_mode(
+        n: usize,
+        space: &AttributeSpace,
+        cfg: LormConfig,
+        mode: BuildMode,
+    ) -> Self {
+        let overlay = Cycloid::build_with_mode(
+            n,
+            CycloidConfig { dimension: cfg.dimension, seed: cfg.seed },
+            mode,
+        );
         let keys = KeyDeriver::with_placement(space, cfg.dimension, cfg.seed, cfg.placement);
         let arena = overlay.arena_len();
         Self {
@@ -62,6 +81,7 @@ impl Lorm {
             directories: vec![Directory::new(); arena],
             phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(),
             total_pieces: 0,
+            mode,
         }
     }
 
@@ -265,10 +285,36 @@ impl ResourceDiscovery for Lorm {
     fn place_all(&mut self, reports: &[ResourceInfo]) {
         self.directories = vec![Directory::new(); self.overlay.arena_len()];
         self.total_pieces = 0;
-        for &r in reports {
-            let id = self.keys.resc_id(r.attr, r.value);
-            if let Ok(root) = self.overlay.owner_of(id) {
-                self.store(root, r);
+        match self.mode {
+            BuildMode::Bulk => {
+                // Resolve every report's root, group by root with one
+                // stable sort, and hand each node its whole batch — the
+                // same directories the per-report loop produces, without
+                // one shifting `Vec::insert` per new attribute bucket.
+                let mut routed: Vec<(NodeIdx, ResourceInfo)> = reports
+                    .iter()
+                    .filter_map(|&r| {
+                        let id = self.keys.resc_id(r.attr, r.value);
+                        self.overlay.owner_of(id).ok().map(|root| (root, r))
+                    })
+                    .collect();
+                self.total_pieces = routed.len();
+                routed.sort_by_key(|&(root, _)| root);
+                let mut rest = routed.as_slice();
+                while let Some(&(root, _)) = rest.first() {
+                    let run = rest.iter().take_while(|&&(n, _)| n == root).count();
+                    self.directories[root.0]
+                        .bulk_load(rest[..run].iter().map(|&(_, r)| r).collect());
+                    rest = &rest[run..];
+                }
+            }
+            BuildMode::Incremental => {
+                for &r in reports {
+                    let id = self.keys.resc_id(r.attr, r.value);
+                    if let Ok(root) = self.overlay.owner_of(id) {
+                        self.store(root, r);
+                    }
+                }
             }
         }
     }

@@ -2,7 +2,7 @@
 
 use crate::id::CycloidId;
 use crate::node::CycloidNode;
-use dht_core::{DhtError, NodeIdx, Overlay, RouteResult, RouteStats};
+use dht_core::{BuildMode, DhtError, NodeIdx, Overlay, RouteResult, RouteStats};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,8 +52,14 @@ pub struct Cycloid {
     slots: Vec<Option<NodeIdx>>,
     /// Sorted cubical indices of non-empty clusters.
     occupied: Vec<u32>,
-    /// Per-cluster member lists, each sorted by cyclic index.
-    clusters: Vec<Vec<NodeIdx>>,
+    /// Per-cluster member lists in one flat array, strided `d` per cluster
+    /// (a cluster holds at most `d` nodes); `cluster_slots[c*d..]` holds
+    /// `cluster_lens[c]` members sorted by cyclic index. One contiguous
+    /// allocation instead of `2^d` boxed `Vec`s — cluster edits shift at
+    /// most `d` entries in place, and cloning the overlay is a `memcpy`.
+    cluster_slots: Vec<NodeIdx>,
+    /// Member count per cluster. Length `2^d`.
+    cluster_lens: Vec<u8>,
     /// Arena indices of all live nodes, ascending. Maintained
     /// incrementally (arena indices grow monotonically, so `occupy`
     /// appends and `vacate` binary-searches) so [`Overlay::live_nodes`]
@@ -72,7 +78,8 @@ impl Cycloid {
             cfg,
             slots: vec![None; cap],
             occupied: Vec::new(),
-            clusters: vec![Vec::new(); 1usize << cfg.dimension],
+            cluster_slots: vec![NodeIdx(usize::MAX); cap],
+            cluster_lens: vec![0; 1usize << cfg.dimension],
             live_sorted: Vec::new(),
             live: 0,
             rng: SmallRng::seed_from_u64(cfg.seed ^ 0xCAB005E),
@@ -82,10 +89,23 @@ impl Cycloid {
     /// Bulk-construct a fully repaired network of `n ≤ d·2^d` nodes on
     /// uniformly random distinct slots (all slots when `n` equals the
     /// capacity, as in the paper's 2048-node setup with `d = 8`).
+    /// Equivalent to `build_with_mode(n, cfg, BuildMode::Bulk)`.
     ///
     /// # Panics
     /// Panics if `n` exceeds the identifier-space capacity.
     pub fn build(n: usize, cfg: CycloidConfig) -> Self {
+        Self::build_with_mode(n, cfg, BuildMode::Bulk)
+    }
+
+    /// Construct a fully repaired network with an explicit build mode.
+    /// Both modes draw the same slot sample and produce byte-identical
+    /// overlays; `Incremental` occupies one slot at a time (each insert
+    /// shifting the sorted `occupied` list — O(n·2^d) aggregate) and is
+    /// kept as the reference path for validating the bulk constructor.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the identifier-space capacity.
+    pub fn build_with_mode(n: usize, cfg: CycloidConfig, mode: BuildMode) -> Self {
         let mut net = Self::new(cfg);
         let cap = net.capacity();
         assert!(n <= cap, "cannot place {n} nodes in {cap} Cycloid slots");
@@ -95,11 +115,50 @@ impl Cycloid {
             let j = net.rng.gen_range(i..cap);
             slots.swap(i, j);
         }
-        for &s in &slots[..n] {
-            net.occupy(CycloidId::from_slot(s, cfg.dimension));
+        match mode {
+            BuildMode::Bulk => net.bulk_occupy(&slots[..n]),
+            BuildMode::Incremental => {
+                for &s in &slots[..n] {
+                    net.occupy(CycloidId::from_slot(s, cfg.dimension));
+                }
+            }
         }
         net.rebuild_all_links();
         net
+    }
+
+    /// Assemble the membership tables in one sorted pass: push the arena
+    /// rows in draw order (matching the incremental path), then derive the
+    /// cluster member lists and the `occupied` list from one sort of
+    /// `(cubical, cyclic, idx)` triples — O(n log n) total where per-slot
+    /// `occupy` calls shift the sorted occupied list on every first member.
+    fn bulk_occupy(&mut self, draw: &[usize]) {
+        let d = self.cfg.dimension;
+        self.nodes.reserve(draw.len());
+        self.live_sorted.reserve(draw.len());
+        let mut triples: Vec<(u32, u8, NodeIdx)> = Vec::with_capacity(draw.len());
+        for &s in draw {
+            let id = CycloidId::from_slot(s, d);
+            debug_assert!(self.slots[s].is_none());
+            let idx = NodeIdx(self.nodes.len());
+            self.nodes.push(CycloidNode::new(id));
+            self.slots[s] = Some(idx);
+            self.live_sorted.push(idx);
+            triples.push((id.cubical, id.cyclic, idx));
+        }
+        self.live = draw.len();
+        triples.sort_unstable();
+        let stride = d as usize;
+        for &(cubical, _, idx) in &triples {
+            let c = cubical as usize;
+            let len = self.cluster_lens[c] as usize;
+            if len == 0 {
+                self.occupied.push(cubical);
+            }
+            self.cluster_slots[c * stride + len] = idx;
+            self.cluster_lens[c] = (len + 1) as u8;
+        }
+        debug_assert!(self.occupied.windows(2).all(|w| w[0] < w[1]));
     }
 
     /// Total number of identifier slots (`d·2^d`).
@@ -129,14 +188,23 @@ impl Cycloid {
         let idx = NodeIdx(self.nodes.len());
         self.nodes.push(CycloidNode::new(id));
         self.slots[id.slot(d)] = Some(idx);
-        let members = &mut self.clusters[id.cubical as usize];
-        let pos = members.partition_point(|&m| self.nodes[m.0].id.cyclic < id.cyclic);
-        members.insert(pos, idx);
+        let stride = d as usize;
+        let base = id.cubical as usize * stride;
+        let len = self.cluster_lens[id.cubical as usize] as usize;
+        debug_assert!(len < stride, "cluster already full");
+        let pos = self.cluster_slots[base..base + len]
+            .partition_point(|&m| self.nodes[m.0].id.cyclic < id.cyclic);
+        // In-stride ordered insert: at most `d` entries shift.
+        self.cluster_slots.copy_within(base + pos..base + len, base + pos + 1);
+        self.cluster_slots[base + pos] = idx;
+        self.cluster_lens[id.cubical as usize] = (len + 1) as u8;
         debug_assert!(
-            members.windows(2).all(|w| self.nodes[w[0].0].id.cyclic < self.nodes[w[1].0].id.cyclic),
+            self.cluster_members(id.cubical)
+                .windows(2)
+                .all(|w| self.nodes[w[0].0].id.cyclic < self.nodes[w[1].0].id.cyclic),
             "cluster members must stay sorted by cyclic index"
         );
-        if members.len() == 1 {
+        if len == 0 {
             let cpos = self.occupied.partition_point(|&c| c < id.cubical);
             self.occupied.insert(cpos, id.cubical);
         }
@@ -155,9 +223,14 @@ impl Cycloid {
         let d = self.cfg.dimension;
         self.nodes[idx.0].alive = false;
         self.slots[id.slot(d)] = None;
-        let members = &mut self.clusters[id.cubical as usize];
-        members.retain(|&m| m != idx);
-        if members.is_empty() {
+        let stride = d as usize;
+        let base = id.cubical as usize * stride;
+        let len = self.cluster_lens[id.cubical as usize] as usize;
+        if let Some(pos) = self.cluster_slots[base..base + len].iter().position(|&m| m == idx) {
+            self.cluster_slots.copy_within(base + pos + 1..base + len, base + pos);
+            self.cluster_lens[id.cubical as usize] = (len - 1) as u8;
+        }
+        if self.cluster_lens[id.cubical as usize] == 0 {
             if let Ok(p) = self.occupied.binary_search(&id.cubical) {
                 self.occupied.remove(p);
             }
@@ -188,9 +261,12 @@ impl Cycloid {
     }
 
     /// Members of cluster `cubical`, sorted by cyclic index (ground truth;
-    /// used by tests and by the experiment harness, not by routing).
+    /// used by tests and by the experiment harness, not by routing). A
+    /// borrow of the flat strided member table.
     pub fn cluster_members(&self, cubical: u32) -> &[NodeIdx] {
-        &self.clusters[cubical as usize]
+        let stride = self.cfg.dimension as usize;
+        let base = cubical as usize * stride;
+        &self.cluster_slots[base..base + self.cluster_lens[cubical as usize] as usize]
     }
 
     /// Cubical indices of all non-empty clusters, sorted.
@@ -200,7 +276,7 @@ impl Cycloid {
 
     /// Current primary (largest cyclic index) of cluster `cubical`.
     pub fn primary_of(&self, cubical: u32) -> Option<NodeIdx> {
-        self.clusters[cubical as usize].last().copied()
+        self.cluster_members(cubical).last().copied()
     }
 
     /// Intra-cluster successor via the node-local inside leaf set.
@@ -271,7 +347,7 @@ impl Cycloid {
     /// broken towards the node reached clockwise from `l`.
     pub fn nearest_in_cluster(&self, c: u32, l: u8) -> Option<NodeIdx> {
         let d = self.cfg.dimension;
-        let members = &self.clusters[c as usize];
+        let members = self.cluster_members(c);
         members.iter().copied().min_by_key(|&m| {
             let k = self.nodes[m.0].id.cyclic;
             let dist = CycloidId::cyclic_dist(k, l, d);
@@ -307,7 +383,7 @@ impl Cycloid {
     pub fn rebuild_links_of(&mut self, idx: NodeIdx) {
         let d = self.cfg.dimension;
         let id = self.nodes[idx.0].id;
-        let members = &self.clusters[id.cubical as usize];
+        let members = self.cluster_members(id.cubical);
         let mpos = members
             .iter()
             .position(|&m| m == idx)
@@ -367,7 +443,7 @@ impl Cycloid {
     /// adjacent occupied clusters. This is the bounded self-organization a
     /// join/leave triggers in the real protocol.
     fn repair_cluster_neighborhood(&mut self, c: u32) {
-        let members: Vec<NodeIdx> = self.clusters[c as usize].clone();
+        let members: Vec<NodeIdx> = self.cluster_members(c).to_vec();
         for idx in members {
             self.rebuild_links_of(idx);
         }
@@ -378,7 +454,7 @@ impl Cycloid {
                 Ok(p) | Err(p) => p % n,
             };
             for adj in [occ[(p + 1) % n], occ[(p + n - 1) % n]] {
-                let adj_members: Vec<NodeIdx> = self.clusters[adj as usize].clone();
+                let adj_members: Vec<NodeIdx> = self.cluster_members(adj).to_vec();
                 for idx in adj_members {
                     self.rebuild_links_of(idx);
                 }
@@ -509,6 +585,21 @@ mod tests {
         assert_eq!(c.occupied_clusters().len(), 256);
         for cub in 0..256u32 {
             assert_eq!(c.cluster_members(cub).len(), 8);
+        }
+    }
+
+    #[test]
+    fn bulk_and_incremental_builds_are_identical() {
+        for (n, d) in [(1usize, 4u8), (13, 4), (500, 8), (2048, 8)] {
+            let cfg = CycloidConfig { dimension: d, seed: 7 };
+            let bulk = Cycloid::build_with_mode(n, cfg, BuildMode::Bulk);
+            let inc = Cycloid::build_with_mode(n, cfg, BuildMode::Incremental);
+            assert_eq!(bulk.nodes, inc.nodes, "arena diverged at n={n} d={d}");
+            assert_eq!(bulk.slots, inc.slots);
+            assert_eq!(bulk.occupied, inc.occupied);
+            assert_eq!(bulk.cluster_slots, inc.cluster_slots);
+            assert_eq!(bulk.cluster_lens, inc.cluster_lens);
+            assert_eq!(bulk.live_sorted, inc.live_sorted);
         }
     }
 

@@ -7,7 +7,7 @@ use dht_core::NodeIdx;
 ///
 /// All links may be `None` in degenerate networks (single node, single
 /// cluster) and may be stale after churn until repair runs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CycloidNode {
     pub(crate) id: CycloidId,
     pub(crate) alive: bool,

@@ -45,7 +45,7 @@ pub use fault::{
 };
 pub use hashing::{lex_hash, lex_prefix_end, ConsistentHash, LocalityHash};
 pub use latency::LatencyModel;
-pub use overlay::{NodeIdx, Overlay};
+pub use overlay::{BuildMode, NodeIdx, Overlay};
 pub use ring::{clockwise_dist, in_interval_co, in_interval_oc, in_interval_oo, ring_dist};
 pub use sampling::{BoundedPareto, SeedSpawner, Zipf};
 pub use stats::{Histogram, LoadDist, Percentiles, Summary};

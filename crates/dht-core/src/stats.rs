@@ -217,7 +217,21 @@ impl Percentiles {
         self.sorted.is_empty()
     }
 
-    /// Nearest-rank percentile, `p` in `[0, 100]`. `NaN` when empty.
+    /// Nearest-rank percentile of the sample.
+    ///
+    /// `p` is clamped into `[0, 100]`; `p = 0` answers the minimum (the
+    /// nearest-rank formula would otherwise ask for rank 0, which does not
+    /// exist) and `p = 100` the maximum. A `NaN` passed as `p` clamps to
+    /// `0`, i.e. also answers the minimum.
+    ///
+    /// NaN policy for the *sample*: an empty sample answers `NaN` (there
+    /// is no order statistic to report, and `NaN` poisons any downstream
+    /// aggregate instead of silently contributing a zero). NaN *samples*
+    /// are not rejected — [`f64::total_cmp`] in
+    /// [`Percentiles::from_samples`] sorts them after every real value, so
+    /// they occupy the top ranks and only surface in high percentiles.
+    /// Simulation metrics (hop counts, directory sizes) never produce NaN,
+    /// so this is a containment guarantee, not an expected path.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.sorted.is_empty() {
             return f64::NAN;
@@ -620,6 +634,36 @@ mod tests {
         let p = Percentiles::from_samples(vec![]);
         assert!(p.percentile(50.0).is_nan());
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn percentiles_rank_edges() {
+        // p = 0 must answer the minimum without asking for rank 0, and
+        // p = 100 the maximum without running past the end; out-of-range
+        // p clamps rather than panicking or extrapolating.
+        let p = Percentiles::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(p.percentile(0.0), 1.0);
+        assert_eq!(p.percentile(100.0), 3.0);
+        assert_eq!(p.percentile(-5.0), 1.0);
+        assert_eq!(p.percentile(250.0), 3.0);
+        // Single sample: every percentile is that sample.
+        let one = Percentiles::from_samples(vec![42.0]);
+        assert_eq!(one.percentile(0.0), 42.0);
+        assert_eq!(one.percentile(100.0), 42.0);
+        // A NaN percentile argument clamps to 0 (minimum), not a panic.
+        assert_eq!(p.percentile(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn percentiles_nan_samples_sort_last() {
+        // total_cmp orders NaN above every real value: low/median ranks
+        // stay real, only the top rank reports the NaN.
+        let p = Percentiles::from_samples(vec![f64::NAN, 1.0, 2.0, 3.0]);
+        assert_eq!(p.percentile(0.0), 1.0);
+        assert_eq!(p.median(), 2.0);
+        assert_eq!(p.percentile(75.0), 3.0);
+        assert!(p.percentile(100.0).is_nan());
+        assert_eq!(p.len(), 4);
     }
 
     #[test]

@@ -48,6 +48,49 @@ impl Directory {
         self.len += 1;
     }
 
+    /// Store a batch of pieces in one pass.
+    ///
+    /// Observationally identical to pushing the pieces one by one in the
+    /// given order — ascending attribute buckets, insertion order within a
+    /// bucket — but built with a single stable sort plus a sorted merge
+    /// instead of one shifting `Vec::insert` per previously-unseen
+    /// attribute. Bed construction hands each node its whole placement
+    /// batch through this path; the incremental [`Directory::push`] stays
+    /// the runtime path for individual registrations.
+    pub fn bulk_load(&mut self, mut batch: Vec<ResourceInfo>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.len += batch.len();
+        // Stable: preserves arrival order within an attribute.
+        batch.sort_by_key(|r| r.attr.0);
+        let old = std::mem::take(&mut self.by_attr);
+        self.by_attr.reserve(old.len() + 1);
+        let mut old_it = old.into_iter().peekable();
+        let mut new_it = batch.into_iter().peekable();
+        while let Some(attr) = new_it.peek().map(|r| r.attr.0) {
+            // Carry over existing buckets below the next incoming attr.
+            while old_it.peek().is_some_and(|&(a, _)| a < attr) {
+                // lint:allow(panic-hygiene): peek above guarantees Some.
+                self.by_attr.push(old_it.next().expect("peeked"));
+            }
+            let mut bucket = match old_it.peek() {
+                Some(&(a, _)) if a == attr => {
+                    // lint:allow(panic-hygiene): peek above guarantees Some.
+                    old_it.next().expect("peeked").1
+                }
+                _ => Vec::new(),
+            };
+            while new_it.peek().is_some_and(|r| r.attr.0 == attr) {
+                // lint:allow(panic-hygiene): peek above guarantees Some.
+                bucket.push(new_it.next().expect("peeked"));
+            }
+            self.by_attr.push((attr, bucket));
+        }
+        self.by_attr.extend(old_it);
+        debug_assert!(self.by_attr.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
     /// Total stored pieces.
     pub fn len(&self) -> usize {
         self.len
@@ -184,6 +227,40 @@ mod tests {
         assert_eq!(seq_a, vec![6, 2, 4, 1, 5, 3]);
         let drained: Vec<usize> = b.drain().into_iter().map(|r| r.owner).collect();
         assert_eq!(drained, seq_a);
+    }
+
+    #[test]
+    fn bulk_load_matches_sequential_push() {
+        // The bulk path must be observationally identical to pushing one
+        // piece at a time: same bucket order, same within-bucket order,
+        // same len — including when it merges into pre-existing buckets.
+        let pieces: Vec<ResourceInfo> = [(7u32, 1), (2, 2), (9, 3), (2, 4), (7, 5), (0, 6)]
+            .into_iter()
+            .map(|(attr, owner)| info(attr, attr as f64, owner))
+            .collect();
+        let mut seq = Directory::new();
+        let mut bulk = Directory::new();
+        for &p in &pieces {
+            seq.push(p);
+        }
+        bulk.bulk_load(pieces.clone());
+        assert_eq!(seq.len(), bulk.len());
+        let owners = |d: &Directory| d.iter().map(|r| r.owner).collect::<Vec<_>>();
+        assert_eq!(owners(&seq), owners(&bulk));
+        assert_eq!(owners(&bulk), vec![6, 2, 4, 1, 5, 3]);
+        // Second batch merges into existing buckets and interleaves new ones.
+        let more: Vec<ResourceInfo> = [(5u32, 7), (2, 8), (11, 9), (0, 10)]
+            .into_iter()
+            .map(|(attr, owner)| info(attr, attr as f64, owner))
+            .collect();
+        for &p in &more {
+            seq.push(p);
+        }
+        bulk.bulk_load(more);
+        assert_eq!(seq.len(), bulk.len());
+        assert_eq!(owners(&seq), owners(&bulk));
+        bulk.bulk_load(Vec::new());
+        assert_eq!(owners(&seq), owners(&bulk), "empty batch is a no-op");
     }
 
     #[test]

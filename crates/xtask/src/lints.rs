@@ -24,8 +24,11 @@ pub const ROUTE_BLESSED: &[&str] = &["crates/sim/src/experiments/hopdist.rs"];
 /// construction modules themselves. Everywhere else in simulation-path
 /// library code, building inside a loop is the exact cost the
 /// `BedCache` exists to amortize (one stabilized build per distinct
-/// configuration, cloned or shared thereafter).
-pub const BED_BLESSED: &[&str] = &["crates/sim/src/setup.rs", "crates/sim/src/cache.rs"];
+/// configuration, cloned or shared thereafter). `mercury.rs` is blessed
+/// because its bulk constructor legitimately stands up one `ChordHost`
+/// per hub (`m` overlays per system is Mercury's defining cost).
+pub const BED_BLESSED: &[&str] =
+    &["crates/sim/src/setup.rs", "crates/sim/src/cache.rs", "crates/baselines/src/mercury.rs"];
 
 /// Every lint name with a one-line description (the `--list` catalogue).
 pub const LINTS: &[(&str, &str)] = &[
@@ -480,7 +483,8 @@ fn bed_rebuild(
         "Mercury",
         "CompositeFlat",
     ];
-    const CTOR_METHODS: &[&str] = &["new", "build", "with_systems"];
+    const CTOR_METHODS: &[&str] =
+        &["new", "build", "with_systems", "build_with_mode", "new_with_mode"];
 
     let mut depth = 0i32;
     let mut pending_loop = false;
@@ -810,6 +814,33 @@ mod tests {
             rel_path: "crates/sim/src/cache.rs".into(),
         };
         let r = lint_file(&ctx, "fn f() { loop { let b = build_system(s, &w, &c); break; } }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn bulk_mode_ctors_in_loops_are_flagged() {
+        // The O(n log n) bulk constructors added by the scale work are
+        // still full overlay builds — looping over them is the same
+        // amortization bug as looping over `::build`.
+        let r = sim_lib(
+            "fn f(seeds: &[u64]) {\n    for s in seeds {\n        let n = Chord::build_with_mode(64, cfg, mode);\n    }\n}",
+        );
+        assert_eq!(names(&r), ["bed-rebuild"]);
+        let r = sim_lib(
+            "fn f(seeds: &[u64]) {\n    for s in seeds {\n        let m = Mercury::new_with_mode(64, &sp, cfg, mode);\n    }\n}",
+        );
+        assert_eq!(names(&r), ["bed-rebuild"]);
+        // Mercury's own construction module is blessed: one ChordHost
+        // per hub is its defining structure, not an amortization bug.
+        let ctx = FileCtx {
+            crate_dir: "baselines".into(),
+            class: FileClass::Lib,
+            rel_path: "crates/baselines/src/mercury.rs".into(),
+        };
+        let r = lint_file(
+            &ctx,
+            "fn f() { for h in 0..m { let hub = ChordHost::build_with_mode(n, s, mode); } }",
+        );
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
