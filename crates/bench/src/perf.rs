@@ -106,16 +106,10 @@ pub fn run_perf(cfg: &ReproConfig, counter: Option<AllocCounter>) -> Vec<PerfKer
     let cycloid = Cycloid::build(n_cycloid, CycloidConfig { dimension: d, seed: cfg.seed });
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9E3779B97F4A7C15);
     let chord_plan: Vec<(dht_core::NodeIdx, u64)> = (0..route_iters)
-        .map(|_| {
-            // lint:allow(panic-hygiene): the network was just built with
-            // n >= 1 live nodes.
-            (chord.random_node(&mut rng).expect("live node"), rng.gen())
-        })
+        .map(|_| (chord.random_node(&mut rng).expect("live node"), rng.gen()))
         .collect();
     let cycloid_plan: Vec<(dht_core::NodeIdx, CycloidId)> = (0..route_iters)
         .map(|_| {
-            // lint:allow(panic-hygiene): the network was just built with
-            // n >= 1 live nodes.
             let from = cycloid.random_node(&mut rng).expect("live node");
             let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
             (from, key)
@@ -222,10 +216,8 @@ pub fn run_perf(cfg: &ReproConfig, counter: Option<AllocCounter>) -> Vec<PerfKer
     // --- LORM range probing: route + cluster walk + directory scan -----
     let sim_cfg = cfg.sim();
     let mut wl_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x10);
-    let workload = Workload::generate(sim_cfg.workload_config(), &mut wl_rng)
-        // lint:allow(panic-hygiene): SimConfig always yields a valid
-        // WorkloadConfig (nonzero counts, ordered domain).
-        .expect("valid config");
+    let workload =
+        Workload::generate(sim_cfg.workload_config(), &mut wl_rng).expect("valid config");
     let mut lorm = Lorm::new(
         sim_cfg.nodes,
         &workload.space,
@@ -259,8 +251,6 @@ pub fn run_perf(cfg: &ReproConfig, counter: Option<AllocCounter>) -> Vec<PerfKer
         kernels.push(time_kernel(name, "build", 1, || {
             slot = Some(build_system(s, &bed_workload, &sim_cfg));
         }));
-        // lint:allow(panic-hygiene): the kernel closure above ran at least
-        // once, so the slot is filled.
         systems.push(slot.expect("build kernel ran"));
     }
     let bed = TestBed { cfg: sim_cfg, workload: bed_workload, systems, seeds: bed_seeds };

@@ -58,8 +58,9 @@ pub const DEGREE_BOUND: usize = 16;
 /// Number of Mercury hubs in the sweep (attributes in the synthetic
 /// space). Two is the minimum that exercises multi-hub construction;
 /// each hub is a full n-node Chord ring, so the Mercury column costs
-/// twice the Chord column.
-pub const MERCURY_HUBS: usize = 2;
+/// twice the Chord column. Typed `u32` to match `AttrId`'s raw form, so
+/// hub-id arithmetic widens rather than truncates.
+pub const MERCURY_HUBS: u32 = 2;
 
 /// One system × size measurement.
 #[derive(Debug, Clone)]
@@ -364,8 +365,9 @@ pub fn run_scale_at(
         drop(cycloid);
 
         // --- Mercury (MERCURY_HUBS full-n Chord hubs) -----------------
-        // lint:allow(panic-hygiene): the synthetic range 1..100 is valid.
-        let space = AttributeSpace::synthetic(MERCURY_HUBS, 1.0, 100.0).expect("valid space");
+        let space = AttributeSpace::synthetic(MERCURY_HUBS as usize, 1.0, 100.0)
+            // lint:allow(panic-hygiene): the synthetic range 1..100 is valid.
+            .expect("valid space");
         let before = net_live_bytes(bytes);
         let started = Instant::now();
         let mercury = Mercury::new(n, &space, MercuryConfig { seed });
@@ -374,7 +376,7 @@ pub fn run_scale_at(
         let q = measure_queries(
             route_iters,
             |rng| {
-                let hub = mercury.hub(AttrId(rng.gen_range(0..MERCURY_HUBS as u32))).net();
+                let hub = mercury.hub(AttrId(rng.gen_range(0..MERCURY_HUBS))).net();
                 // lint:allow(panic-hygiene): hubs were built with n >= 1 live nodes.
                 let from = hub.random_node(rng).expect("live node");
                 let key: u64 = rng.gen();
@@ -382,7 +384,7 @@ pub fn run_scale_at(
             },
             seed ^ (n as u64).wrapping_mul(0x9E3779B9),
         );
-        let max_deg = (0..MERCURY_HUBS as u32)
+        let max_deg = (0..MERCURY_HUBS)
             .map(|h| max_outlinks_sampled(mercury.hub(AttrId(h)).net()))
             .max()
             .unwrap_or(0);

@@ -80,9 +80,25 @@ pub struct Chord {
     rng: SmallRng,
 }
 
+/// Can an arena of `len` slots grow by `extra` without leaving `u32`
+/// slot range? [`NO_LINK`] (`u32::MAX`) is reserved as the sentinel, so
+/// the largest usable slot index is `u32::MAX - 1`.
+pub(crate) fn arena_has_capacity(len: usize, extra: usize) -> bool {
+    len.checked_add(extra).is_some_and(|total| total <= NO_LINK as usize)
+}
+
 impl Chord {
     /// An empty overlay.
+    ///
+    /// # Panics
+    /// If `cfg.succ_list_len` is 0 or exceeds `u8::MAX` (list lengths are
+    /// stored per-slot as `u8`).
     pub fn new(cfg: ChordConfig) -> Self {
+        assert!(
+            cfg.succ_list_len >= 1 && cfg.succ_list_len <= u8::MAX as usize,
+            "succ_list_len must be in 1..=255 (stored per-slot as u8), got {}",
+            cfg.succ_list_len
+        );
         Self {
             ids: Vec::new(),
             alive: Vec::new(),
@@ -190,8 +206,18 @@ impl Chord {
     }
 
     /// Append one blank arena row (no links yet).
+    ///
+    /// # Panics
+    /// If the arena would exceed `u32` slot range — slots are stored as
+    /// `u32` in the link arrays, with [`NO_LINK`] reserved. A hard assert,
+    /// not a debug one: a release-mode wrap here would silently alias
+    /// slot 0 at the million-node scales the sweeps run.
     fn push_arena(&mut self, id: u64, alive: bool) -> NodeIdx {
-        debug_assert!(self.ids.len() < NO_LINK as usize, "arena exceeds u32 slot range");
+        assert!(
+            arena_has_capacity(self.ids.len(), 1),
+            "arena exceeds u32 slot range ({} slots, NO_LINK reserved)",
+            self.ids.len()
+        );
         let idx = NodeIdx(self.ids.len());
         self.ids.push(id);
         self.alive.push(alive);
@@ -221,17 +247,26 @@ impl Chord {
         (p != NO_LINK).then_some(NodeIdx(p as usize))
     }
 
-    /// The meaningful prefix of `slot`'s successor list.
+    /// The meaningful prefix of `slot`'s successor list. The prefix never
+    /// holds [`NO_LINK`]: `write_succs` and `rebuild_all_state` only count
+    /// real links into `succ_lens`.
     #[inline]
     pub(crate) fn raw_succs(&self, slot: usize) -> &[u32] {
         let r = self.cfg.succ_list_len;
-        &self.succs[slot * r..slot * r + self.succ_lens[slot] as usize]
+        let prefix = &self.succs[slot * r..slot * r + self.succ_lens[slot] as usize];
+        debug_assert!(
+            prefix.iter().all(|&s| s != NO_LINK),
+            "succ_lens counted a NO_LINK entry for slot {slot}"
+        );
+        prefix
     }
 
     /// The full [`FINGER_BITS`] finger stride of `slot` (entries may be
-    /// [`NO_LINK`] on nodes that never stabilized).
+    /// [`NO_LINK`] on nodes that never stabilized — callers filter).
     #[inline]
     pub(crate) fn raw_fingers(&self, slot: usize) -> &[u32] {
+        // lint:allow(sentinel-guard): returns the raw stride; NO_LINK
+        // entries are part of the contract and every caller filters them
         &self.fingers[slot * FINGER_BITS..(slot + 1) * FINGER_BITS]
     }
 
@@ -244,7 +279,9 @@ impl Chord {
         for e in &mut self.succs[slot * r + n..(slot + 1) * r] {
             *e = NO_LINK;
         }
-        self.succ_lens[slot] = n as u8;
+        // lint:allow(panic-hygiene): n ≤ succ_list_len ≤ u8::MAX is
+        // asserted in `Chord::new`, so this narrowing cannot fail.
+        self.succ_lens[slot] = u8::try_from(n).expect("succ_list_len capped at u8::MAX");
     }
 
     /// Overwrite `slot`'s successor list from `NodeIdx` values (tests that
@@ -304,6 +341,9 @@ impl Chord {
         let ids: Vec<u64> = self.sorted.iter().map(|&i| self.ids[i.0]).collect();
         let r = self.cfg.succ_list_len;
         let k_max = r.min(n.saturating_sub(1)).max(1);
+        // lint:allow(panic-hygiene): k_max ≤ succ_list_len ≤ u8::MAX is
+        // asserted in `Chord::new`, so this narrowing cannot fail.
+        let k_len = u8::try_from(k_max).expect("succ_list_len capped at u8::MAX");
         for pos in 0..n {
             let slot = live[pos] as usize;
             for k in 1..=k_max {
@@ -312,7 +352,7 @@ impl Chord {
             for e in &mut self.succs[slot * r + k_max..(slot + 1) * r] {
                 *e = NO_LINK;
             }
-            self.succ_lens[slot] = k_max as u8;
+            self.succ_lens[slot] = k_len;
             self.preds[slot] = live[(pos + n - 1) % n];
             let id = ids[pos];
             let frow = &mut self.fingers[slot * FINGER_BITS..(slot + 1) * FINGER_BITS];
@@ -675,6 +715,41 @@ mod tests {
             assert!(node.predecessor().is_some());
             assert_eq!(node.fingers().len(), FINGER_BITS);
         }
+    }
+
+    #[test]
+    fn arena_capacity_guards_u32_boundary() {
+        // The arena can fill every representable u32 slot except the
+        // NO_LINK sentinel itself: u32::MAX slots total (indices
+        // 0..=u32::MAX-1), one more is a wrap.
+        let max = u32::MAX as usize;
+        assert!(arena_has_capacity(max - 1, 1));
+        assert!(arena_has_capacity(max, 0));
+        assert!(!arena_has_capacity(max, 1));
+        assert!(!arena_has_capacity(max - 1, 2));
+        assert!(!arena_has_capacity(usize::MAX, 1), "checked_add overflow must fail closed");
+    }
+
+    #[test]
+    fn succ_list_len_at_u8_boundary_builds() {
+        // 255 is the largest storable list length; with n=8 nodes the
+        // effective length is n-1, but the config cap itself must pass.
+        let c = Chord::build(8, ChordConfig { succ_list_len: 255, seed: 7 });
+        for &idx in c.nodes_by_id() {
+            assert_eq!(c.raw_succs(idx.0).len(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "succ_list_len must be in 1..=255")]
+    fn succ_list_len_past_u8_boundary_is_rejected() {
+        let _ = Chord::new(ChordConfig { succ_list_len: 256, seed: 7 });
+    }
+
+    #[test]
+    #[should_panic(expected = "succ_list_len must be in 1..=255")]
+    fn succ_list_len_zero_is_rejected() {
+        let _ = Chord::new(ChordConfig { succ_list_len: 0, seed: 7 });
     }
 
     #[test]

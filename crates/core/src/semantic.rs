@@ -75,9 +75,6 @@ impl SemanticCodec {
     /// Build a whole prefix query over several described attributes.
     pub fn prefix_query(&self, parts: &[(AttrId, &str)]) -> Query {
         Query::new(parts.iter().map(|&(a, p)| self.prefix_subquery(a, p)).collect())
-            // lint:allow(panic-hygiene): prefix_range yields low <= high by
-            // construction (lex_prefix_end is monotone), so Query::new
-            // cannot reject these sub-queries.
             .expect("prefix ranges are well-formed")
     }
 }

@@ -103,6 +103,9 @@ impl AttributeSpace {
 
     /// Iterator over all attribute ids.
     pub fn ids(&self) -> impl Iterator<Item = AttrId> {
+        // lint:allow(cast-truncation): attribute counts are validated
+        // small at construction (a grid model has dozens of attributes,
+        // nowhere near u32::MAX); AttrId's raw form is u32.
         (0..self.names.len() as u32).map(AttrId)
     }
 

@@ -136,10 +136,7 @@ impl BedCache {
         }
         let mut rng = SmallRng::seed_from_u64(wl_seed);
         let built = Arc::new(
-            Workload::generate(cfg.workload_config(), &mut rng)
-                // lint:allow(panic-hygiene): SimConfig always yields a valid
-                // WorkloadConfig (nonzero counts, ordered domain).
-                .expect("valid workload config"),
+            Workload::generate(cfg.workload_config(), &mut rng).expect("valid workload config"),
         );
         match self.workloads.lock() {
             Ok(mut m) => m.entry(key).or_insert(built).clone(),

@@ -77,16 +77,12 @@ impl fmt::Display for Ablation {
 /// Ablation 1: LPH vs hashed placement — range-probe counts and balance.
 pub fn ablate_placement(cfg: &SimConfig, queries: usize) -> Ablation {
     let seeds = SeedSpawner::new(cfg.seed ^ 0xAB1);
-    let workload = Workload::generate(cfg.workload_config(), &mut seeds.labelled(1))
-        // lint:allow(panic-hygiene): SimConfig always yields a valid
-        // WorkloadConfig (nonzero counts, ordered domain).
-        .expect("valid config");
+    let workload =
+        Workload::generate(cfg.workload_config(), &mut seeds.labelled(1)).expect("valid config");
     let mut rows = Vec::new();
     for (label, placement) in
         [("LPH (paper)", Placement::Lph), ("hashed (ablation)", Placement::Hashed)]
     {
-        // lint:allow(bed-rebuild): each iteration mounts a different
-        // placement policy, so the builds genuinely differ
         let mut sys = Lorm::new(
             cfg.nodes,
             &workload.space,
@@ -147,12 +143,7 @@ pub fn ablate_value_skew(cfg: &SimConfig) -> Ablation {
     for (label, dist) in dists {
         let wl_cfg = WorkloadConfig { value_dist: dist, ..cfg.workload_config() };
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xAB2);
-        let workload = Workload::generate(wl_cfg, &mut rng)
-            // lint:allow(panic-hygiene): SimConfig always yields a valid
-            // WorkloadConfig (nonzero counts, ordered domain).
-            .expect("valid config");
-        // lint:allow(bed-rebuild): each iteration mounts a workload drawn
-        // from a different value distribution
+        let workload = Workload::generate(wl_cfg, &mut rng).expect("valid config");
         let mut sys = Lorm::new(
             cfg.nodes,
             &workload.space,
@@ -177,8 +168,6 @@ pub fn ablate_value_skew(cfg: &SimConfig) -> Ablation {
 pub fn ablate_succ_list(n: usize, fail_fraction: f64, lookups: usize, seed: u64) -> Ablation {
     let mut rows = Vec::new();
     for r in [1usize, 2, 4, 8] {
-        // lint:allow(bed-rebuild): the sweep varies the successor-list
-        // length under ablation; every build differs
         let mut net = Chord::build(n, ChordConfig { succ_list_len: r, seed });
         let mut rng = SmallRng::seed_from_u64(seed ^ r as u64);
         let kill = ((n as f64) * fail_fraction) as usize;
@@ -191,11 +180,7 @@ pub fn ablate_succ_list(n: usize, fail_fraction: f64, lookups: usize, seed: u64)
         let mut completed = 0usize;
         let mut hops = Summary::new();
         for _ in 0..lookups {
-            let from = net
-                .random_node(&mut rng)
-                // lint:allow(panic-hygiene): the network was just built
-                // with n >= 1 live nodes.
-                .expect("live node");
+            let from = net.random_node(&mut rng).expect("live node");
             let key: u64 = rng.gen();
             if let Ok(route) = net.route_stats(from, key) {
                 completed += 1;
@@ -229,17 +214,11 @@ pub fn ablate_dimension(dims: &[u8], lookups: usize, seed: u64) -> Ablation {
     let mut rows = Vec::new();
     for &d in dims {
         let n = d as usize * (1usize << d);
-        // lint:allow(bed-rebuild): the sweep varies the Cycloid dimension
-        // (and with it n); every build differs
         let net = Cycloid::build(n, CycloidConfig { dimension: d, seed });
         let mut rng = SmallRng::seed_from_u64(seed ^ d as u64);
         let mut hops = Summary::new();
         for _ in 0..lookups {
-            let from = net
-                .random_node(&mut rng)
-                // lint:allow(panic-hygiene): the network was just built
-                // with n >= 1 live nodes.
-                .expect("live");
+            let from = net.random_node(&mut rng).expect("live");
             let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
             if let Ok(route) = net.route_stats(from, key) {
                 hops.record(route.hops as f64);
@@ -268,10 +247,8 @@ pub fn ablate_dimension(dims: &[u8], lookups: usize, seed: u64) -> Ablation {
 /// serialized latency.
 pub fn ablate_query_plan(cfg: &SimConfig, queries: usize, arity: usize) -> Ablation {
     let seeds = SeedSpawner::new(cfg.seed ^ 0xAB6);
-    let workload = Workload::generate(cfg.workload_config(), &mut seeds.labelled(1))
-        // lint:allow(panic-hygiene): SimConfig always yields a valid
-        // WorkloadConfig (nonzero counts, ordered domain).
-        .expect("valid config");
+    let workload =
+        Workload::generate(cfg.workload_config(), &mut seeds.labelled(1)).expect("valid config");
     let mut sys = Lorm::new(
         cfg.nodes,
         &workload.space,
@@ -317,10 +294,8 @@ pub fn ablate_query_plan(cfg: &SimConfig, queries: usize, arity: usize) -> Ablat
 /// the real cluster gives a hard `d` cap.
 pub fn ablate_flat_lorm(cfg: &SimConfig, queries: usize) -> Ablation {
     let seeds = SeedSpawner::new(cfg.seed ^ 0xAB7);
-    let workload = Workload::generate(cfg.workload_config(), &mut seeds.labelled(1))
-        // lint:allow(panic-hygiene): SimConfig always yields a valid
-        // WorkloadConfig (nonzero counts, ordered domain).
-        .expect("valid config");
+    let workload =
+        Workload::generate(cfg.workload_config(), &mut seeds.labelled(1)).expect("valid config");
     let mut lorm = Lorm::new(
         cfg.nodes,
         &workload.space,
@@ -353,8 +328,6 @@ pub fn ablate_flat_lorm(cfg: &SimConfig, queries: usize) -> Ablation {
                 attr,
                 target: ValueTarget::Range { low: dmin, high: dmax },
             }])
-            // lint:allow(panic-hygiene): the full-domain range has
-            // low <= high by AttributeSpace construction.
             .expect("valid range");
             if let Ok(out) = sys.query_from(0, &q) {
                 worst = worst.max(out.tally.visited);
@@ -396,14 +369,9 @@ pub fn ablate_attr_popularity(cfg: &SimConfig, queries: usize) -> Ablation {
     ] {
         let wl_cfg = WorkloadConfig { attr_popularity: pop, ..cfg.workload_config() };
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xAB5);
-        let workload = Workload::generate(wl_cfg, &mut rng)
-            // lint:allow(panic-hygiene): SimConfig always yields a valid
-            // WorkloadConfig (nonzero counts, ordered domain).
-            .expect("valid config");
+        let workload = Workload::generate(wl_cfg, &mut rng).expect("valid config");
         let mut maxima = Vec::with_capacity(System::ALL.len());
         for s in System::ALL {
-            // lint:allow(bed-rebuild): one build per distinct system over a
-            // shared workload, not per sweep point
             let sys = crate::setup::build_system(s, &workload, cfg);
             let mut counts: Vec<usize> = vec![0; cfg.nodes];
             for _ in 0..queries {

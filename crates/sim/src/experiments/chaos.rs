@@ -176,7 +176,6 @@ impl Chaos {
                         .cells
                         .iter()
                         .find(|c| c.loss == loss && c.fail_frac == fail_frac)
-                        // lint:allow(panic-hygiene): every (fail, loss) pair was swept above; a missing cell is a harness bug
                         .expect("swept cell");
                     srow.push(format!("{:.3}", cell.success_rate()));
                     irow.push(format!("{:.3}", cell.hop_inflation(&sys.baseline)));

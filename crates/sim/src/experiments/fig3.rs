@@ -52,8 +52,6 @@ pub fn fig3a(dimensions: &[u8], attrs: usize, seed: u64) -> Fig3a {
         let n = d as usize * (1usize << d);
         // Mercury: sum of per-hub average outlinks over m independent hubs.
         let hub_avg = |hub: usize| {
-            // lint:allow(bed-rebuild): one hub network per (dimension, hub)
-            // pair; the sweep varies both
             let net = Chord::build(
                 n,
                 ChordConfig {
@@ -71,19 +69,10 @@ pub fn fig3a(dimensions: &[u8], attrs: usize, seed: u64) -> Fig3a {
                     scope.spawn(move |_| (w..attrs).step_by(workers).map(hub_avg).sum::<f64>())
                 })
                 .collect();
-            handles
-                .into_iter()
-                // lint:allow(panic-hygiene): join fails only if the worker
-                // panicked; re-raising that panic is the intended behaviour.
-                .map(|h| h.join().expect("hub worker"))
-                .sum()
+            handles.into_iter().map(|h| h.join().expect("hub worker")).sum()
         })
-        // lint:allow(panic-hygiene): crossbeam scope errs only when a
-        // child panicked; re-raising that panic is the intended behaviour.
         .expect("crossbeam scope");
         // LORM: one Cycloid of the same size.
-        // lint:allow(bed-rebuild): the outlink sweep varies the Cycloid
-        // dimension; every build differs
         let cy = Cycloid::build(n, CycloidConfig { dimension: d, seed });
         let lorm_total: usize = cy.live_nodes().iter().map(|&i| cy.outlinks(i).unwrap_or(0)).sum();
         let lorm = lorm_total as f64 / n as f64;
@@ -163,8 +152,6 @@ pub fn fig3_directories(bed: &TestBed) -> Fig3Directories {
             DirRow { label: s.name().into(), avg: loads.mean(), p1: loads.p1(), p99: loads.p99() }
         })
         .collect();
-    // lint:allow(panic-hygiene): `measured` has one row per System::ALL
-    // entry, built in the loop above.
     let get = |s: System| measured.iter().find(|r| r.label == s.name()).expect("measured");
 
     let maan = get(System::Maan);
@@ -253,13 +240,9 @@ pub fn fig3_directory_sweep(dimensions: &[u8], cfg: &SimConfig) -> Vec<SweepRow>
             size_cfg.workload_config(),
             &mut seeds.labelled(0xA0),
         )
-        // lint:allow(panic-hygiene): SimConfig always yields a valid
-        // WorkloadConfig (nonzero counts, ordered domain).
         .expect("valid workload config");
         let mut dists = Vec::with_capacity(System::ALL.len());
         for s in System::ALL {
-            // lint:allow(bed-rebuild): one build per distinct system at
-            // this network size, not per sweep point
             let sys = crate::setup::build_system(s, &workload, &size_cfg);
             let loads = sys.directory_loads();
             dists.push(DirRow {

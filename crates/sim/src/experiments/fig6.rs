@@ -152,8 +152,6 @@ pub fn run_churn_one(
             if e.time > now {
                 break;
             }
-            // lint:allow(panic-hygiene): peek() just returned Some, so the
-            // iterator is non-empty.
             let e = event_iter.next().expect("peeked");
             match e.kind {
                 ChurnKind::Join => {
@@ -287,17 +285,11 @@ pub fn fig6_cached(cfg: &SimConfig, setup: &ChurnSetup, metric: Metric, cache: &
                 })
                 .collect();
             for h in handles {
-                // lint:allow(panic-hygiene): join fails only if the worker
-                // panicked; re-raising that panic is the intended behaviour.
                 cells.push(h.join().expect("churn worker"));
             }
         })
-        // lint:allow(panic-hygiene): crossbeam scope errs only when a
-        // child panicked; re-raising that panic is the intended behaviour.
         .expect("crossbeam scope");
         let cell_of =
-            // lint:allow(panic-hygiene): `cells` holds one entry per
-            // System::ALL element, pushed by the workers above.
             |s: System| cells.iter().find(|(x, _)| *x == s).map(|(_, c)| c.clone()).expect("cell");
         let analysis = System::ALL.map(|s| match metric {
             Metric::Hops => th::nonrange_hops(&p, setup.arity, s),

@@ -54,15 +54,10 @@ pub struct Registration {
 /// path, per system.
 pub fn registration_cost(cfg: &SimConfig) -> Registration {
     let mut wl_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x4E6);
-    let workload = Workload::generate(cfg.workload_config(), &mut wl_rng)
-        // lint:allow(panic-hygiene): SimConfig always yields a valid
-        // WorkloadConfig (nonzero counts, ordered domain).
-        .expect("valid config");
+    let workload = Workload::generate(cfg.workload_config(), &mut wl_rng).expect("valid config");
     let mut rows = Vec::new();
     let mut summaries = Vec::new();
     for s in System::ALL {
-        // lint:allow(bed-rebuild): one build per distinct system; the
-        // measured round then re-places from scratch
         let mut sys = build_system(s, &workload, cfg);
         // build_system pre-places; start the measured round from scratch
         sys.place_all(&[]);

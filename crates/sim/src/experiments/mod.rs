@@ -268,13 +268,9 @@ pub fn run_batch_all(
             })
             .collect();
         for h in handles {
-            // lint:allow(panic-hygiene): join fails only if the worker
-            // panicked; re-raising that panic is the intended behaviour.
             out.push(h.join().expect("batch worker panicked"));
         }
     })
-    // lint:allow(panic-hygiene): crossbeam scope errs only when a
-    // child panicked; re-raising that panic is the intended behaviour.
     .expect("crossbeam scope");
     out
 }
@@ -289,8 +285,6 @@ pub enum Metric {
 }
 
 pub(crate) fn summary_of<'a>(rows: &'a [(&'static str, Summary)], s: System) -> &'a Summary {
-    // lint:allow(panic-hygiene): callers measure every system they ask
-    // for; a missing row is a harness bug worth failing fast on.
     rows.iter().find(|(n, _)| *n == s.name()).map(|(_, x)| x).expect("system measured")
 }
 

@@ -61,8 +61,6 @@ pub fn worstcase(bed: &TestBed, arity: usize, queries: usize) -> WorstCase {
                     target: ValueTarget::Range { low: dmin, high: dmax },
                 })
                 .collect();
-            // lint:allow(panic-hygiene): the full-domain range has low <= high
-            // by AttributeSpace construction.
             let q = Query::new(subs).expect("valid range");
             let origin = i % bed.cfg.nodes;
             match sys.query_from(origin, &q) {

@@ -184,8 +184,6 @@ impl TestBed {
         self.systems
             .iter()
             .find(|b| b.name() == s.name())
-            // lint:allow(panic-hygiene): mounting is the caller's setup
-            // contract (documented above); failing fast is intended.
             .unwrap_or_else(|| panic!("{} not mounted", s.name()))
             .as_ref()
     }

@@ -35,7 +35,9 @@ pub struct Tok {
     /// Token class.
     pub kind: TokKind,
     /// Source text (raw identifiers are stored without the `r#` prefix;
-    /// string literals keep only their delimiters' content elided form).
+    /// string literals keep their body with delimiters stripped and
+    /// escape sequences left raw — the schema-drift lint scans JSON
+    /// serializer literals for emitted keys).
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
@@ -137,8 +139,8 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#, b'…'.
         if c == 'r' || c == 'b' {
-            if let Some((j, lines)) = try_string_prefix(&cs, i) {
-                out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+            if let Some((j, lines, (bs, be))) = try_string_prefix(&cs, i) {
+                out.toks.push(Tok { kind: TokKind::Str, text: cs[bs..be].iter().collect(), line });
                 line += lines;
                 i = j;
                 continue;
@@ -168,7 +170,12 @@ pub fn lex(src: &str) -> Lexed {
         // Cooked string.
         if c == '"' {
             let (j, lines) = scan_cooked_string(&cs, i + 1);
-            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+            let body_end = if j > i + 1 && cs[j - 1] == '"' { j - 1 } else { j };
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: cs[i + 1..body_end].iter().collect(),
+                line,
+            });
             line += lines;
             i = j;
             continue;
@@ -241,8 +248,8 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 /// If position `i` starts a (possibly raw, possibly byte) string literal,
-/// scan it and return `(index after it, newlines inside)`.
-fn try_string_prefix(cs: &[char], i: usize) -> Option<(usize, u32)> {
+/// scan it and return `(index after it, newlines inside, body range)`.
+fn try_string_prefix(cs: &[char], i: usize) -> Option<(usize, u32, (usize, usize))> {
     let n = cs.len();
     let mut j = i;
     if j < n && cs[j] == 'b' {
@@ -260,6 +267,7 @@ fn try_string_prefix(cs: &[char], i: usize) -> Option<(usize, u32)> {
             return None;
         }
         j += 1;
+        let body_start = j;
         let mut lines = 0u32;
         while j < n {
             if cs[j] == '\n' {
@@ -270,18 +278,19 @@ fn try_string_prefix(cs: &[char], i: usize) -> Option<(usize, u32)> {
             if cs[j] == '"'
                 && cs[j + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes
             {
-                return Some((j + 1 + hashes, lines));
+                return Some((j + 1 + hashes, lines, (body_start, j)));
             }
             j += 1;
         }
-        return Some((n, lines));
+        return Some((n, lines, (body_start, n)));
     }
     if j >= n || cs[j] != '"' || j == i {
         // plain `"` is handled by the caller; require a b/r prefix here
         return None;
     }
     let (end, lines) = scan_cooked_string(cs, j + 1);
-    Some((end, lines))
+    let body_end = if end > j + 1 && cs[end - 1] == '"' { end - 1 } else { end };
+    Some((end, lines, (j + 1, body_end)))
 }
 
 /// Scan a cooked string body starting just after the opening quote.
@@ -509,6 +518,15 @@ mod tests {
         assert_eq!(regions.len(), 1);
         let p = l.toks.iter().position(|t| t.is_ident("panic")).unwrap();
         assert!(in_regions(p, &regions));
+    }
+
+    #[test]
+    fn string_literals_keep_their_bodies() {
+        let src = r####"let a = "{\"schema\":\"x\"}"; let b = r#"raw "body""#;"####;
+        let l = lex(src);
+        let strs: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs, [r#"{\"schema\":\"x\"}"#, r#"raw "body""#]);
     }
 
     #[test]

@@ -1,7 +1,20 @@
 //! The lint registry: each named lint enforces one clause of the
 //! simulator's reproducibility contract (see `docs/LINTS.md`).
+//!
+//! Lints run in two modes. [`lint_file`] is the standalone lexical mode
+//! (fixtures, unit tests): every applicable lint fires on its pattern
+//! wherever it appears. The workspace driver in `lib.rs` instead runs
+//! [`raw_lints`] per file, filters the reachability-scoped lints through
+//! the call graph (a finding stands only when its enclosing function is
+//! reachable from a sim entry point — see [`crate::graph::ENTRY_POINTS`]),
+//! adds the graph-level [`schema_drift`] pass, and then resolves
+//! suppressions with [`resolve_suppressions`].
 
-use crate::lexer::{in_regions, lex, test_regions, Comment, Tok, TokKind};
+use std::collections::BTreeMap;
+
+use crate::graph::CallGraph;
+use crate::items::ItemTree;
+use crate::lexer::{in_regions, lex, test_regions, Comment, Lexed, Tok, TokKind};
 
 /// Directory names (under `crates/`) of the simulation-path crates: code
 /// whose behaviour flows into exported figures, so iteration order,
@@ -63,6 +76,22 @@ pub const LINTS: &[(&str, &str)] = &[
         "overlay/system construction inside a loop in simulation-path library code outside the \
          blessed construction modules — build once via the BedCache and clone/share snapshots",
     ),
+    (
+        "cast-truncation",
+        "lossy `as u8/u16/u32/...` cast on an index/count-named value in library code — at \
+         n = 10^6-scale a silent wrap corrupts results; use `try_from` + documented invariant \
+         or widen the type",
+    ),
+    (
+        "sentinel-guard",
+        "indexing the `fingers`/`succs`/`preds` arenas in a function that never mentions \
+         `NO_LINK` — stride-table slots hold the sentinel and must be checked before use",
+    ),
+    (
+        "schema-drift",
+        "string-literal JSON keys emitted by a serializer (and its callees) must exactly match \
+         the `docs/SCHEMAS.md` catalogue, both directions",
+    ),
     ("unused-suppression", "a lint:allow comment that suppressed nothing"),
     ("bad-suppression", "a malformed lint:allow comment (unknown lint or missing reason)"),
 ];
@@ -75,6 +104,24 @@ const SUPPRESSIBLE: &[&str] = &[
     "float-accumulate",
     "route-path-alloc",
     "bed-rebuild",
+    "cast-truncation",
+    "sentinel-guard",
+    "schema-drift",
+];
+
+/// Lints whose workspace-mode findings are scoped by reachability: a
+/// finding stands only when its enclosing function is reachable from a
+/// sim entry point. `float-accumulate` stays purely lexical (merge-order
+/// bugs matter wherever the accumulator is later consumed), and the
+/// suppression meta-lints are structural.
+pub const REACH_SCOPED: &[&str] = &[
+    "hash-collections",
+    "wall-clock",
+    "panic-hygiene",
+    "route-path-alloc",
+    "bed-rebuild",
+    "cast-truncation",
+    "sentinel-guard",
 ];
 
 /// How a file participates in its crate.
@@ -133,6 +180,10 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Workspace mode only: the call path `entry → … → enclosing fn`
+    /// proving the site reachable from a sim entry point. `None` for
+    /// lexical-mode findings and lints outside [`REACH_SCOPED`].
+    pub trace: Option<Vec<String>>,
 }
 
 /// The outcome of linting one file.
@@ -154,9 +205,18 @@ struct Suppression {
     used: bool,
 }
 
-/// Lint one file's source text.
+/// Lint one file's source text (standalone lexical mode: no
+/// reachability filtering, no schema-drift).
 pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
     let lexed = lex(src);
+    let items = crate::items::parse_items(&lexed.toks);
+    let raw = raw_lints(ctx, &lexed, &items);
+    resolve_suppressions(ctx, &lexed, raw)
+}
+
+/// Run every per-file lint and return the raw (pre-suppression,
+/// pre-reachability) findings.
+pub fn raw_lints(ctx: &FileCtx, lexed: &Lexed, items: &ItemTree) -> Vec<Diagnostic> {
     let regions = test_regions(&lexed.toks);
     let lib_code = |i: usize| ctx.class == FileClass::Lib && !in_regions(i, &regions);
 
@@ -175,7 +235,14 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
         }
     }
     panic_hygiene(ctx, &lexed.toks, &lib_code, &mut raw);
+    cast_truncation(ctx, &lexed.toks, &lib_code, &mut raw);
+    sentinel_guard(ctx, &lexed.toks, items, &lib_code, &mut raw);
+    raw
+}
 
+/// Match raw findings against the file's `lint:allow` directives,
+/// emit the suppression meta-lints, and sort.
+pub fn resolve_suppressions(ctx: &FileCtx, lexed: &Lexed, raw: Vec<Diagnostic>) -> FileReport {
     let mut sups = parse_suppressions(&lexed.comments, &lexed.toks);
     let mut report = FileReport::default();
     for d in raw {
@@ -204,6 +271,7 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
                     s.name,
                     SUPPRESSIBLE.join(", ")
                 ),
+                trace: None,
             });
         } else if !s.has_reason {
             report.diagnostics.push(Diagnostic {
@@ -214,6 +282,7 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
                     "lint:allow({}) without a reason — write `// lint:allow({}): <why>`",
                     s.name, s.name
                 ),
+                trace: None,
             });
         } else if !s.used {
             report.diagnostics.push(Diagnostic {
@@ -224,6 +293,7 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
                     "lint:allow({}) suppressed nothing on line {} — remove it",
                     s.name, s.target_line
                 ),
+                trace: None,
             });
         }
     }
@@ -232,7 +302,13 @@ pub fn lint_file(ctx: &FileCtx, src: &str) -> FileReport {
 }
 
 fn push(out: &mut Vec<Diagnostic>, ctx: &FileCtx, lint: &str, line: u32, message: String) {
-    out.push(Diagnostic { lint: lint.into(), file: ctx.rel_path.clone(), line, message });
+    out.push(Diagnostic {
+        lint: lint.into(),
+        file: ctx.rel_path.clone(),
+        line,
+        message,
+        trace: None,
+    });
 }
 
 /// Lint 1 — nondeterminism: `HashMap` / `HashSet` anywhere in
@@ -567,6 +643,393 @@ fn bed_rebuild(
     }
 }
 
+/// Target types a truncating `as` cast can silently wrap into at the
+/// million-node scale the repro sweeps.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Does `name` read like a count/index/size binding? Exact names, then
+/// suffix and prefix conventions used across the workspace.
+fn county_name(name: &str) -> bool {
+    const EXACT: &[&str] = &[
+        "n", "m", "k", "d", "r", "count", "len", "idx", "index", "size", "total", "arity", "slot",
+        "slots", "hubs", "nodes",
+    ];
+    const SUFFIX: &[&str] = &[
+        "_count", "_len", "_idx", "_index", "_size", "_total", "_max", "_nodes", "_slots", "_hubs",
+    ];
+    const PREFIX: &[&str] = &["num_", "max_", "count_"];
+    let lower = name.to_ascii_lowercase();
+    EXACT.contains(&lower.as_str())
+        || SUFFIX.iter().any(|s| lower.ends_with(s))
+        || PREFIX.iter().any(|p| lower.starts_with(p))
+}
+
+/// Lint 7 — lossy narrowing: `<count-ish> as u8/u16/u32/...` in library
+/// code, where the operand is a count/index-named identifier or a
+/// `.len()` / `.count()` call. Numeric-literal operands (`idx.0 as u32`
+/// field accesses end in a `Num` token) are exempt: the compiler already
+/// sees those, and tuple-index projections are how `NodeIdx` unwraps.
+fn cast_truncation(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    lib_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 1..toks.len() {
+        if !toks[i].is_ident("as") || !lib_code(i) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else { continue };
+        if target.kind != TokKind::Ident || !NARROW_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let what = match prev.kind {
+            TokKind::Ident if county_name(&prev.text) => Some(format!("`{}`", prev.text)),
+            TokKind::Punct if prev.text == ")" => {
+                // `<expr>.len() as u32` / `<expr>.count() as u32`
+                if i >= 4
+                    && toks[i - 2].is_punct('(')
+                    && toks[i - 3].kind == TokKind::Ident
+                    && (toks[i - 3].text == "len" || toks[i - 3].text == "count")
+                    && toks[i - 4].is_punct('.')
+                {
+                    Some(format!("`.{}()`", toks[i - 3].text))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            push(
+                out,
+                ctx,
+                "cast-truncation",
+                toks[i].line,
+                format!(
+                    "{what} as `{}` can silently truncate at large n: use `{}::try_from` with a \
+                     documented invariant, or widen the type",
+                    target.text, target.text
+                ),
+            );
+        }
+    }
+}
+
+/// The SoA arena fields whose slots hold the `NO_LINK` sentinel.
+const SENTINEL_ARENAS: &[&str] = &["fingers", "succs", "preds"];
+
+/// Lint 8 — sentinel hygiene: indexing a sentinel-bearing arena
+/// (`fingers[..]`, `succs[..]`, `preds[..]`) inside a function that never
+/// mentions `NO_LINK`. Reading a raw slot without a sentinel check turns
+/// `u32::MAX` into a phantom node id. Pure stores (`arena[i] = v`) are
+/// exempt — writing a slot needs no guard.
+fn sentinel_guard(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    items: &ItemTree,
+    lib_code: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !SENTINEL_ARENAS.contains(&t.text.as_str())
+            || i + 1 >= toks.len()
+            || !toks[i + 1].is_punct('[')
+            || !lib_code(i)
+        {
+            continue;
+        }
+        // Find the matching `]`; a lone `=` right after makes this a
+        // pure store.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let is_store = j + 1 < toks.len()
+            && toks[j + 1].is_punct('=')
+            && !(j + 2 < toks.len() && toks[j + 2].is_punct('='));
+        if is_store {
+            continue;
+        }
+        // The enclosing fn (innermost body span containing this token)
+        // must mention NO_LINK somewhere between its signature and its
+        // closing brace.
+        let encl = items
+            .fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| s <= i && i < e))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(s, e)| e - s));
+        let guarded = encl.is_some_and(|f| {
+            let (_, end) = f.body.unwrap();
+            toks[f.sig_start..end.min(toks.len())].iter().any(|t| t.is_ident("NO_LINK"))
+        });
+        if !guarded {
+            push(
+                out,
+                ctx,
+                "sentinel-guard",
+                t.line,
+                format!(
+                    "`{}[..]` read in a function that never checks `NO_LINK`: arena slots hold \
+                     the sentinel — guard the read, or annotate why every slot here is live",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// A parsed `docs/SCHEMAS.md`: schema name → (keys with doc line, the
+/// section heading's line).
+pub struct SchemasDoc {
+    schemas: BTreeMap<String, (Vec<(String, u32)>, u32)>,
+}
+
+impl SchemasDoc {
+    /// Parse the catalogue: sections open with `## lorm-repro/<name>`,
+    /// keys are listed as `- \`key\`` bullets; prose is ignored.
+    pub fn parse(text: &str) -> SchemasDoc {
+        let mut schemas: BTreeMap<String, (Vec<(String, u32)>, u32)> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let lineno = lineno as u32 + 1;
+            let trimmed = line.trim();
+            if let Some(head) = trimmed.strip_prefix("## ") {
+                let head = head.trim();
+                if let Some(name) = head.strip_prefix("lorm-repro/") {
+                    current = Some(name.to_string());
+                    schemas.entry(name.to_string()).or_insert((Vec::new(), lineno));
+                } else {
+                    current = None;
+                }
+                continue;
+            }
+            let Some(section) = &current else { continue };
+            if let Some(rest) = trimmed.strip_prefix("- `") {
+                if let Some(end) = rest.find('`') {
+                    let key = &rest[..end];
+                    if !key.is_empty() {
+                        schemas.get_mut(section).unwrap().0.push((key.to_string(), lineno));
+                    }
+                }
+            }
+        }
+        SchemasDoc { schemas }
+    }
+}
+
+/// JSON keys appearing in a string-literal body: `"ident":` patterns
+/// (whitespace tolerated before the colon), with escaped quotes
+/// normalized first.
+fn json_keys(lit: &str) -> Vec<String> {
+    let norm = lit.replace("\\\"", "\"");
+    let b: Vec<char> = norm.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != '"' {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        if j > i + 1 && j < b.len() && b[j] == '"' {
+            let mut k = j + 1;
+            while k < b.len() && (b[k] == ' ' || b[k] == '\t') {
+                k += 1;
+            }
+            if k < b.len() && b[k] == ':' {
+                out.push(b[i + 1..j].iter().collect());
+                i = k;
+                continue;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Schema names (`lorm-repro/<name>`) mentioned in a string literal.
+fn schema_names(lit: &str) -> Vec<String> {
+    let marker = "lorm-repro/";
+    let mut out = Vec::new();
+    let mut rest = lit;
+    while let Some(pos) = rest.find(marker) {
+        let tail = &rest[pos + marker.len()..];
+        let end = tail
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '-' || *c == '_'))
+            .map_or(tail.len(), |(i, _)| i);
+        if end > 0 {
+            out.push(tail[..end].to_string());
+        }
+        rest = &tail[end..];
+    }
+    out
+}
+
+/// Lint 9 — schema drift (workspace-level). A *root* is a non-test
+/// library function whose body mentions a `lorm-repro/<name>` schema
+/// string. The keys that root emits are the union of `"key":` patterns
+/// in string literals across the root and every function reachable from
+/// it in the call graph. Both directions are checked against
+/// `docs/SCHEMAS.md`: emitted-but-undocumented keys anchor at the
+/// emitting literal; documented-but-never-emitted keys (and documented
+/// schemas with no emitter) anchor in the doc itself.
+pub fn schema_drift(
+    files: &[(&FileCtx, &Lexed, &ItemTree)],
+    graph: &CallGraph,
+    doc: Option<&str>,
+) -> Vec<Diagnostic> {
+    // Node id → the (file, fn) that owns it, via exact (file, line) match.
+    let mut node_of: BTreeMap<(String, u32), usize> = BTreeMap::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        node_of.insert((node.file.clone(), node.line), id);
+    }
+    // Per-node emitted keys (key, file, line) and per-node schema roots.
+    let mut keys_of: BTreeMap<usize, Vec<(String, String, u32)>> = BTreeMap::new();
+    struct Root {
+        node: usize,
+        schema: String,
+        file: String,
+        line: u32,
+    }
+    let mut roots: Vec<Root> = Vec::new();
+    for (ctx, lexed, items) in files {
+        if ctx.class != FileClass::Lib {
+            continue;
+        }
+        for f in &items.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some(&node) = node_of.get(&(ctx.rel_path.clone(), f.line)) else { continue };
+            let Some((body_start, body_end)) = f.body else { continue };
+            for t in &lexed.toks[body_start..body_end.min(lexed.toks.len())] {
+                if t.kind != TokKind::Str {
+                    continue;
+                }
+                for key in json_keys(&t.text) {
+                    keys_of.entry(node).or_default().push((key, ctx.rel_path.clone(), t.line));
+                }
+                for schema in schema_names(&t.text) {
+                    roots.push(Root { node, schema, file: ctx.rel_path.clone(), line: t.line });
+                }
+            }
+        }
+    }
+
+    // Aggregate per schema: every root's closure keys, first-seen site.
+    struct Emitted {
+        root_file: String,
+        root_line: u32,
+        keys: BTreeMap<String, (String, u32)>,
+    }
+    let mut emitted: BTreeMap<String, Emitted> = BTreeMap::new();
+    for root in &roots {
+        let entry = emitted.entry(root.schema.clone()).or_insert(Emitted {
+            root_file: root.file.clone(),
+            root_line: root.line,
+            keys: BTreeMap::new(),
+        });
+        // BFS over the call graph from the root.
+        let mut seen = vec![false; graph.nodes.len()];
+        let mut queue = vec![root.node];
+        seen[root.node] = true;
+        while let Some(id) = queue.pop() {
+            if let Some(keys) = keys_of.get(&id) {
+                for (key, file, line) in keys {
+                    entry.keys.entry(key.clone()).or_insert((file.clone(), *line));
+                }
+            }
+            for &next in graph.callees(id) {
+                if !seen[next] {
+                    seen[next] = true;
+                    queue.push(next);
+                }
+            }
+        }
+    }
+
+    let doc = doc.map(SchemasDoc::parse);
+    let mut out = Vec::new();
+    const DOC_PATH: &str = "docs/SCHEMAS.md";
+    for (schema, em) in &emitted {
+        let documented = doc.as_ref().and_then(|d| d.schemas.get(schema));
+        let Some((doc_keys, _)) = documented else {
+            out.push(Diagnostic {
+                lint: "schema-drift".into(),
+                file: em.root_file.clone(),
+                line: em.root_line,
+                message: format!(
+                    "schema `{schema}` is emitted here but has no `## ...{schema}` section in \
+                     {DOC_PATH}",
+                ),
+                trace: None,
+            });
+            continue;
+        };
+        for (key, (file, line)) in &em.keys {
+            if !doc_keys.iter().any(|(k, _)| k == key) {
+                out.push(Diagnostic {
+                    lint: "schema-drift".into(),
+                    file: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "key \"{key}\" is emitted for schema `{schema}` but not documented in \
+                         {DOC_PATH}",
+                    ),
+                    trace: None,
+                });
+            }
+        }
+        for (key, doc_line) in doc_keys {
+            if !em.keys.contains_key(key) {
+                out.push(Diagnostic {
+                    lint: "schema-drift".into(),
+                    file: DOC_PATH.into(),
+                    line: *doc_line,
+                    message: format!(
+                        "key \"{key}\" is documented for schema `{schema}` but never emitted by \
+                         its serializer's call closure",
+                    ),
+                    trace: None,
+                });
+            }
+        }
+    }
+    if let Some(doc) = &doc {
+        for (schema, (_, section_line)) in &doc.schemas {
+            if !emitted.contains_key(schema) {
+                out.push(Diagnostic {
+                    lint: "schema-drift".into(),
+                    file: DOC_PATH.into(),
+                    line: *section_line,
+                    message: format!(
+                        "schema `{schema}` is documented but no library serializer emits it",
+                    ),
+                    trace: None,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Names bound to floats in this file: `NAME : f64|f32` (fields, params,
 /// annotated lets) and `let mut NAME = <rhs containing a float literal or
 /// f64/f32 mention before the terminating `;`>`.
@@ -861,5 +1324,137 @@ mod tests {
         };
         let r = lint_file(&ctx, "fn f(x: f64) { let mut total = 0.0; total += x; }");
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn county_cast_to_narrow_is_flagged() {
+        let r = sim_lib("fn f(n: usize) -> u32 { n as u32 }");
+        assert_eq!(names(&r), ["cast-truncation"]);
+        let r = sim_lib("fn f(node_count: usize) -> u16 { node_count as u16 }");
+        assert_eq!(names(&r), ["cast-truncation"]);
+        let r = sim_lib("fn f(v: &[u8]) -> u32 { v.len() as u32 }");
+        assert_eq!(names(&r), ["cast-truncation"]);
+    }
+
+    #[test]
+    fn widening_and_non_county_casts_are_fine() {
+        // Widening target, tuple-index projection (prev token is Num),
+        // and a non-county name: none should fire.
+        let r = sim_lib(
+            "fn f(n: usize, j: usize, idx: NodeIdx) -> u64 {\n    \
+             let a = n as u64;\n    let b = idx.0 as u32;\n    let c = j as u32;\n    a\n}",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn county_cast_is_suppressible() {
+        let r = sim_lib(
+            "fn f(n: usize) -> u32 {\n    // lint:allow(cast-truncation): n <= 2^20 by config validation\n    n as u32\n}",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressions_used, 1);
+    }
+
+    #[test]
+    fn unguarded_arena_read_is_flagged() {
+        let r = sim_lib("fn f(&self, i: usize) -> u32 { self.fingers[i] }");
+        assert_eq!(names(&r), ["sentinel-guard"]);
+    }
+
+    #[test]
+    fn guarded_arena_read_is_fine() {
+        let r = sim_lib(
+            "fn f(&self, i: usize) -> Option<u32> {\n    \
+             let v = self.fingers[i];\n    if v == NO_LINK { None } else { Some(v) }\n}",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn pure_arena_store_is_exempt() {
+        let r = sim_lib("fn f(&mut self, i: usize, v: u32) { self.fingers[i] = v; }");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        // `==` comparison is a read, not a store.
+        let r = sim_lib("fn f(&self, i: usize) -> bool { self.succs[i] == 3 }");
+        assert_eq!(names(&r), ["sentinel-guard"]);
+    }
+
+    #[test]
+    fn json_keys_extracts_escaped_and_raw() {
+        assert_eq!(json_keys(r#"{\"schema\": \"x\", \"n\": 3}"#), ["schema", "n"]);
+        assert_eq!(json_keys(r#"  "elapsed_ms": {},"#), ["elapsed_ms"]);
+        // Values and non-key strings don't count.
+        assert!(json_keys(r#"\"lorm-repro/bench-v1\""#).is_empty());
+    }
+
+    #[test]
+    fn schema_names_finds_all_mentions() {
+        assert_eq!(schema_names(r#"{\"schema\": \"lorm-repro/bench-v1\"}"#), ["bench-v1"]);
+        assert!(schema_names("no schemas here").is_empty());
+    }
+
+    #[test]
+    fn schemas_doc_parses_sections_and_keys() {
+        let doc = "# Schemas\n\n## lorm-repro/bench-v1\n\nprose\n\n- `schema`\n- `rows`\n\n## other\n- `ignored`\n";
+        let parsed = SchemasDoc::parse(doc);
+        assert_eq!(parsed.schemas.len(), 1);
+        let (keys, section_line) = &parsed.schemas["bench-v1"];
+        assert_eq!(*section_line, 3);
+        assert_eq!(keys.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(), ["schema", "rows"]);
+    }
+
+    #[test]
+    fn schema_drift_checks_both_directions() {
+        use crate::graph::CallGraph;
+        use crate::items::parse_items;
+        let src = r#"
+            pub fn render(n: usize) -> String {
+                let mut s = String::from("{\"schema\": \"lorm-repro/test-v1\",");
+                s.push_str(&kv(n));
+                s
+            }
+            fn kv(n: usize) -> String {
+                format!("\"count\": {}, \"extra\": 1", n)
+            }
+        "#;
+        let ctx = FileCtx {
+            crate_dir: "bench".into(),
+            class: FileClass::Lib,
+            rel_path: "crates/bench/src/x.rs".into(),
+        };
+        let lexed = lex(src);
+        let items = parse_items(&lexed.toks);
+        let graph = CallGraph::build(&[(&ctx, &lexed.toks[..], &items)]);
+        let files = [(&ctx, &lexed, &items)];
+
+        // Doc documents `schema`, `count`, and a stale `rows`; the code
+        // emits `extra` undocumented.
+        let doc = "## lorm-repro/test-v1\n- `schema`\n- `count`\n- `rows`\n";
+        let diags = schema_drift(&files, &graph, Some(doc));
+        let labels: Vec<(&str, &str)> =
+            diags.iter().map(|d| (d.file.as_str(), d.lint.as_str())).collect();
+        assert_eq!(
+            labels,
+            [("crates/bench/src/x.rs", "schema-drift"), ("docs/SCHEMAS.md", "schema-drift")],
+            "{diags:?}"
+        );
+        assert!(diags[0].message.contains("\"extra\""), "{}", diags[0].message);
+        assert!(diags[1].message.contains("\"rows\""), "{}", diags[1].message);
+
+        // Matching doc: clean.
+        let doc = "## lorm-repro/test-v1\n- `schema`\n- `count`\n- `extra`\n";
+        assert!(schema_drift(&files, &graph, Some(doc)).is_empty());
+
+        // Missing section: anchored at the emitting literal; documented
+        // orphan section: anchored in the doc.
+        let diags = schema_drift(&files, &graph, Some("## lorm-repro/ghost-v1\n- `schema`\n"));
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .any(|d| d.file == "crates/bench/src/x.rs" && d.message.contains("no `## ")));
+        assert!(diags
+            .iter()
+            .any(|d| d.file == "docs/SCHEMAS.md" && d.message.contains("no library serializer")));
     }
 }

@@ -5,15 +5,17 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{lint_workspace, lints, render_json};
+use xtask::{lint_workspace, lints, render_json, render_json_v2};
 
 const USAGE: &str = "\
 usage: cargo xtask lint [options]
 
 options:
-  --json <path>   also write machine-readable lorm-repro/lint-v1 JSON
-  --root <dir>    workspace root to scan (default: auto-detected)
-  --list          print the lint catalogue and exit
+  --json <path>    also write machine-readable JSON (see --format)
+  --format <v1|v2> JSON schema for --json: lorm-repro/lint-v2 with
+                   reachability traces (default), or the lint-v1 compat format
+  --root <dir>     workspace root to scan (default: auto-detected)
+  --list           print the lint catalogue and exit
 ";
 
 fn workspace_root() -> PathBuf {
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
     }
 
     let mut json_path: Option<PathBuf> = None;
+    let mut format_v1 = false;
     let mut root = workspace_root();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,6 +44,14 @@ fn main() -> ExitCode {
                 Some(p) => json_path = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("v1") => format_v1 = true,
+                Some("v2") => format_v1 = false,
+                other => {
+                    eprintln!("--format requires `v1` or `v2`, got {other:?}");
                     return ExitCode::from(2);
                 }
             },
@@ -74,7 +85,8 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &json_path {
-        if let Err(e) = std::fs::write(path, render_json(&report)) {
+        let payload = if format_v1 { render_json(&report) } else { render_json_v2(&report) };
+        if let Err(e) = std::fs::write(path, payload) {
             eprintln!("xtask lint: failed to write {}: {e}", path.display());
             return ExitCode::from(2);
         }
@@ -82,12 +94,22 @@ fn main() -> ExitCode {
 
     for d in &report.diagnostics {
         println!("{}:{}: [{}] {}", d.file, d.line, d.lint, d.message);
+        if let Some(trace) = &d.trace {
+            println!("    reachable via {}", trace.join(" -> "));
+        }
     }
     println!(
         "xtask lint: {} file(s) scanned, {} finding(s), {} suppression(s) used",
         report.files_scanned,
         report.diagnostics.len(),
         report.suppressions_used
+    );
+    println!(
+        "xtask lint: call graph: {} fn(s), {} edge(s), {} reachable from {} entry point(s)",
+        report.functions_indexed,
+        report.call_edges,
+        report.reachable_functions,
+        report.entry_points.len()
     );
     if report.clean() {
         ExitCode::SUCCESS

@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 
 use xtask::lints::{lint_file, FileClass, FileCtx, FileReport};
-use xtask::{lint_workspace, render_json};
+use xtask::{lint_workspace, render_json, render_json_v2, LintReport};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
@@ -146,6 +146,105 @@ fn fixtures_do_not_fire_outside_sim_crates_or_lib_class() {
     assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
 }
 
+/// Run the full two-layer engine on a fixture mini-workspace.
+fn run_ws(name: &str) -> LintReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    lint_workspace(&root).unwrap_or_else(|e| panic!("scan {}: {e}", root.display()))
+}
+
+#[test]
+fn ws_cast_fixture_flags_only_the_reachable_cast() {
+    let r = run_ws("ws_cast");
+    assert_eq!(r.entry_points, ["sim::run_batch_sharded"]);
+    assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.lint, "cast-truncation");
+    assert_eq!(d.file, "crates/chord/src/lib.rs");
+    assert_eq!(d.line, 6, "expected the reachable cast, got {:?}", d);
+    let trace = d.trace.as_deref().expect("reach-scoped finding carries a trace");
+    assert_eq!(trace.first().map(String::as_str), Some("sim::run_batch_sharded"), "{trace:?}");
+    assert!(trace.last().unwrap().contains("reachable_cast"), "{trace:?}");
+    // The unreachable cast was dropped; the suppressed one used its allow.
+    assert_eq!(r.suppressions_used, 1);
+}
+
+#[test]
+fn ws_sentinel_fixture_flags_only_the_unguarded_read() {
+    let r = run_ws("ws_sentinel");
+    assert_eq!(lint_names_report(&r), ["sentinel-guard"], "{:?}", r.diagnostics);
+    let d = &r.diagnostics[0];
+    assert_eq!(d.file, "crates/chord/src/lib.rs");
+    assert_eq!(d.line, 13, "expected the unguarded read, got {:?}", d);
+    let trace = d.trace.as_deref().expect("trace");
+    assert!(trace.last().unwrap().contains("read_unguarded"), "{trace:?}");
+    assert_eq!(r.suppressions_used, 1);
+}
+
+#[test]
+fn ws_schema_fixture_reports_drift_both_directions() {
+    let r = run_ws("ws_schema");
+    assert_eq!(lint_names_report(&r), ["schema-drift", "schema-drift"], "{:?}", r.diagnostics);
+    // Sorted by file: the source-anchored finding precedes the doc-anchored one.
+    let src = &r.diagnostics[0];
+    assert_eq!(src.file, "crates/bench/src/lib.rs");
+    assert!(src.message.contains("\"extra_key\""), "{}", src.message);
+    assert!(src.message.contains("fix-v1"), "{}", src.message);
+    let doc = &r.diagnostics[1];
+    assert_eq!(doc.file, "docs/SCHEMAS.md");
+    assert!(doc.message.contains("\"stale_key\""), "{}", doc.message);
+    // The undocumented `wip_key` on the second schema used its allow.
+    assert_eq!(r.suppressions_used, 1);
+}
+
+#[test]
+fn ws_schema_clean_fixture_is_quiet() {
+    let r = run_ws("ws_schema_clean");
+    assert!(r.clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressions_used, 0);
+}
+
+#[test]
+fn ws_reach_fixture_drops_unreachable_finding_and_flags_its_suppression() {
+    let r = run_ws("ws_reach");
+    let mut names = lint_names_report(&r);
+    names.sort();
+    assert_eq!(names, ["route-path-alloc", "unused-suppression"], "{:?}", r.diagnostics);
+    let route = r.diagnostics.iter().find(|d| d.lint == "route-path-alloc").unwrap();
+    assert!(route.trace.as_deref().unwrap().last().unwrap().contains("hot"), "{:?}", route);
+    // `cold`'s finding was dropped as unreachable, so its directive is dead.
+    let unused = r.diagnostics.iter().find(|d| d.lint == "unused-suppression").unwrap();
+    assert_eq!(unused.file, "crates/chord/src/lib.rs");
+    assert_eq!(r.suppressions_used, 0);
+}
+
+fn lint_names_report(r: &LintReport) -> Vec<&str> {
+    r.diagnostics.iter().map(|d| d.lint.as_str()).collect()
+}
+
+/// Every library crate root (the facade and each non-vendored member)
+/// must forbid `unsafe` at the crate level.
+#[test]
+fn library_crates_forbid_unsafe_code() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut roots = vec![root.join("src/lib.rs")];
+    for entry in std::fs::read_dir(root.join("crates")).unwrap() {
+        let dir = entry.unwrap().path();
+        if dir.file_name().is_some_and(|n| n == "vendored") {
+            continue;
+        }
+        let lib = dir.join("src/lib.rs");
+        if lib.is_file() {
+            roots.push(lib);
+        }
+    }
+    assert!(roots.len() >= 10, "found too few crate roots: {roots:?}");
+    let missing: Vec<_> = roots
+        .into_iter()
+        .filter(|lib| !std::fs::read_to_string(lib).unwrap().contains("#![forbid(unsafe_code)]"))
+        .collect();
+    assert!(missing.is_empty(), "crate roots missing #![forbid(unsafe_code)]: {missing:?}");
+}
+
 /// The real workspace must stay clean — this is the same gate CI runs.
 #[test]
 fn workspace_is_lint_clean() {
@@ -165,4 +264,15 @@ fn workspace_is_lint_clean() {
     let json = render_json(&report);
     assert!(json.contains("\"schema\": \"lorm-repro/lint-v1\""));
     assert!(json.contains("\"clean\": true"));
+    // lint-v2: all six entry points resolve and the graph is non-trivial.
+    assert_eq!(report.entry_points.len(), 6, "{:?}", report.entry_points);
+    assert!(
+        report.reachable_functions > 0 && report.reachable_functions < report.functions_indexed,
+        "reachable {} of {}",
+        report.reachable_functions,
+        report.functions_indexed
+    );
+    let v2 = render_json_v2(&report);
+    assert!(v2.contains("\"schema\": \"lorm-repro/lint-v2\""));
+    assert!(v2.contains("\"clean\": true"));
 }

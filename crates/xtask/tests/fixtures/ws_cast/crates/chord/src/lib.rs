@@ -1,0 +1,21 @@
+//! cast-truncation cases: one reachable violation, one unreachable
+//! violation (dropped by the reachability filter), one suppressed, and
+//! widening/non-county casts that never fire.
+
+pub fn reachable_cast(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn unreachable_cast(count: usize) -> u32 {
+    count as u32
+}
+
+pub fn suppressed_cast(n: usize) -> u32 {
+    // lint:allow(cast-truncation): n <= 2^20 by config validation
+    n as u32
+}
+
+pub fn widened(n: usize) -> u64 {
+    let j = n;
+    (n as u64) + (j as u64)
+}

@@ -1,0 +1,21 @@
+//! Reachability-retirement cases: `hot` is reachable from the sim
+//! entry so its traced-route finding fires (with a call-path trace);
+//! `cold` is unreachable, its finding is dropped, and the suppression
+//! it still carries must report as unused.
+
+pub struct Overlay;
+
+impl Overlay {
+    pub fn route(&self, _k: u32) -> Vec<u32> {
+        Vec::new()
+    }
+}
+
+pub fn hot(o: &Overlay) -> usize {
+    o.route(7).len()
+}
+
+pub fn cold(o: &Overlay) -> usize {
+    // lint:allow(route-path-alloc): retired — cold is unreachable
+    o.route(9).len()
+}

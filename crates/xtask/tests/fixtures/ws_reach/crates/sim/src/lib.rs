@@ -1,0 +1,5 @@
+//! Entry crate for the reachability-retirement fixture workspace.
+
+pub fn run_batch_sharded(o: &Overlay) -> usize {
+    hot(o)
+}

@@ -1,0 +1,23 @@
+//! schema-drift cases: an undocumented emitted key (reached through a
+//! helper in the call closure), a stale documented key, and a
+//! suppressed undocumented key on a second schema.
+
+pub fn render_fix() -> String {
+    let mut s = String::new();
+    s.push_str("{\"schema\": \"lorm-repro/fix-v1\", ");
+    s.push_str("\"count\": 1, ");
+    push_extra(&mut s);
+    s.push('}');
+    s
+}
+
+fn push_extra(out: &mut String) {
+    out.push_str("\"extra_key\": 2");
+}
+
+pub fn render_sup() -> String {
+    let mut s = String::from("{\"schema\": \"lorm-repro/sup-v1\", ");
+    // lint:allow(schema-drift): experimental key, intentionally undocumented
+    s.push_str("\"wip_key\": 3}");
+    s
+}

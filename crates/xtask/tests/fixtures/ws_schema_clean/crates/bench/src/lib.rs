@@ -1,0 +1,8 @@
+//! schema-drift clean case: the emitted keys and the catalogue match
+//! exactly, both directions.
+
+pub fn render_fix() -> String {
+    let mut s = String::from("{\"schema\": \"lorm-repro/fix-v1\", ");
+    s.push_str("\"count\": 1}");
+    s
+}
