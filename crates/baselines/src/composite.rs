@@ -23,7 +23,10 @@
 //!   `m·log n`).
 
 use crate::host::ChordHost;
-use dht_core::{ConsistentHash, DhtError, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay};
+use dht_core::{
+    route_stats_cached, ConsistentHash, DhtError, LoadDist, LocalityHash, LookupTally, NodeIdx,
+    Overlay, RouteCache,
+};
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, Query, QueryOutcome, ResourceDiscovery,
     ResourceInfo, ValueTarget,
@@ -162,6 +165,50 @@ impl ResourceDiscovery for CompositeFlat {
         Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
     }
 
+    fn query_from_cached(
+        &self,
+        phys: usize,
+        q: &Query,
+        cache: &mut RouteCache,
+    ) -> Result<QueryOutcome, DhtError> {
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut per_sub = Vec::with_capacity(q.subs.len());
+        let mut probed_all: Vec<NodeIdx> = Vec::new();
+        let mut walk: Vec<NodeIdx> = Vec::new();
+        for sub in &q.subs {
+            let (lo, hi) = match sub.target {
+                ValueTarget::Point(v) => (v, None),
+                ValueTarget::Range { low, high } => (low, Some(high)),
+            };
+            let lo_key = self.key_of(sub.attr, lo);
+            let route = route_stats_cached(self.host.net(), from, lo_key, 0, cache)?;
+            tally.lookups += 1;
+            tally.hops += route.hops;
+            walk.clear();
+            match hi {
+                None => walk.push(route.terminal),
+                Some(h) => self.host.walk_range_cached_into(
+                    route.terminal,
+                    lo_key,
+                    self.key_of(sub.attr, h),
+                    0,
+                    cache,
+                    &mut walk,
+                ),
+            }
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                self.host.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
+            tally.matches += owners.len();
+            per_sub.push(owners);
+        }
+        Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
     fn directory_loads(&self) -> LoadDist {
         LoadDist::from_counts(&self.host.loads())
     }
@@ -266,6 +313,24 @@ mod tests {
                 assert_eq!(got, expected, "{mix:?}");
             }
         }
+    }
+
+    #[test]
+    fn cached_query_is_identical_to_plain() {
+        let (w, c) = setup();
+        let mut cache = RouteCache::new();
+        let mut rng = SmallRng::seed_from_u64(0xCA);
+        for mix in [QueryMix::NonRange, QueryMix::Range] {
+            let queries: Vec<_> = (0..50).map(|_| w.random_query(3, mix, &mut rng)).collect();
+            for pass in 0..2 {
+                for (i, q) in queries.iter().enumerate() {
+                    let plain = c.query_from(i % 512, q).unwrap();
+                    let cached = c.query_from_cached(i % 512, q, &mut cache).unwrap();
+                    assert_eq!(cached, plain, "{mix:?} query {i} pass {pass}");
+                }
+            }
+        }
+        assert!(cache.hits() > 0, "replayed segment lookups must hit");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use chord::{Chord, ChordConfig};
 use dht_core::{
-    probe_step, BuildMode, DhtError, FaultAccount, FaultPlan, NodeIdx, Overlay, RouteStats,
+    probe_step, BuildMode, DhtError, FaultAccount, FaultPlan, NodeIdx, Overlay, RouteCache,
+    RouteStats, WalkStep,
 };
 use grid_resource::{AttrId, Directory, ResourceInfo, ValueTarget};
 
@@ -187,6 +188,82 @@ impl ChordHost {
         }
     }
 
+    /// The cached twin of [`Self::walk_range_into`] — identical emission
+    /// by construction. A fresh-epoch segment cached for at least this
+    /// span replays through the walk's own stop rule (`dist < span`);
+    /// otherwise the walk runs for real and its emission is recorded.
+    ///
+    /// A walk that stopped for a span-*independent* reason (broken
+    /// pointers, full circle, probe budget) emitted everything reachable
+    /// from `start`, so it is cached with an unbounded span and replays
+    /// exactly for wider queries too; only a walk stopped by the arc rule
+    /// is bounded to the span it was run for.
+    ///
+    /// `salt` namespaces overlays sharing one cache (Mercury passes the
+    /// hub index; single-ring systems pass 0).
+    #[allow(clippy::too_many_arguments)] // mirrors the plain walk plus the cache pair
+    pub fn walk_range_cached_into(
+        &self,
+        start: NodeIdx,
+        lo_key: u64,
+        hi_key: u64,
+        salt: u64,
+        cache: &mut RouteCache,
+        out: &mut Vec<NodeIdx>,
+    ) {
+        use dht_core::clockwise_dist;
+        let span = clockwise_dist(lo_key, hi_key);
+        let epoch = self.net.epoch();
+        out.push(start);
+        if let Some(steps) = cache.walk_lookup(salt, start, lo_key, span, epoch) {
+            for s in steps {
+                if s.dist >= span {
+                    break;
+                }
+                out.push(s.node);
+            }
+            return;
+        }
+        // Two-touch admission: a first-sighted key runs the walk plain
+        // (recording a never-repeating walk is pure overhead); only a
+        // repeat offender pays the per-step copy and gets cached.
+        let mut rec = if cache.admit_walk(salt, start, lo_key, epoch) {
+            Some(cache.begin_walk())
+        } else {
+            None
+        };
+        let mut cur = start;
+        let budget = self.net.len();
+        let mut rule_stop = false;
+        for _ in 0..budget {
+            let cur_id = match self.net.id_of(cur) {
+                Ok(id) => id,
+                Err(_) => break,
+            };
+            let dist = clockwise_dist(lo_key, cur_id);
+            if dist >= span {
+                rule_stop = true;
+                break;
+            }
+            match self.net.next_clockwise(cur) {
+                Ok(next) if next != start => {
+                    // Each step stores the distance of the node that
+                    // admitted it — the quantity the stop rule tests.
+                    if let Some(rec) = rec.as_mut() {
+                        rec.push(WalkStep { node: next, dist });
+                    }
+                    out.push(next);
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        if let Some(rec) = rec {
+            let stored_span = if rule_stop { span } else { u64::MAX };
+            cache.commit_walk(salt, start, lo_key, stored_span, epoch, rec);
+        }
+    }
+
     /// Fault-aware variant of [`Self::walk_range_into`]: every advance to
     /// the next clockwise node is a probe message subject to the plan's
     /// drop coin (one retry) and the dead-member check. Returns `true`
@@ -317,6 +394,67 @@ mod tests {
         let start = h.net().owner_of(0).unwrap();
         let walk = h.walk_range(start, 0, u64::MAX);
         assert_eq!(walk.len(), 64);
+    }
+
+    #[test]
+    fn cached_walk_matches_plain_walk() {
+        let h = ChordHost::build(128, 4);
+        let start = h.net().owner_of(0).unwrap();
+        let mut cache = RouteCache::new();
+        // Two-touch admission: the first sighting runs plain (and is
+        // still byte-identical), the second records...
+        let mut primed = Vec::new();
+        h.walk_range_cached_into(start, 0, u64::MAX / 2, 0, &mut cache, &mut primed);
+        let mut first = Vec::new();
+        h.walk_range_cached_into(start, 0, u64::MAX / 2, 0, &mut cache, &mut first);
+        assert_eq!(primed, first);
+        assert_eq!(first, h.walk_range(start, 0, u64::MAX / 2));
+        // ...and narrower spans replay from it, byte-identical.
+        for hi in [u64::MAX / 8, u64::MAX / 4, u64::MAX / 2] {
+            let mut cached = Vec::new();
+            h.walk_range_cached_into(start, 0, hi, 0, &mut cache, &mut cached);
+            assert_eq!(cached, h.walk_range(start, 0, hi));
+        }
+        assert_eq!(cache.walk_hits(), 3, "every narrower span replays from cache");
+    }
+
+    #[test]
+    fn exhaustion_terminated_walk_serves_any_span() {
+        // A full-circle walk stopped for a span-independent reason emits
+        // everything reachable: it must serve narrower queries too.
+        let h = ChordHost::build(64, 8);
+        let start = h.net().owner_of(0).unwrap();
+        let mut cache = RouteCache::new();
+        let mut full = Vec::new();
+        // Twice: the first sighting only stamps the admission candidate.
+        h.walk_range_cached_into(start, 0, u64::MAX, 0, &mut cache, &mut full);
+        full.clear();
+        h.walk_range_cached_into(start, 0, u64::MAX, 0, &mut cache, &mut full);
+        assert_eq!(full.len(), 64);
+        let mut quarter = Vec::new();
+        h.walk_range_cached_into(start, 0, u64::MAX / 4, 0, &mut cache, &mut quarter);
+        assert_eq!(quarter, h.walk_range(start, 0, u64::MAX / 4));
+        assert_eq!(cache.walk_hits(), 1);
+    }
+
+    #[test]
+    fn churn_invalidates_cached_walks() {
+        let mut h = ChordHost::build(64, 9);
+        let start = h.net().owner_of(0).unwrap();
+        let mut cache = RouteCache::new();
+        let mut before = Vec::new();
+        h.walk_range_cached_into(start, 0, u64::MAX / 4, 0, &mut cache, &mut before);
+        // Kill a node on the walked arc and repair: the epoch moved, so
+        // the stale segment must re-walk, matching the fresh plain walk.
+        let victim = before[1];
+        h.net_mut().fail(victim).unwrap();
+        h.net_mut().rebuild_all_state();
+        let hits_before = cache.walk_hits();
+        let mut after = Vec::new();
+        h.walk_range_cached_into(start, 0, u64::MAX / 4, 0, &mut cache, &mut after);
+        assert_eq!(cache.walk_hits(), hits_before, "stale epoch cannot hit");
+        assert_eq!(after, h.walk_range(start, 0, u64::MAX / 4));
+        assert!(!after.contains(&victim));
     }
 
     #[test]

@@ -17,8 +17,9 @@
 
 use crate::host::ChordHost;
 use dht_core::{
-    hashing::splitmix64, route_with_retry, sub_msg_id, walk_msg_id, BuildMode, ConsistentHash,
-    DhtError, FaultAccount, FaultPlan, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay,
+    hashing::splitmix64, route_stats_cached, route_with_retry, sub_msg_id, walk_msg_id, BuildMode,
+    ConsistentHash, DhtError, FaultAccount, FaultPlan, LoadDist, LocalityHash, LookupTally,
+    NodeIdx, Overlay, RouteCache,
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
@@ -165,6 +166,60 @@ impl ResourceDiscovery for Maan {
                     value_route.terminal,
                     self.value_key(lo),
                     self.value_key(h),
+                    &mut walk,
+                ),
+            }
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                self.host.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
+            tally.matches += owners.len();
+            per_sub.push(owners);
+        }
+        Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn query_from_cached(
+        &self,
+        phys: usize,
+        q: &Query,
+        cache: &mut RouteCache,
+    ) -> Result<QueryOutcome, DhtError> {
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut per_sub = Vec::with_capacity(q.subs.len());
+        let mut probed_all: Vec<NodeIdx> = Vec::new();
+        let mut walk: Vec<NodeIdx> = Vec::new();
+        for sub in &q.subs {
+            // Lookup 1: the attribute registration. Attribute and value
+            // keys share one ring, so one salt serves both — the keys
+            // themselves disambiguate.
+            let attr_route =
+                route_stats_cached(self.host.net(), from, self.attr_key(sub.attr), 0, cache)?;
+            tally.lookups += 1;
+            tally.hops += attr_route.hops;
+            tally.visited += 1;
+            probed_all.push(attr_route.terminal);
+            // Lookup 2: the value registration; ranges walk the ring.
+            let (lo, hi) = match sub.target {
+                ValueTarget::Point(v) => (v, None),
+                ValueTarget::Range { low, high } => (low, Some(high)),
+            };
+            let value_route =
+                route_stats_cached(self.host.net(), from, self.value_key(lo), 0, cache)?;
+            tally.lookups += 1;
+            tally.hops += value_route.hops;
+            walk.clear();
+            match hi {
+                None => walk.push(value_route.terminal),
+                Some(h) => self.host.walk_range_cached_into(
+                    value_route.terminal,
+                    self.value_key(lo),
+                    self.value_key(h),
+                    0,
+                    cache,
                     &mut walk,
                 ),
             }
@@ -472,6 +527,31 @@ mod tests {
         let (_, m) = setup();
         let loaded = m.directory_loads().loads().iter().filter(|&&l| l > 0.0).count();
         assert!((60..=105).contains(&loaded), "{loaded} of 256 nodes hold pieces");
+    }
+
+    #[test]
+    fn cached_query_is_identical_to_plain() {
+        let (w, mut m) = setup();
+        let mut cache = RouteCache::new();
+        let mut rng = SmallRng::seed_from_u64(0xCA);
+        for mix in [QueryMix::NonRange, QueryMix::Range] {
+            for i in 0..50usize {
+                let q = w.random_query(3, mix, &mut rng);
+                let plain = m.query_from(i % 256, &q).unwrap();
+                let cached = m.query_from_cached(i % 256, &q, &mut cache).unwrap();
+                assert_eq!(cached, plain, "{mix:?} query {i}");
+            }
+        }
+        assert!(cache.hits() > 0, "repeated double lookups must hit");
+        m.leave_physical(3).unwrap();
+        m.stabilize();
+        m.place_all(&w.reports);
+        for i in 0..20usize {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let plain = m.query_from(i % 250 + 4, &q).unwrap();
+            let cached = m.query_from_cached(i % 250 + 4, &q, &mut cache).unwrap();
+            assert_eq!(cached, plain, "post-churn query {i}");
+        }
     }
 
     #[test]

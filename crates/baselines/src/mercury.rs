@@ -15,8 +15,8 @@
 
 use crate::host::ChordHost;
 use dht_core::{
-    route_with_retry, sub_msg_id, walk_msg_id, BuildMode, DhtError, FaultAccount, FaultPlan,
-    LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay,
+    route_stats_cached, route_with_retry, sub_msg_id, walk_msg_id, BuildMode, DhtError,
+    FaultAccount, FaultPlan, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay, RouteCache,
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
@@ -177,6 +177,53 @@ impl ResourceDiscovery for Mercury {
                     route.terminal,
                     self.value_key(lo),
                     self.value_key(h),
+                    &mut walk,
+                ),
+            }
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                hub.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
+            tally.matches += owners.len();
+            per_sub.push(owners);
+        }
+        Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn query_from_cached(
+        &self,
+        phys: usize,
+        q: &Query,
+        cache: &mut RouteCache,
+    ) -> Result<QueryOutcome, DhtError> {
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut per_sub = Vec::with_capacity(q.subs.len());
+        let mut probed_all: Vec<NodeIdx> = Vec::new();
+        let mut walk: Vec<NodeIdx> = Vec::new();
+        for sub in &q.subs {
+            let hub = &self.hubs[sub.attr.0 as usize];
+            // Hubs are independent rings sharing one cache: the hub index
+            // salts every entry so equal (from, key) pairs never alias.
+            let salt = u64::from(sub.attr.0);
+            let (lo, hi) = match sub.target {
+                ValueTarget::Point(v) => (v, None),
+                ValueTarget::Range { low, high } => (low, Some(high)),
+            };
+            let route = route_stats_cached(hub.net(), from, self.value_key(lo), salt, cache)?;
+            tally.lookups += 1;
+            tally.hops += route.hops;
+            walk.clear();
+            match hi {
+                None => walk.push(route.terminal),
+                Some(h) => hub.walk_range_cached_into(
+                    route.terminal,
+                    self.value_key(lo),
+                    self.value_key(h),
+                    salt,
+                    cache,
                     &mut walk,
                 ),
             }
@@ -514,6 +561,37 @@ mod tests {
             }
         }
         assert!(degraded > 0, "20% loss should degrade some queries");
+    }
+
+    #[test]
+    fn cached_query_is_identical_to_plain() {
+        let (w, mut m) = setup();
+        let mut cache = dht_core::RouteCache::new();
+        let mut rng = SmallRng::seed_from_u64(0xCA);
+        for mix in [QueryMix::NonRange, QueryMix::Range] {
+            let queries: Vec<_> = (0..50).map(|_| w.random_query(3, mix, &mut rng)).collect();
+            // Two passes over the same stream: the second must answer its
+            // lookups from memory and still match the plain path exactly.
+            for pass in 0..2 {
+                for (i, q) in queries.iter().enumerate() {
+                    let plain = m.query_from(i % 128, q).unwrap();
+                    let cached = m.query_from_cached(i % 128, q, &mut cache).unwrap();
+                    assert_eq!(cached, plain, "{mix:?} query {i} pass {pass}");
+                }
+            }
+        }
+        assert!(cache.hits() > 0, "replayed hub lookups must hit");
+        // Churn every hub in lock-step: stale entries must miss and the
+        // cached path must keep matching the repaired hubs.
+        m.leave_physical(3).unwrap();
+        m.stabilize();
+        m.place_all(&w.reports);
+        for i in 0..20usize {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let plain = m.query_from(i % 120 + 4, &q).unwrap();
+            let cached = m.query_from_cached(i % 120 + 4, &q, &mut cache).unwrap();
+            assert_eq!(cached, plain, "post-churn query {i}");
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use crate::host::ChordHost;
 use dht_core::{
-    route_with_retry, sub_msg_id, BuildMode, ConsistentHash, DhtError, FaultAccount, FaultPlan,
-    LoadDist, LookupTally, NodeIdx, Overlay,
+    route_stats_cached, route_with_retry, sub_msg_id, BuildMode, ConsistentHash, DhtError,
+    FaultAccount, FaultPlan, LoadDist, LookupTally, NodeIdx, Overlay, RouteCache,
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
@@ -124,6 +124,31 @@ impl ResourceDiscovery for Sword {
         let mut probed_all = Vec::with_capacity(q.subs.len());
         for sub in &q.subs {
             let route = self.host.net().route_stats(from, self.key_of(sub.attr))?;
+            tally.lookups += 1;
+            tally.hops += route.hops;
+            tally.visited += 1; // the root holds everything; no probing
+            let owners = self.host.matches_in(route.terminal, sub.attr, &sub.target);
+            tally.matches += owners.len();
+            probed_all.push(route.terminal);
+            per_sub.push(owners);
+        }
+        Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
+    fn query_from_cached(
+        &self,
+        phys: usize,
+        q: &Query,
+        cache: &mut RouteCache,
+    ) -> Result<QueryOutcome, DhtError> {
+        // SWORD stops at the attribute root: the whole query cost is its
+        // lookups, so caching routes alone covers the entire path.
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut per_sub = Vec::with_capacity(q.subs.len());
+        let mut probed_all = Vec::with_capacity(q.subs.len());
+        for sub in &q.subs {
+            let route = route_stats_cached(self.host.net(), from, self.key_of(sub.attr), 0, cache)?;
             tally.lookups += 1;
             tally.hops += route.hops;
             tally.visited += 1; // the root holds everything; no probing
@@ -329,6 +354,31 @@ mod tests {
     fn total_pieces_is_one_per_report() {
         let (w, s) = setup();
         assert_eq!(s.total_pieces(), w.reports.len());
+    }
+
+    #[test]
+    fn cached_query_is_identical_to_plain() {
+        let (w, mut s) = setup();
+        let mut cache = RouteCache::new();
+        let mut rng = SmallRng::seed_from_u64(0xCA);
+        for mix in [QueryMix::NonRange, QueryMix::Range] {
+            for i in 0..50usize {
+                let q = w.random_query(3, mix, &mut rng);
+                let plain = s.query_from(i % 256, &q).unwrap();
+                let cached = s.query_from_cached(i % 256, &q, &mut cache).unwrap();
+                assert_eq!(cached, plain, "{mix:?} query {i}");
+            }
+        }
+        assert!(cache.hits() > 0, "repeated attribute lookups must hit");
+        s.leave_physical(3).unwrap();
+        s.stabilize();
+        s.place_all(&w.reports);
+        for i in 0..20usize {
+            let q = w.random_query(2, QueryMix::Range, &mut rng);
+            let plain = s.query_from(i % 250 + 4, &q).unwrap();
+            let cached = s.query_from_cached(i % 250 + 4, &q, &mut cache).unwrap();
+            assert_eq!(cached, plain, "post-churn query {i}");
+        }
     }
 
     #[test]

@@ -129,6 +129,37 @@ fn main() {
             eprintln!("scale sweep: at least one growth check failed (see table above)");
             std::process::exit(1);
         }
+        // Same per-kernel wall-clock gate the perf mode applies: the
+        // scale export shares the perf-v2 kernel array, so a committed
+        // BENCH_scale_quick.json diffs with the identical machinery.
+        if let Some(path) = &cfg.baseline {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("failed to read baseline {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            let base = match bench::perf::parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("failed to parse baseline {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            let deltas = bench::perf::diff_baseline(&run.kernels, &base);
+            println!("{}", bench::perf::render_delta_table(path, &deltas));
+            if deltas.iter().any(|d| d.regressed) {
+                eprintln!(
+                    "scale regression: at least one kernel slowed past its gate \
+                     ({:.0}% query / {:.0}% build) vs {}",
+                    (bench::perf::REGRESSION_THRESHOLD - 1.0) * 100.0,
+                    (bench::perf::BUILD_REGRESSION_THRESHOLD - 1.0) * 100.0,
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if cfg.chaos {

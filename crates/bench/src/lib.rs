@@ -24,7 +24,7 @@ pub mod chaos;
 pub mod perf;
 pub mod scale;
 
-use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase};
+use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase, Engine};
 use sim::{BedCache, Report, SimConfig};
 use std::path::PathBuf;
 
@@ -149,9 +149,13 @@ pub struct ReproConfig {
     pub chaos: bool,
     /// Run the 1k → 1M scaling sweep instead of the figures.
     pub scale: bool,
-    /// Perf mode only: diff the run against this committed BENCH file and
-    /// exit non-zero on a >25% per-kernel wall-clock regression.
+    /// Perf and scale modes: diff the run against this committed BENCH
+    /// file and exit non-zero on a per-kernel wall-clock regression.
     pub baseline: Option<PathBuf>,
+    /// Run the figure pipelines through the route-cached batch executor
+    /// (the default — reports are bit-identical to the plain engine;
+    /// `--no-cache` flips this to re-verify that equivalence end to end).
+    pub cached: bool,
 }
 
 impl Default for ReproConfig {
@@ -165,6 +169,7 @@ impl Default for ReproConfig {
             chaos: false,
             scale: false,
             baseline: None,
+            cached: true,
         }
     }
 }
@@ -198,6 +203,14 @@ impl ReproConfig {
             fig6::ChurnSetup::default()
         }
     }
+
+    fn engine(&self) -> Engine {
+        if self.cached {
+            Engine::Cached
+        } else {
+            Engine::Plain
+        }
+    }
 }
 
 /// Run one artifact and build its structured report, with a transient
@@ -224,21 +237,26 @@ pub fn run_artifact_report_cached(a: Artifact, cfg: &ReproConfig, cache: &BedCac
             let bed = cache.bed(sim_cfg);
             // paper: 100 nodes × 10 queries each
             let (origins, per) = if cfg.quick { (20, 5) } else { (100, 10) };
-            fig4::fig4(&bed, 1..=10, origins, per).report()
+            fig4::fig4_with_engine(&bed, 1..=10, origins, per, cfg.engine()).report()
         }
         Artifact::Fig5 => {
             let bed = cache.bed(sim_cfg);
-            fig5::fig5(&bed, 1..=10, cfg.queries()).report()
+            fig5::fig5_with_engine(&bed, 1..=10, cfg.queries(), cfg.engine()).report()
         }
-        Artifact::Fig6a => {
-            fig6::fig6_cached(&sim_cfg, &cfg.churn_setup(), sim::experiments::Metric::Hops, cache)
-                .report()
-        }
-        Artifact::Fig6b => fig6::fig6_cached(
+        Artifact::Fig6a => fig6::fig6_with_engine(
+            &sim_cfg,
+            &cfg.churn_setup(),
+            sim::experiments::Metric::Hops,
+            cache,
+            cfg.engine(),
+        )
+        .report(),
+        Artifact::Fig6b => fig6::fig6_with_engine(
             &sim_cfg,
             &cfg.churn_setup(),
             sim::experiments::Metric::Visited,
             cache,
+            cfg.engine(),
         )
         .report(),
         Artifact::T410 => {
@@ -250,9 +268,14 @@ pub fn run_artifact_report_cached(a: Artifact, cfg: &ReproConfig, cache: &BedCac
             // range queries return many matches, so lost directory entries
             // are actually observable as stale answers
             let setup = fig6::ChurnSetup { graceful: false, ..cfg.churn_setup() };
-            let mut rep =
-                fig6::fig6_cached(&sim_cfg, &setup, sim::experiments::Metric::Visited, cache)
-                    .report();
+            let mut rep = fig6::fig6_with_engine(
+                &sim_cfg,
+                &setup,
+                sim::experiments::Metric::Visited,
+                cache,
+                cfg.engine(),
+            )
+            .report();
             rep.note(
                 "(extension: departures are abrupt failures; stale links and lost \
                  directory entries persist until the next maintenance round)",
@@ -362,7 +385,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
     args: I,
 ) -> Result<(ReproConfig, Vec<Artifact>), String> {
     const USAGE: &str = "usage: repro [--quick] [--seed=N] [--shards=N] \
-                         [--json <path>] [--baseline <BENCH.json>] \
+                         [--json <path>] [--baseline <BENCH.json>] [--no-cache] \
                          [perf | chaos | scale | theorems fig3a \
                           fig3bcd fig3sweep fig4 fig5 fig6a fig6b t410 \
                           maintenance churnfail hopdist latency loadbalance \
@@ -396,6 +419,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
                     .parse()
                     .map_err(|_| format!("bad shard count in {s:?}"))?;
             }
+            "--no-cache" => cfg.cached = false,
             "perf" => cfg.perf = true,
             "chaos" => cfg.chaos = true,
             "scale" => cfg.scale = true,

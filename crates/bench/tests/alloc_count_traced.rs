@@ -1,0 +1,87 @@
+//! Pins traced routing at exactly one allocation per lookup.
+//!
+//! `route` returns the hop-by-hop trace in a `Vec`, so one allocation is
+//! the floor — and the pre-sized trace buffers (worst-case path bound
+//! capacity on both overlays) make it the ceiling too: any regrowth
+//! would show up as a second allocation. Same counting-allocator scheme
+//! as `alloc_count.rs`; one test per binary because the counter is
+//! process-global.
+
+use chord::{Chord, ChordConfig};
+use cycloid::{Cycloid, CycloidConfig, CycloidId};
+use dht_core::{NodeIdx, Overlay};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter bump cannot violate
+// any allocator invariant.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn traced_routes_make_exactly_one_allocation_each() {
+    const LOOKUPS: usize = 1000;
+    let chord = Chord::build(512, ChordConfig::default());
+    let d = 7u8;
+    let cycloid = Cycloid::build(d as usize * (1 << d), CycloidConfig { dimension: d, seed: 1 });
+    let mut rng = SmallRng::seed_from_u64(0xA110C1);
+    let chord_plan: Vec<(NodeIdx, u64)> = (0..LOOKUPS)
+        .map(|_| (chord.random_node(&mut rng).expect("live node"), rng.gen()))
+        .collect();
+    let cycloid_plan: Vec<(NodeIdx, CycloidId)> = (0..LOOKUPS)
+        .map(|_| {
+            let from = cycloid.random_node(&mut rng).expect("live node");
+            let key = CycloidId::new(rng.gen_range(0..d), rng.gen_range(0..(1u32 << d)), d);
+            (from, key)
+        })
+        .collect();
+
+    // Warm-up: any lazily-initialized one-time allocation lands here.
+    black_box(chord.route(chord_plan[0].0, chord_plan[0].1).expect("lookup").hops());
+    black_box(cycloid.route(cycloid_plan[0].0, cycloid_plan[0].1).expect("lookup").hops());
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for &(from, key) in &chord_plan {
+        black_box(chord.route(from, key).expect("lookup").hops());
+    }
+    let chord_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        chord_allocs, LOOKUPS as u64,
+        "chord traced routes must allocate exactly once per lookup (the trace Vec): \
+         {chord_allocs} allocations over {LOOKUPS} lookups"
+    );
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for &(from, key) in &cycloid_plan {
+        black_box(cycloid.route(from, key).expect("lookup").hops());
+    }
+    let cycloid_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        cycloid_allocs, LOOKUPS as u64,
+        "cycloid traced routes must allocate exactly once per lookup (the trace Vec): \
+         {cycloid_allocs} allocations over {LOOKUPS} lookups"
+    );
+}

@@ -18,7 +18,10 @@ impl Chord {
     /// Route a lookup for `key` starting at `from`, using only node-local
     /// state at every hop, tracing the full path.
     pub(crate) fn route_from(&self, from: NodeIdx, key: u64) -> Result<RouteResult, DhtError> {
-        let mut path: Vec<NodeIdx> = Vec::with_capacity(16);
+        // Sized to the routing budget (4·FINGER_BITS+16, +1 for the hop
+        // recorded on the budget check) so a traced route is exactly one
+        // allocation — pinned by crates/bench/tests/alloc_count.rs.
+        let mut path: Vec<NodeIdx> = Vec::with_capacity(4 * FINGER_BITS + 17);
         let (terminal, exact) = self.route_inner(from, key, &mut path)?;
         Ok(RouteResult { path, terminal, exact })
     }

@@ -121,4 +121,51 @@ proptest! {
             prop_assert!(net.outlinks(idx).unwrap() <= bound);
         }
     }
+
+    /// Every successful mutating op strictly increases the epoch — the
+    /// invariant the route cache's staleness check rests on. Any op
+    /// sequence, any interleaving: a completed join / leave / fail /
+    /// stabilize / repair must leave the epoch strictly above where it
+    /// started, so no cache entry stamped before the op can ever hit
+    /// after it.
+    #[test]
+    fn mutating_op_sequences_strictly_increase_epoch(
+        n in 8usize..64,
+        seed: u64,
+        ops in prop::collection::vec((0u8..5, any::<u64>()), 1..24),
+    ) {
+        let mut net = Chord::build(n, ChordConfig { seed, ..Default::default() });
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xE9);
+        for (kind, _pick) in ops {
+            let before = net.epoch();
+            let mutated = match kind {
+                0 => {
+                    let boot = net.random_node(&mut rng).unwrap();
+                    net.join(boot).is_ok()
+                }
+                1 if net.len() > 2 => {
+                    let v = net.random_node(&mut rng).unwrap();
+                    net.leave(v).is_ok()
+                }
+                2 if net.len() > 2 => {
+                    let v = net.random_node(&mut rng).unwrap();
+                    net.fail(v).is_ok()
+                }
+                3 => {
+                    net.stabilize_all();
+                    true
+                }
+                _ => {
+                    net.rebuild_all_state();
+                    true
+                }
+            };
+            if mutated {
+                prop_assert!(
+                    net.epoch() > before,
+                    "op {kind} left epoch at {before}"
+                );
+            }
+        }
+    }
 }

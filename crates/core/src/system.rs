@@ -3,8 +3,8 @@
 use crate::keys::{KeyDeriver, Placement};
 use cycloid::{Cycloid, CycloidConfig, CycloidId};
 use dht_core::{
-    probe_step, route_with_retry, sub_msg_id, walk_msg_id, BuildMode, DhtError, FaultAccount,
-    FaultPlan, LoadDist, LookupTally, NodeIdx, Overlay,
+    probe_step, route_stats_cached, route_with_retry, sub_msg_id, walk_msg_id, BuildMode, DhtError,
+    FaultAccount, FaultPlan, LoadDist, LookupTally, NodeIdx, Overlay, RouteCache, WalkStep,
 };
 use grid_resource::{
     discovery::join_owners, AttributeSpace, Directory, FaultyOutcome, Query, QueryOutcome,
@@ -144,6 +144,72 @@ impl Lorm {
             }
             out.push(next);
             cur = next;
+        }
+    }
+
+    /// The cached twin of [`Self::range_walk_into`] — identical emission
+    /// by construction. A fresh-epoch segment cached for at least this
+    /// span replays through the walk's own stop rule (`dist <= span`);
+    /// otherwise the walk runs for real and its emission is recorded.
+    ///
+    /// A walk that stopped for a span-*independent* reason (no successor,
+    /// full circle, no sector transition, the `d`-probe budget) emitted
+    /// everything reachable and is cached with an unbounded span; only a
+    /// walk stopped by the arc rule is bounded to the span it ran for.
+    fn range_walk_cached_into(
+        &self,
+        start: NodeIdx,
+        lo_pos: u8,
+        hi_pos: u8,
+        cache: &mut RouteCache,
+        out: &mut Vec<NodeIdx>,
+    ) {
+        let d = self.overlay.dimension();
+        let span = u64::from(CycloidId::cw_cyclic_dist(lo_pos, hi_pos, d));
+        let epoch = self.overlay.epoch();
+        out.push(start);
+        if let Some(steps) = cache.walk_lookup(0, start, u64::from(lo_pos), span, epoch) {
+            for s in steps {
+                if s.dist > span {
+                    break;
+                }
+                out.push(s.node);
+            }
+            return;
+        }
+        // Two-touch admission (see `RouteCache::admit_walk`): record only
+        // keys seen before, so one-shot walks skip the per-step copy.
+        let mut rec = if cache.admit_walk(0, start, u64::from(lo_pos), epoch) {
+            Some(cache.begin_walk())
+        } else {
+            None
+        };
+        let mut cur = start;
+        let mut rule_stop = false;
+        for _ in 0..d {
+            let Some(next) = self.overlay.cluster_successor(cur).ok().flatten() else {
+                break;
+            };
+            if next == start {
+                break;
+            }
+            let Some(p) = self.transition_position(cur, next) else {
+                break;
+            };
+            let dist = u64::from(CycloidId::cw_cyclic_dist(lo_pos, p, d));
+            if dist > span {
+                rule_stop = true;
+                break;
+            }
+            if let Some(rec) = rec.as_mut() {
+                rec.push(WalkStep { node: next, dist });
+            }
+            out.push(next);
+            cur = next;
+        }
+        if let Some(rec) = rec {
+            let stored_span = if rule_stop { span } else { u64::MAX };
+            cache.commit_walk(0, start, u64::from(lo_pos), stored_span, epoch, rec);
         }
     }
 
@@ -370,6 +436,55 @@ impl ResourceDiscovery for Lorm {
         Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
     }
 
+    fn query_from_cached(
+        &self,
+        phys: usize,
+        q: &Query,
+        cache: &mut RouteCache,
+    ) -> Result<QueryOutcome, DhtError> {
+        let from = self.node_of(phys)?;
+        let mut tally = LookupTally::default();
+        let mut per_sub: Vec<Vec<usize>> = Vec::with_capacity(q.subs.len());
+        let mut probed_all: Vec<NodeIdx> = Vec::new();
+        // One probe-list scratch serves every sub-query of this query.
+        let mut walk: Vec<NodeIdx> = Vec::new();
+        for sub in &q.subs {
+            let (lookup_value, bounds) = match sub.target {
+                ValueTarget::Point(v) => (v, None),
+                ValueTarget::Range { low, high } => {
+                    (low, Some((self.keys.cyclic_of(low), self.keys.cyclic_of(high))))
+                }
+            };
+            let resc_id = self.keys.resc_id(sub.attr, lookup_value);
+            let route = route_stats_cached(&self.overlay, from, resc_id, 0, cache)?;
+            tally.lookups += 1;
+            tally.hops += route.hops;
+            walk.clear();
+            match bounds {
+                None => walk.push(route.terminal),
+                Some((lo, hi)) => {
+                    match self.keys.placement() {
+                        Placement::Lph => {
+                            self.range_walk_cached_into(route.terminal, lo, hi, cache, &mut walk);
+                        }
+                        // Ablation mode stays uncached: the full-cluster
+                        // walk has no stop rule worth memoizing.
+                        Placement::Hashed => self.full_cluster_walk_into(route.terminal, &mut walk),
+                    }
+                }
+            }
+            tally.visited += walk.len();
+            let mut owners = Vec::new();
+            for &node in &walk {
+                self.matches_in_into(node, sub.attr, &sub.target, &mut owners);
+            }
+            probed_all.extend_from_slice(&walk);
+            tally.matches += owners.len();
+            per_sub.push(owners);
+        }
+        Ok(QueryOutcome { tally, owners: join_owners(per_sub), probed: probed_all })
+    }
+
     fn query_from_faulty(
         &self,
         phys: usize,
@@ -564,6 +679,50 @@ mod tests {
         );
         l.place_all(&w.reports);
         (w, l)
+    }
+
+    #[test]
+    fn cached_query_is_identical_to_plain() {
+        let (w, mut l) = small_workload();
+        let mut cache = RouteCache::new();
+        let mut rng = SmallRng::seed_from_u64(0xCA);
+        for mix in [QueryMix::NonRange, QueryMix::Range] {
+            for i in 0..60usize {
+                let q = w.random_query(3, mix, &mut rng);
+                let plain = l.query_from(i % 512, &q).unwrap();
+                let cached = l.query_from_cached(i % 512, &q, &mut cache).unwrap();
+                assert_eq!(cached, plain, "{mix:?} query {i}");
+            }
+        }
+        assert!(cache.hits() > 0, "repeated sub-query lookups must hit");
+        // Churn bumps the epoch: every stale entry misses, and the cached
+        // path keeps matching the plain path on the mutated overlay.
+        l.leave_physical(7).unwrap();
+        l.stabilize();
+        l.place_all(&w.reports);
+        for i in 0..30usize {
+            let q = w.random_query(3, QueryMix::Range, &mut rng);
+            let plain = l.query_from(i % 500 + 8, &q).unwrap();
+            let cached = l.query_from_cached(i % 500 + 8, &q, &mut cache).unwrap();
+            assert_eq!(cached, plain, "post-churn query {i}");
+        }
+    }
+
+    #[test]
+    fn cached_faulty_query_is_identical_to_plain_faulty() {
+        let (w, l) = small_workload();
+        let mut cache = RouteCache::new();
+        let mut rng = SmallRng::seed_from_u64(0xCB);
+        // Inert plans short-circuit through the cache; non-inert plans
+        // must bypass it (per-message coins are not cacheable).
+        for plan in [FaultPlan::new(3, 0.0, 0.0).unwrap(), FaultPlan::new(7, 0.2, 0.05).unwrap()] {
+            for i in 0..40u64 {
+                let q = w.random_query(2, QueryMix::Range, &mut rng);
+                let plain = l.query_from_faulty(2, &q, &plan, i).unwrap();
+                let cached = l.query_from_faulty_cached(2, &q, &plan, i, &mut cache).unwrap();
+                assert_eq!(cached, plain, "inert={} msg {i}", plan.is_inert());
+            }
+        }
     }
 
     /// Brute-force reference: owners whose reports satisfy the target.

@@ -45,7 +45,10 @@ impl Cycloid {
         from: NodeIdx,
         key: CycloidId,
     ) -> Result<RouteResult, DhtError> {
-        let mut path: Vec<NodeIdx> = Vec::with_capacity(12);
+        // Sized to the routing budget (8d+32, +1 for the hop recorded on
+        // the budget check) so a traced route is exactly one allocation —
+        // pinned by crates/bench/tests/alloc_count.rs.
+        let mut path: Vec<NodeIdx> = Vec::with_capacity(8 * self.dimension() as usize + 33);
         let (terminal, exact) = self.route_inner(from, key, &mut path)?;
         Ok(RouteResult { path, terminal, exact })
     }

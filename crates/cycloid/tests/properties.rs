@@ -145,4 +145,44 @@ proptest! {
         let from = net.random_node(&mut rng).unwrap();
         prop_assert!(net.route(from, key).unwrap().exact);
     }
+
+    /// Every successful mutating op strictly increases the epoch — the
+    /// invariant the route cache's staleness check rests on (a cache
+    /// entry stamped before a join / leave / fail / repair can never hit
+    /// after it).
+    #[test]
+    fn mutating_op_sequences_strictly_increase_epoch(
+        d in 4u8..7,
+        seed: u64,
+        ops in prop::collection::vec(0u8..4, 1..24),
+    ) {
+        let cap = d as usize * (1usize << d);
+        let mut net = Cycloid::build(cap / 2, CycloidConfig { dimension: d, seed });
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xEA);
+        for kind in ops {
+            let before = net.epoch();
+            let mutated = match kind {
+                0 => net.join_random().is_ok(),
+                1 if net.len() > 2 => {
+                    let v = net.random_node(&mut rng).unwrap();
+                    net.leave(v).is_ok()
+                }
+                2 if net.len() > 2 => {
+                    let v = net.random_node(&mut rng).unwrap();
+                    net.fail(v).is_ok()
+                }
+                3 => {
+                    net.rebuild_all_links();
+                    true
+                }
+                _ => false,
+            };
+            if mutated {
+                prop_assert!(
+                    net.epoch() > before,
+                    "op {kind} left epoch at {before}"
+                );
+            }
+        }
+    }
 }

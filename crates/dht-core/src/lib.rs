@@ -21,6 +21,9 @@
 //!   in which every figure of the paper is measured.
 //! * **Overlay trait** ([`overlay`]): the narrow interface a DHT overlay
 //!   must implement to be driven by the experiment engine.
+//! * **Route cache** ([`cache`]): epoch-invalidated memoization of
+//!   routing results and range-walk segments over a static bed —
+//!   byte-identical to uncached routing by construction.
 //!
 //! Everything here is deterministic: the same seed produces the same
 //! network, the same workload and the same measurements.
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod error;
 pub mod fault;
 pub mod hashing;
@@ -38,6 +42,7 @@ pub mod sampling;
 pub mod stats;
 pub mod trace;
 
+pub use cache::{route_stats_cached, RouteCache, WalkStep};
 pub use error::DhtError;
 pub use fault::{
     check_forward, probe_step, route_with_retry, sub_msg_id, walk_msg_id, FaultAccount, FaultPlan,

@@ -8,7 +8,7 @@
 //! `m` hub nodes for Mercury.
 
 use crate::model::{Query, ResourceInfo};
-use dht_core::{DhtError, FaultPlan, LoadDist, LookupTally, NodeIdx};
+use dht_core::{DhtError, FaultPlan, LoadDist, LookupTally, NodeIdx, RouteCache};
 use rand::rngs::SmallRng;
 
 /// Result of resolving one multi-attribute query.
@@ -114,6 +114,43 @@ pub trait ResourceDiscovery {
     /// Resolve a multi-attribute query issued by physical node `phys`,
     /// counting every hop and visited directory node.
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError>;
+
+    /// Resolve a query through a [`RouteCache`]: identical results to
+    /// [`Self::query_from`] — the cache memoizes routing over the current
+    /// overlay epoch, and every mutating op invalidates — with the
+    /// repeated O(log n) lookups of a static bed answered from memory.
+    ///
+    /// The default ignores the cache and delegates, which is always
+    /// correct; systems override it to route their sub-query lookups and
+    /// range walks through the cache.
+    fn query_from_cached(
+        &self,
+        phys: usize,
+        q: &Query,
+        cache: &mut RouteCache,
+    ) -> Result<QueryOutcome, DhtError> {
+        let _ = cache;
+        self.query_from(phys, q)
+    }
+
+    /// The cached twin of [`Self::query_from_faulty`]. Fault coins are
+    /// drawn per message, so a faulted route is *not* a pure function of
+    /// `(overlay, from, key)` — only the inert-plan fast path may consult
+    /// the cache; everything else takes the uncached faulty path. Both
+    /// branches are byte-identical to the uncached twin by construction.
+    fn query_from_faulty_cached(
+        &self,
+        phys: usize,
+        q: &Query,
+        plan: &FaultPlan,
+        msg_seed: u64,
+        cache: &mut RouteCache,
+    ) -> Result<FaultyOutcome, DhtError> {
+        if plan.is_inert() {
+            return Ok(FaultyOutcome::complete(self.query_from_cached(phys, q, cache)?, q.arity()));
+        }
+        self.query_from_faulty(phys, q, plan, msg_seed)
+    }
 
     /// Resolve a query while `plan` injects message drops and routes
     /// around ungracefully failed nodes. `msg_seed` identifies the query

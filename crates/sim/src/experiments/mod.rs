@@ -14,8 +14,8 @@ pub mod worstcase;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use analysis::System;
-use dht_core::{hashing::splitmix64, FaultPlan, Summary};
-use grid_resource::{Query, QueryMix, ResourceDiscovery, Workload};
+use dht_core::{hashing::splitmix64, FaultPlan, RouteCache, Summary};
+use grid_resource::{Query, QueryMix, ResourceDiscovery, ValueTarget, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -154,6 +154,176 @@ pub fn run_batch_sharded(
     merge_in_order(parts)
 }
 
+/// Locality sort key of one batched query: the first sub-query's
+/// `(attribute, low value)` pair, then the origin. Queries sharing an
+/// attribute and nearby range anchors route to the same keys and walk
+/// overlapping segments, so executing a micro-chunk in this order turns
+/// the route cache's repeated-lookup hits into back-to-back hits and lets
+/// coalescing walk spans serve one another.
+fn locality_key(phys: usize, q: &Query) -> (u32, u64, usize) {
+    match q.subs.first() {
+        Some(sub) => {
+            let lo = match sub.target {
+                ValueTarget::Point(v) => v,
+                ValueTarget::Range { low, .. } => low,
+            };
+            // Workload values are non-negative, so the bit pattern orders
+            // like the number; a heuristic sort needs nothing stronger.
+            (sub.attr.0, lo.to_bits(), phys)
+        }
+        None => (u32::MAX, 0, phys),
+    }
+}
+
+/// Run one micro-chunk through the cached query path, executing in
+/// locality order but *recording at original positions*: the Summary
+/// fold below never observes the sort, so every field stays bit-identical
+/// to [`run_shard`] (each cached query is itself byte-identical to its
+/// uncached twin by construction).
+fn run_shard_cached(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    shard: &[(usize, Query)],
+    metric: Metric,
+    cache: &mut RouteCache,
+) -> Summary {
+    let mut order: Vec<usize> = (0..shard.len()).collect();
+    order.sort_by_key(|&i| locality_key(shard[i].0, &shard[i].1));
+    let mut vals: Vec<Option<f64>> = vec![None; shard.len()];
+    for &i in &order {
+        let (phys, q) = &shard[i];
+        if let Ok(out) = sys.query_from_cached(*phys, q, cache) {
+            vals[i] = Some(match metric {
+                Metric::Hops => out.tally.hops as f64,
+                Metric::Visited => out.tally.visited as f64,
+            });
+        }
+    }
+    let mut s = Summary::new();
+    for v in vals {
+        match v {
+            Some(v) => s.record(v),
+            None => s.record_failure(),
+        }
+    }
+    s
+}
+
+/// Cached, batched [`run_batch`]: identical summaries on [`default_shards`]
+/// workers, with repeated lookups served from `cache`.
+pub fn run_batch_cached(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    cache: &mut RouteCache,
+) -> Summary {
+    run_batch_cached_sharded(sys, batch, metric, default_shards(), cache)
+}
+
+/// [`run_batch_sharded`] through the epoch-invalidated route cache and the
+/// locality-ordered chunk executor — bit-identical summaries at every
+/// shard count, by construction (see `run_shard_cached`).
+///
+/// At `shards <= 1` the caller's `cache` persists across the whole batch
+/// (the perf harness warms it and then measures its hit rate); at higher
+/// shard counts each worker runs its own fresh cache — caches never alter
+/// results, so the choice is invisible in the output.
+pub fn run_batch_cached_sharded(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    shards: usize,
+    cache: &mut RouteCache,
+) -> Summary {
+    let micro: Vec<&[(usize, Query)]> = batch.chunks(MICRO_CHUNK.max(1)).collect();
+    if shards <= 1 || micro.len() <= 1 {
+        return merge_in_order(micro.into_iter().map(|c| run_shard_cached(sys, c, metric, cache)));
+    }
+    let per_worker = micro.len().div_ceil(shards);
+    let mut parts: Vec<Summary> = Vec::with_capacity(micro.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = micro
+            .chunks(per_worker)
+            .map(|chunks| {
+                scope.spawn(move |_| {
+                    let mut local = RouteCache::new();
+                    chunks
+                        .iter()
+                        .map(|c| run_shard_cached(sys, c, metric, &mut local))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint:allow(panic-hygiene): join fails only if the worker
+            // panicked; re-raising that panic is the intended behaviour.
+            parts.extend(h.join().expect("shard worker panicked"));
+        }
+    })
+    // lint:allow(panic-hygiene): crossbeam scope errs only when a
+    // child panicked; re-raising that panic is the intended behaviour.
+    .expect("crossbeam scope");
+    merge_in_order(parts)
+}
+
+/// A per-system pool of worker route caches for the pooled executor
+/// (see [`run_batch_cached_pooled`]): worker `i` always draws `pool[i]`,
+/// so a pool held across calls keeps each worker's cache warm for its
+/// stable slice of the batch stream.
+pub type CachePool = Vec<RouteCache>;
+
+/// [`run_batch_cached_sharded`], drawing per-worker caches from a
+/// caller-owned pool instead of building fresh ones per call. The pool
+/// grows to the worker count on first use; the figure pipelines hold one
+/// pool per system across their sweep loops, so later rounds replay
+/// routes and walks the earlier rounds recorded against the *same*
+/// (unmutated, equal-epoch) system. Caches never alter results, so the
+/// summaries stay bit-identical to every other executor.
+///
+/// Pools must never outlive their system's overlay state: two bed clones
+/// can share an epoch value while holding different links, which is why
+/// the churn pipeline (fig 6) builds a fresh cache per run instead.
+pub fn run_batch_cached_pooled(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    shards: usize,
+    pool: &mut CachePool,
+) -> Summary {
+    let micro: Vec<&[(usize, Query)]> = batch.chunks(MICRO_CHUNK.max(1)).collect();
+    if shards <= 1 || micro.len() <= 1 {
+        if pool.is_empty() {
+            pool.push(RouteCache::new());
+        }
+        let cache = &mut pool[0];
+        return merge_in_order(micro.into_iter().map(|c| run_shard_cached(sys, c, metric, cache)));
+    }
+    let per_worker = micro.len().div_ceil(shards);
+    let workers = micro.len().div_ceil(per_worker);
+    while pool.len() < workers {
+        pool.push(RouteCache::new());
+    }
+    let mut parts: Vec<Summary> = Vec::with_capacity(micro.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = micro
+            .chunks(per_worker)
+            .zip(pool.iter_mut())
+            .map(|(chunks, cache)| {
+                scope.spawn(move |_| {
+                    chunks
+                        .iter()
+                        .map(|c| run_shard_cached(sys, c, metric, cache))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.extend(h.join().expect("shard worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    merge_in_order(parts)
+}
+
 /// The fault-coin seed of the query at global batch position `index`: a
 /// pure function of the plan seed and the position, so sharding can
 /// never change which faults a query draws.
@@ -250,6 +420,124 @@ pub fn run_batch_faulty_sharded(
     merge_in_order(parts)
 }
 
+/// Like [`run_shard_faulty`], but queries whose fault coins are inert
+/// short-circuit through the route cache (see
+/// [`ResourceDiscovery::query_from_faulty_cached`]). Execution runs in
+/// locality order while each query keeps the fault seed of its *original*
+/// global position, and records fold at original positions — the fault
+/// draw and the Summary are both blind to the sort.
+fn run_shard_faulty_cached(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    shard: &[(usize, Query)],
+    metric: Metric,
+    plan: &FaultPlan,
+    base: usize,
+    cache: &mut RouteCache,
+) -> Summary {
+    let mut order: Vec<usize> = (0..shard.len()).collect();
+    order.sort_by_key(|&j| locality_key(shard[j].0, &shard[j].1));
+    let mut vals: Vec<Option<grid_resource::FaultyOutcome>> = vec![None; shard.len()];
+    for &j in &order {
+        let (phys, q) = &shard[j];
+        if let Ok(f) =
+            sys.query_from_faulty_cached(*phys, q, plan, msg_seed_at(plan, base + j), cache)
+        {
+            vals[j] = Some(f);
+        }
+    }
+    let mut s = Summary::new();
+    for f in vals {
+        match f {
+            Some(f) => {
+                let v = match metric {
+                    Metric::Hops => f.outcome.tally.hops as f64,
+                    Metric::Visited => f.outcome.tally.visited as f64,
+                };
+                if f.is_failed() {
+                    s.record_failure();
+                } else if f.is_partial() {
+                    s.record_partial(v);
+                } else {
+                    s.record(v);
+                }
+                s.add_retries(f.retries);
+                s.add_dropped_msgs(f.dropped_msgs);
+            }
+            None => s.record_failure(),
+        }
+    }
+    s
+}
+
+/// [`run_batch_faulty_sharded`] through the route cache: bit-identical
+/// to the uncached run at every shard count, with the inert fraction of
+/// the batch served from cache.
+pub fn run_batch_faulty_cached_sharded(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    plan: &FaultPlan,
+    shards: usize,
+    cache: &mut RouteCache,
+) -> Summary {
+    let micro: Vec<(usize, &[(usize, Query)])> =
+        batch.chunks(MICRO_CHUNK.max(1)).enumerate().collect();
+    if shards <= 1 || micro.len() <= 1 {
+        return merge_in_order(
+            micro.into_iter().map(|(i, c)| {
+                run_shard_faulty_cached(sys, c, metric, plan, i * MICRO_CHUNK, cache)
+            }),
+        );
+    }
+    let per_worker = micro.len().div_ceil(shards);
+    let mut parts: Vec<Summary> = Vec::with_capacity(micro.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = micro
+            .chunks(per_worker)
+            .map(|chunks| {
+                scope.spawn(move |_| {
+                    let mut local = RouteCache::new();
+                    chunks
+                        .iter()
+                        .map(|(i, c)| {
+                            run_shard_faulty_cached(
+                                sys,
+                                c,
+                                metric,
+                                plan,
+                                i * MICRO_CHUNK,
+                                &mut local,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // lint:allow(panic-hygiene): join fails only if the worker
+            // panicked; re-raising that panic is the intended behaviour.
+            parts.extend(h.join().expect("shard worker panicked"));
+        }
+    })
+    // lint:allow(panic-hygiene): crossbeam scope errs only when a
+    // child panicked; re-raising that panic is the intended behaviour.
+    .expect("crossbeam scope");
+    merge_in_order(parts)
+}
+
+/// Which batch executor a figure pipeline runs on. Both engines produce
+/// bit-identical reports; [`Engine::Cached`] routes repeated lookups and
+/// overlapping range walks through the epoch-invalidated [`RouteCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Execute every query from scratch (the PR-7 behaviour).
+    #[default]
+    Plain,
+    /// Batched executor: locality-sorted micro-chunks over a per-worker
+    /// route cache, reduced in original order.
+    Cached,
+}
+
 /// Run the same batch against every mounted system in parallel (one thread
 /// per system — they are independent and `query_from` is `&self` — each of
 /// which shards its batch further, for `systems × shards` total workers).
@@ -258,6 +546,21 @@ pub fn run_batch_all(
     batch: &[(usize, Query)],
     metric: Metric,
 ) -> Vec<(&'static str, Summary)> {
+    run_batch_all_with(systems, batch, metric, Engine::Plain)
+}
+
+/// [`run_batch_all`] on a chosen [`Engine`]. Under [`Engine::Cached`]
+/// each system thread owns one route cache for its whole batch.
+pub fn run_batch_all_with(
+    systems: &[Box<dyn ResourceDiscovery + Send + Sync>],
+    batch: &[(usize, Query)],
+    metric: Metric,
+    engine: Engine,
+) -> Vec<(&'static str, Summary)> {
+    if engine == Engine::Cached {
+        let mut pools: Vec<CachePool> = systems.iter().map(|_| CachePool::new()).collect();
+        return run_batch_all_cached(systems, batch, metric, &mut pools);
+    }
     let mut out: Vec<(&'static str, Summary)> = Vec::with_capacity(systems.len());
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = systems
@@ -265,6 +568,42 @@ pub fn run_batch_all(
             .map(|sys| {
                 let sys = sys.as_ref();
                 scope.spawn(move |_| (sys.name(), run_batch(sys, batch, metric)))
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("batch worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out
+}
+
+/// [`run_batch_all`] through caller-owned per-system [`CachePool`]s (in
+/// `systems` order) that persist across calls. The fig-4/fig-5 sweeps
+/// hold the pools across their arity loops — the systems are unmutated
+/// between rounds, so every cached entry stays epoch-fresh and later
+/// rounds hit on the walks earlier rounds recorded. Bit-identical to
+/// [`Engine::Plain`] by construction.
+pub fn run_batch_all_cached(
+    systems: &[Box<dyn ResourceDiscovery + Send + Sync>],
+    batch: &[(usize, Query)],
+    metric: Metric,
+    pools: &mut [CachePool],
+) -> Vec<(&'static str, Summary)> {
+    assert_eq!(systems.len(), pools.len(), "one cache pool per system");
+    let mut out: Vec<(&'static str, Summary)> = Vec::with_capacity(systems.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = systems
+            .iter()
+            .zip(pools.iter_mut())
+            .map(|(sys, pool)| {
+                let sys = sys.as_ref();
+                scope.spawn(move |_| {
+                    (
+                        sys.name(),
+                        run_batch_cached_pooled(sys, batch, metric, default_shards(), pool),
+                    )
+                })
             })
             .collect();
         for h in handles {
@@ -385,6 +724,109 @@ mod tests {
                 let ctx = format!("{} shards={shards}", sys.name());
                 assert_summaries_bit_identical(&par, &seq, &ctx);
             }
+        }
+    }
+
+    #[test]
+    fn cached_batch_is_bit_identical_to_plain_batch() {
+        // The batched executor sorts each micro-chunk and runs through the
+        // route cache; the summary must still be bit-identical to the plain
+        // executor, for both metrics and at shard counts 1 and 3.
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        for (mix, seed) in [(QueryMix::Range, 0xCA5Eu64), (QueryMix::NonRange, 0xCA5F)] {
+            let batch = query_batch(&bed.workload, cfg.nodes, 15, 4, 3, mix, seed);
+            for sys in &bed.systems {
+                for shards in [1usize, 3] {
+                    for metric in [Metric::Hops, Metric::Visited] {
+                        let plain = run_batch_sharded(sys.as_ref(), &batch, metric, shards);
+                        let mut cache = RouteCache::new();
+                        let cached = run_batch_cached_sharded(
+                            sys.as_ref(),
+                            &batch,
+                            metric,
+                            shards,
+                            &mut cache,
+                        );
+                        let ctx = format!("{} shards={shards} {metric:?} {mix:?}", sys.name());
+                        assert_summaries_bit_identical(&cached, &plain, &ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_batch_is_bit_identical_after_churn() {
+        // Epoch invalidation, not cache clearing, is what keeps a persistent
+        // cache honest across topology changes: reuse one cache across a
+        // pre-churn and a post-churn batch and compare against plain runs.
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let mut bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 12, 4, 2, QueryMix::Range, 0xC4B2);
+        let mut caches: Vec<RouteCache> = bed.systems.iter().map(|_| RouteCache::new()).collect();
+        for (sys, cache) in bed.systems.iter().zip(caches.iter_mut()) {
+            let plain = run_batch_sharded(sys.as_ref(), &batch, Metric::Visited, 1);
+            let cached = run_batch_cached_sharded(sys.as_ref(), &batch, Metric::Visited, 1, cache);
+            assert_summaries_bit_identical(&cached, &plain, &format!("{} pre-churn", sys.name()));
+        }
+        for sys in bed.systems.iter_mut() {
+            for phys in [5usize, 41, 99] {
+                let _ = sys.leave_physical(phys);
+            }
+            sys.stabilize();
+            sys.place_all(&bed.workload.reports);
+        }
+        for (sys, cache) in bed.systems.iter().zip(caches.iter_mut()) {
+            let plain = run_batch_sharded(sys.as_ref(), &batch, Metric::Visited, 1);
+            let cached = run_batch_cached_sharded(sys.as_ref(), &batch, Metric::Visited, 1, cache);
+            assert_summaries_bit_identical(&cached, &plain, &format!("{} post-churn", sys.name()));
+        }
+    }
+
+    #[test]
+    fn cached_faulty_batch_is_bit_identical_to_plain_faulty_batch() {
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 15, 3, 3, QueryMix::Range, 0xFCAB);
+        // An inert plan short-circuits through the cache; a lossy plan takes
+        // the uncached faulty path. Both must match the plain faulty run.
+        for (seed, loss, fail) in [(0xFA60u64, 0.0f64, 0.0f64), (0xFA61, 0.15, 0.05)] {
+            let plan = FaultPlan::new(seed, loss, fail).unwrap();
+            for sys in &bed.systems {
+                for shards in [1usize, 3] {
+                    let plain =
+                        run_batch_faulty_sharded(sys.as_ref(), &batch, Metric::Hops, &plan, shards);
+                    let mut cache = RouteCache::new();
+                    let cached = run_batch_faulty_cached_sharded(
+                        sys.as_ref(),
+                        &batch,
+                        Metric::Hops,
+                        &plan,
+                        shards,
+                        &mut cache,
+                    );
+                    let ctx = format!("{} shards={shards} loss={loss}", sys.name());
+                    assert_summaries_bit_identical(&cached, &plain, &ctx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_cached_run_batch_all_matches_plain() {
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 15, 3, 2, QueryMix::Range, 0xE7A1);
+        let plain = run_batch_all_with(&bed.systems, &batch, Metric::Visited, Engine::Plain);
+        let cached = run_batch_all_with(&bed.systems, &batch, Metric::Visited, Engine::Cached);
+        for (name, p) in &plain {
+            let c = &cached.iter().find(|(n, _)| n == name).unwrap().1;
+            assert_summaries_bit_identical(c, p, name);
         }
     }
 

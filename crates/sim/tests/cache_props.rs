@@ -1,0 +1,118 @@
+//! Property tests for the route cache: for any batch shape, any fault
+//! plan, and any churn interleaving, the cache-on and cache-off runs must
+//! render byte-identical Report JSON at shard counts 1 and 3. The cache
+//! is supposed to be semantically invisible — these tests make "invisible"
+//! mean *every byte of the export*, not just the headline means.
+
+use analysis::System;
+use dht_core::{FaultPlan, RouteCache};
+use grid_resource::QueryMix;
+use proptest::prelude::*;
+use sim::experiments::{
+    query_batch, run_batch_cached_sharded, run_batch_faulty_cached_sharded,
+    run_batch_faulty_sharded, run_batch_sharded, Metric,
+};
+use sim::report::Report;
+use sim::setup::{SimConfig, TestBed};
+
+fn cfg() -> SimConfig {
+    SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() }
+}
+
+proptest! {
+    // Each case builds a fresh two-system bed and runs eight batches
+    // through it; a handful of cases already sweeps batch shape, fault
+    // coins and churn interleavings.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cache-on vs cache-off Report JSON is byte-identical across a
+    /// churn/fault interleaving, at shards 1 and 3, with the cached run
+    /// keeping ONE persistent cache per system across the whole
+    /// interleaving (epoch invalidation, not cache clearing, carries it
+    /// over the churn boundary).
+    #[test]
+    fn report_json_is_byte_identical_cache_on_vs_off(
+        origins in 1usize..8,
+        per_origin in 1usize..4,
+        arity in 1usize..4,
+        seed in any::<u32>(),
+        churn in prop::collection::vec((0usize..384, 0u8..3), 1..5),
+        lossy in any::<bool>(),
+    ) {
+        let cfg = cfg();
+        let mut bed = TestBed::with_systems(cfg, &[System::Lorm, System::Mercury]);
+        let batch = query_batch(
+            &bed.workload,
+            cfg.nodes,
+            origins,
+            per_origin,
+            arity,
+            QueryMix::Range,
+            seed as u64,
+        );
+        let plan = if lossy {
+            FaultPlan::new(seed as u64 ^ 0xFA, 0.15, 0.05).unwrap()
+        } else {
+            FaultPlan::new(seed as u64 ^ 0xFB, 0.0, 0.0).unwrap()
+        };
+        let mut plain_rep = Report::new();
+        let mut cached_rep = Report::new();
+        let mut caches: Vec<RouteCache> =
+            bed.systems.iter().map(|_| RouteCache::new()).collect();
+        for phase in 0..2 {
+            if phase == 1 {
+                // the churn interleaving: mutate between the two batch
+                // rounds, then repair and re-place reports
+                for sys in bed.systems.iter_mut() {
+                    for &(pick, kind) in &churn {
+                        let phys = pick % cfg.nodes;
+                        match kind {
+                            0 => {
+                                let _ = sys.leave_physical(phys);
+                            }
+                            1 => {
+                                let _ = sys.fail_physical(phys);
+                            }
+                            _ => sys.stabilize(),
+                        }
+                    }
+                    sys.stabilize();
+                    sys.place_all(&bed.workload.reports);
+                }
+            }
+            for (sys, cache) in bed.systems.iter().zip(caches.iter_mut()) {
+                for shards in [1usize, 3] {
+                    let label = format!("{} phase{phase} shards{shards}", sys.name());
+                    let p = run_batch_sharded(sys.as_ref(), &batch, Metric::Visited, shards);
+                    let c = run_batch_cached_sharded(
+                        sys.as_ref(),
+                        &batch,
+                        Metric::Visited,
+                        shards,
+                        cache,
+                    );
+                    plain_rep.summary(label.clone(), p);
+                    cached_rep.summary(label.clone(), c);
+                    let pf = run_batch_faulty_sharded(
+                        sys.as_ref(),
+                        &batch,
+                        Metric::Visited,
+                        &plan,
+                        shards,
+                    );
+                    let cf = run_batch_faulty_cached_sharded(
+                        sys.as_ref(),
+                        &batch,
+                        Metric::Visited,
+                        &plan,
+                        shards,
+                        cache,
+                    );
+                    plain_rep.summary(format!("{label} faulty"), pf);
+                    cached_rep.summary(format!("{label} faulty"), cf);
+                }
+            }
+        }
+        prop_assert_eq!(plain_rep.to_json(), cached_rep.to_json());
+    }
+}

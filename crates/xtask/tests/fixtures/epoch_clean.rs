@@ -1,0 +1,44 @@
+//! Fixture: every overlay-state write bumps the epoch, and read-only
+//! uses (indexing, comparisons, non-mutating methods, match arms) never
+//! count as mutations in the first place.
+
+pub struct Net {
+    fingers: Vec<u32>,
+    alive: Vec<bool>,
+    epoch: u64,
+}
+
+impl Net {
+    pub fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    pub fn set_finger(&mut self, i: usize, v: u32) {
+        self.fingers[i] = v;
+        self.bump_epoch();
+    }
+
+    pub fn mark_dead(&mut self, i: usize) {
+        self.alive[i] = false;
+        self.bump_epoch();
+    }
+
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    pub fn same_links(&self, other: &Net) -> bool {
+        self.fingers == other.fingers
+    }
+
+    pub fn first_live(&self, p: u32) -> Option<u32> {
+        match p {
+            p if self.alive[p as usize] => Some(p),
+            _ => None,
+        }
+    }
+}

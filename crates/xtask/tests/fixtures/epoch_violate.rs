@@ -1,0 +1,33 @@
+//! Fixture: overlay-state writes that never bump the epoch. Each
+//! mutation shape fires once: plain assignment, indexed store, in-place
+//! mutator call, and a handed-out `&mut` borrow.
+
+pub struct Net {
+    fingers: Vec<u32>,
+    succs: Vec<u32>,
+    alive: Vec<bool>,
+    sorted: Vec<u32>,
+    epoch: u64,
+}
+
+impl Net {
+    pub fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    pub fn resort(&mut self, order: Vec<u32>) {
+        self.sorted = order;
+    }
+
+    pub fn overwrite_finger(&mut self, i: usize, v: u32) {
+        self.fingers[i] = v;
+    }
+
+    pub fn clear_alive(&mut self) {
+        self.alive.clear();
+    }
+
+    pub fn lend_succs(&mut self) -> &mut Vec<u32> {
+        &mut self.succs
+    }
+}

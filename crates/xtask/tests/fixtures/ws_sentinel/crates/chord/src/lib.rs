@@ -23,7 +23,10 @@ impl Ring {
         self.fingers[i]
     }
 
+    pub fn bump_epoch(&mut self) {}
+
     pub fn store(&mut self, i: usize, v: u32) {
         self.fingers[i] = v;
+        self.bump_epoch();
     }
 }
