@@ -28,8 +28,8 @@ use dht_core::{
     Overlay, RouteCache,
 };
 use grid_resource::{
-    discovery::join_owners, AttrId, AttributeSpace, Query, QueryOutcome, ResourceDiscovery,
-    ResourceInfo, ValueTarget,
+    discovery::join_owners, AttrId, AttributeSpace, PieceKey, Query, QueryOutcome,
+    ResourceDiscovery, ResourceInfo, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -233,6 +233,7 @@ impl ResourceDiscovery for CompositeFlat {
     fn leave_physical(&mut self, phys: usize) -> Result<(), DhtError> {
         let node = self.node_of(phys)?;
         let handoff = self.host.drain_directory(node);
+        self.host.clear_replicas_of(node);
         self.host.net_mut().leave(node)?;
         self.phys_node[phys] = None;
         for info in handoff {
@@ -244,6 +245,7 @@ impl ResourceDiscovery for CompositeFlat {
     fn fail_physical(&mut self, phys: usize) -> Result<(), DhtError> {
         let node = self.node_of(phys)?;
         let _lost = self.host.drain_directory(node);
+        self.host.clear_replicas_of(node);
         self.host.net_mut().fail(node)?;
         self.phys_node[phys] = None;
         Ok(())
@@ -251,6 +253,31 @@ impl ResourceDiscovery for CompositeFlat {
 
     fn stabilize(&mut self) {
         self.host.net_mut().rebuild_all_state();
+        let segment_base = &self.segment_base;
+        let lph = &self.lph;
+        self.host.repair_replicas_with(&mut |info, keys| {
+            keys.push(segment_base[info.attr.0 as usize] | lph.hash(info.value));
+        });
+    }
+
+    fn set_replication(&mut self, k: usize) {
+        let segment_base = &self.segment_base;
+        let lph = &self.lph;
+        self.host.set_replication_with(k, &mut |info, keys| {
+            keys.push(segment_base[info.attr.0 as usize] | lph.hash(info.value));
+        });
+    }
+
+    fn replication(&self) -> usize {
+        self.host.replication()
+    }
+
+    fn repair_stats(&self) -> dht_core::RepairStats {
+        self.host.repair_stats()
+    }
+
+    fn surviving_pieces_into(&self, out: &mut Vec<PieceKey>) {
+        self.host.surviving_pieces_into(out);
     }
 }
 

@@ -3,18 +3,34 @@
 
 use chord::{Chord, ChordConfig};
 use dht_core::{
-    probe_step, BuildMode, DhtError, FaultAccount, FaultPlan, NodeIdx, Overlay, RouteCache,
-    RouteStats, WalkStep,
+    probe_step, BuildMode, DhtError, FaultAccount, FaultPlan, NodeIdx, Overlay, RepairStats,
+    RouteCache, RouteStats, WalkStep,
 };
-use grid_resource::{AttrId, Directory, ResourceInfo, ValueTarget};
+use grid_resource::{AttrId, Directory, PieceKey, ReplicaStore, ResourceInfo, ValueTarget};
+
+/// Per-piece routing keys callback: systems place a report under
+/// system-specific keys (SWORD hashes the attribute, MAAN both the
+/// attribute and the value, Mercury the value per hub), so the host's
+/// replication engine asks the owner system for the key(s) of each piece
+/// it copies — promotion later reroutes by the same key.
+pub type KeysOf<'a> = &'a mut dyn FnMut(&ResourceInfo, &mut Vec<u64>);
 
 /// One Chord overlay with a resource-information directory on every node.
 ///
 /// `Sword` and `Maan` own one host; `Mercury` owns one per attribute hub.
+///
+/// The host also carries the optional replication layer (degree `repl`):
+/// per-node [`ReplicaStore`]s placed along successor lists, repaired on
+/// demand by [`ChordHost::repair_replicas_with`]. At the default degree
+/// of 1 no replica state exists and every replication method is a no-op,
+/// so unreplicated runs are byte-identical to builds without this layer.
 #[derive(Debug, Clone)]
 pub struct ChordHost {
     net: Chord,
     dirs: Vec<Directory>,
+    repl: usize,
+    replicas: Vec<ReplicaStore>,
+    repair: RepairStats,
 }
 
 impl ChordHost {
@@ -28,7 +44,7 @@ impl ChordHost {
     pub fn build_with_mode(n: usize, seed: u64, mode: BuildMode) -> Self {
         let net = Chord::build_with_mode(n, ChordConfig { seed, ..ChordConfig::default() }, mode);
         let dirs = vec![Directory::new(); net.arena_len()];
-        Self { net, dirs }
+        Self { net, dirs, repl: 1, replicas: Vec::new(), repair: RepairStats::new() }
     }
 
     /// The underlying overlay.
@@ -41,9 +57,14 @@ impl ChordHost {
         &mut self.net
     }
 
-    /// Clear every directory.
+    /// Clear every directory (and, when replicating, every replica store —
+    /// a full re-placement invalidates old replica attribution; the next
+    /// repair round re-seeds replicas from the new primaries).
     pub fn clear(&mut self) {
         self.dirs = vec![Directory::new(); self.net.arena_len()];
+        if self.repl > 1 {
+            self.replicas = vec![ReplicaStore::new(); self.net.arena_len()];
+        }
     }
 
     /// Keep directory storage in sync with the arena after joins.
@@ -51,6 +72,130 @@ impl ChordHost {
         if self.dirs.len() < self.net.arena_len() {
             self.dirs.resize(self.net.arena_len(), Directory::new());
         }
+        if self.repl > 1 && self.replicas.len() < self.net.arena_len() {
+            self.replicas.resize(self.net.arena_len(), ReplicaStore::new());
+        }
+    }
+
+    /// Enable replication at degree `k`, seeding replica stores from the
+    /// current primaries (seeding is initial placement, not repair — it is
+    /// not counted in [`ChordHost::repair_stats`]). `k <= 1` drops all
+    /// replica state and disables the layer.
+    pub fn set_replication_with(&mut self, k: usize, keys_of: KeysOf<'_>) {
+        self.repl = k.max(1);
+        self.repair = RepairStats::new();
+        if self.repl <= 1 {
+            self.replicas = Vec::new();
+            return;
+        }
+        self.replicas = vec![ReplicaStore::new(); self.net.arena_len()];
+        self.replicate_primaries(keys_of, false);
+    }
+
+    /// The configured replication degree (1 = unreplicated).
+    pub fn replication(&self) -> usize {
+        self.repl
+    }
+
+    /// Cumulative replica-repair bandwidth counters.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repair
+    }
+
+    /// Copy every live primary piece to its current successor-list
+    /// targets, skipping copies that already exist. With `account` the
+    /// new copies are charged to [`ChordHost::repair_stats`] (repair);
+    /// without it they are free (initial seeding).
+    fn replicate_primaries(&mut self, keys_of: KeysOf<'_>, account: bool) {
+        let mut targets: Vec<NodeIdx> = Vec::new();
+        let mut keys: Vec<u64> = Vec::new();
+        for &p in self.net.live_nodes() {
+            targets.clear();
+            if self.net.replica_targets_into(p, self.repl, &mut targets).is_err()
+                || targets.is_empty()
+            {
+                continue;
+            }
+            let Some(dir) = self.dirs.get(p.0) else { continue };
+            for info in dir.iter() {
+                keys.clear();
+                keys_of(info, &mut keys);
+                for &key in &keys {
+                    for &t in &targets {
+                        if self.replicas[t.0].insert(p, key, *info) && account {
+                            self.repair.record_copy();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One replica-repair round; call right after the overlay's own
+    /// repair (`rebuild_all_state`), while successor lists are ground
+    /// truth. Two phases, in order:
+    ///
+    /// 1. **Promote**: every replica whose primary died is re-stored at
+    ///    the key's *current* owner (one transfer, counted as a
+    ///    promotion) — unless the owner already holds the piece (graceful
+    ///    handoff beat us to it; the stale entry is dropped free).
+    /// 2. **Re-replicate**: every live primary piece — including the
+    ///    pieces phase 1 just promoted — is copied to its current
+    ///    targets where missing (counted as copies).
+    ///
+    /// No-op below degree 2.
+    pub fn repair_replicas_with(&mut self, keys_of: KeysOf<'_>) {
+        if self.repl <= 1 {
+            return;
+        }
+        self.sync_arena();
+        self.repair.record_round();
+        let net = &self.net;
+        for holder in 0..self.replicas.len() {
+            if !net.node(NodeIdx(holder)).map(|n| n.is_alive()).unwrap_or(false) {
+                continue;
+            }
+            let dead = self.replicas[holder]
+                .drain_dead(|p| net.node(p).map(|n| n.is_alive()).unwrap_or(false));
+            for e in dead {
+                match net.owner_of(e.key) {
+                    Ok(owner) if !self.dirs[owner.0].contains(&e.info) => {
+                        self.dirs[owner.0].push(e.info);
+                        self.repair.record_promotion();
+                    }
+                    _ => self.repair.record_dropped(),
+                }
+            }
+        }
+        self.replicate_primaries(keys_of, true);
+    }
+
+    /// Drop every replica held *by* `idx` — the store dies with the node
+    /// on failure or departure. Replicas held elsewhere on `idx`'s behalf
+    /// are cleaned up (promoted or dropped) by the next repair round.
+    pub fn clear_replicas_of(&mut self, idx: NodeIdx) {
+        if let Some(store) = self.replicas.get_mut(idx.0) {
+            store.clear();
+        }
+    }
+
+    /// Append the piece identity of everything reachable on live nodes —
+    /// primary directories and replica stores both. Callers canonicalize
+    /// (sort + dedup).
+    pub fn surviving_pieces_into(&self, out: &mut Vec<PieceKey>) {
+        for &n in self.net.live_nodes() {
+            if let Some(dir) = self.dirs.get(n.0) {
+                out.extend(dir.iter().map(PieceKey::of));
+            }
+            if let Some(store) = self.replicas.get(n.0) {
+                store.keys_into(out);
+            }
+        }
+    }
+
+    /// Replica store of one node (inspection/tests).
+    pub fn replicas_of(&self, node: NodeIdx) -> Option<&ReplicaStore> {
+        self.replicas.get(node.0)
     }
 
     /// Store at the ground-truth owner of `key` (periodic report refresh).

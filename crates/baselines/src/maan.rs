@@ -22,7 +22,7 @@ use dht_core::{
     NodeIdx, Overlay, RouteCache,
 };
 use grid_resource::{
-    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
+    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, PieceKey, Query, QueryOutcome,
     ResourceDiscovery, ResourceInfo, ValueTarget,
 };
 use rand::rngs::SmallRng;
@@ -376,6 +376,7 @@ impl ResourceDiscovery for Maan {
         let pred_id =
             self.host.net().node(node)?.predecessor().and_then(|p| self.host.net().id_of(p).ok());
         let handoff = self.host.drain_directory(node);
+        self.host.clear_replicas_of(node);
         self.host.net_mut().leave(node)?;
         self.phys_node[phys] = None;
         // A piece stored under both keys appears twice in the handoff;
@@ -412,6 +413,7 @@ impl ResourceDiscovery for Maan {
     fn fail_physical(&mut self, phys: usize) -> Result<(), DhtError> {
         let node = self.node_of(phys)?;
         let _lost = self.host.drain_directory(node);
+        self.host.clear_replicas_of(node);
         self.host.net_mut().fail(node)?;
         self.phys_node[phys] = None;
         Ok(())
@@ -420,8 +422,37 @@ impl ResourceDiscovery for Maan {
     fn stabilize(&mut self) {
         // The simulator's maintenance tick: perfect repair from ground
         // truth (the protocol-level stabilize/fix_fingers path is
-        // exercised by the chord crate's own tests).
+        // exercised by the chord crate's own tests), then replica repair.
         self.host.net_mut().rebuild_all_state();
+        let attr_keys = &self.attr_keys;
+        let lph = &self.lph;
+        self.host.repair_replicas_with(&mut |info, keys| {
+            // MAAN registers every piece twice: promoted replicas reroute
+            // under both the attribute and the value key.
+            keys.push(attr_keys[info.attr.0 as usize]);
+            keys.push(lph.hash(info.value));
+        });
+    }
+
+    fn set_replication(&mut self, k: usize) {
+        let attr_keys = &self.attr_keys;
+        let lph = &self.lph;
+        self.host.set_replication_with(k, &mut |info, keys| {
+            keys.push(attr_keys[info.attr.0 as usize]);
+            keys.push(lph.hash(info.value));
+        });
+    }
+
+    fn replication(&self) -> usize {
+        self.host.replication()
+    }
+
+    fn repair_stats(&self) -> dht_core::RepairStats {
+        self.host.repair_stats()
+    }
+
+    fn surviving_pieces_into(&self, out: &mut Vec<PieceKey>) {
+        self.host.surviving_pieces_into(out);
     }
 }
 
@@ -552,6 +583,41 @@ mod tests {
             let cached = m.query_from_cached(i % 250 + 4, &q, &mut cache).unwrap();
             assert_eq!(cached, plain, "post-churn query {i}");
         }
+    }
+
+    #[test]
+    fn replication_preserves_query_completeness_under_failures() {
+        // With degree 2 and one failure per repair window, no piece is
+        // ever lost — and because promotion reroutes a dead primary's
+        // pieces under *both* MAAN registrations, every query stays
+        // complete against the original workload.
+        let (w, mut m) = setup();
+        m.set_replication(2);
+        let mut rng = SmallRng::seed_from_u64(0xFA);
+        use rand::Rng;
+        for _ in 0..8 {
+            let phys = loop {
+                let p = rng.gen_range(0..256);
+                if m.is_live(p) {
+                    break p;
+                }
+            };
+            m.fail_physical(phys).unwrap();
+            m.stabilize();
+        }
+        let origin = (0..256).find(|&p| m.is_live(p)).unwrap();
+        for mix in [QueryMix::NonRange, QueryMix::Range] {
+            for _ in 0..40 {
+                let q = w.random_query(2, mix, &mut rng);
+                let out = m.query_from(origin, &q).unwrap();
+                let expected =
+                    join_owners(q.subs.iter().map(|sq| brute(&w, sq.attr, &sq.target)).collect());
+                let mut got = out.owners.clone();
+                got.sort_unstable();
+                assert_eq!(got, expected, "{mix:?} incomplete after replicated churn");
+            }
+        }
+        assert!(m.repair_stats().transfers() > 0);
     }
 
     #[test]

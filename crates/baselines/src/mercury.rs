@@ -19,7 +19,7 @@ use dht_core::{
     FaultAccount, FaultPlan, LoadDist, LocalityHash, LookupTally, NodeIdx, Overlay, RouteCache,
 };
 use grid_resource::{
-    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
+    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, PieceKey, Query, QueryOutcome,
     ResourceDiscovery, ResourceInfo, ValueTarget,
 };
 use rand::rngs::SmallRng;
@@ -399,6 +399,7 @@ impl ResourceDiscovery for Mercury {
         let node = self.node_of(phys)?;
         for hub in &mut self.hubs {
             let handoff = hub.drain_directory(node);
+            hub.clear_replicas_of(node);
             hub.net_mut().leave(node)?;
             for info in handoff {
                 let key = self.lph.hash(info.value);
@@ -413,6 +414,7 @@ impl ResourceDiscovery for Mercury {
         let node = self.node_of(phys)?;
         for hub in &mut self.hubs {
             let _lost = hub.drain_directory(node);
+            hub.clear_replicas_of(node);
             hub.net_mut().fail(node)?;
         }
         self.phys_node[phys] = None;
@@ -423,9 +425,44 @@ impl ResourceDiscovery for Mercury {
         // Perfect-repair maintenance tick; protocol-level repair is
         // exercised in the chord crate's tests. With m hubs the protocol
         // path would route m·n·64 lookups per tick — the simulator's
-        // ground-truth rebuild keeps churn experiments tractable.
+        // ground-truth rebuild keeps churn experiments tractable. Replica
+        // repair then runs hub by hub: promotions reroute within the hub
+        // by the piece's value key.
+        let lph = &self.lph;
         for hub in &mut self.hubs {
             hub.net_mut().rebuild_all_state();
+            hub.repair_replicas_with(&mut |info, keys| {
+                keys.push(lph.hash(info.value));
+            });
+        }
+    }
+
+    fn set_replication(&mut self, k: usize) {
+        let lph = &self.lph;
+        for hub in &mut self.hubs {
+            hub.set_replication_with(k, &mut |info, keys| {
+                keys.push(lph.hash(info.value));
+            });
+        }
+    }
+
+    fn replication(&self) -> usize {
+        self.hubs.first().map_or(1, ChordHost::replication)
+    }
+
+    fn repair_stats(&self) -> dht_core::RepairStats {
+        let mut total = dht_core::RepairStats::new();
+        for hub in &self.hubs {
+            total.merge(&hub.repair_stats());
+        }
+        total
+    }
+
+    fn surviving_pieces_into(&self, out: &mut Vec<PieceKey>) {
+        // A piece survives if any hub still reaches it; duplicates across
+        // hubs collapse when the caller canonicalizes.
+        for hub in &self.hubs {
+            hub.surviving_pieces_into(out);
         }
     }
 }

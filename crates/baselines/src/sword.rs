@@ -14,7 +14,7 @@ use dht_core::{
     FaultAccount, FaultPlan, LoadDist, LookupTally, NodeIdx, Overlay, RouteCache,
 };
 use grid_resource::{
-    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, Query, QueryOutcome,
+    discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, PieceKey, Query, QueryOutcome,
     ResourceDiscovery, ResourceInfo,
 };
 use rand::rngs::SmallRng;
@@ -242,6 +242,7 @@ impl ResourceDiscovery for Sword {
     fn leave_physical(&mut self, phys: usize) -> Result<(), DhtError> {
         let node = self.node_of(phys)?;
         let handoff = self.host.drain_directory(node);
+        self.host.clear_replicas_of(node);
         self.host.net_mut().leave(node)?;
         self.phys_node[phys] = None;
         for info in handoff {
@@ -253,6 +254,7 @@ impl ResourceDiscovery for Sword {
     fn fail_physical(&mut self, phys: usize) -> Result<(), DhtError> {
         let node = self.node_of(phys)?;
         let _lost = self.host.drain_directory(node);
+        self.host.clear_replicas_of(node);
         self.host.net_mut().fail(node)?;
         self.phys_node[phys] = None;
         Ok(())
@@ -261,16 +263,40 @@ impl ResourceDiscovery for Sword {
     fn stabilize(&mut self) {
         // The simulator's maintenance tick: perfect repair from ground
         // truth (the protocol-level stabilize/fix_fingers path is
-        // exercised by the chord crate's own tests).
+        // exercised by the chord crate's own tests), then replica repair
+        // over the freshly repaired successor lists.
         self.host.net_mut().rebuild_all_state();
+        let attr_keys = &self.attr_keys;
+        self.host.repair_replicas_with(&mut |info, keys| {
+            keys.push(attr_keys[info.attr.0 as usize]);
+        });
+    }
+
+    fn set_replication(&mut self, k: usize) {
+        let attr_keys = &self.attr_keys;
+        self.host.set_replication_with(k, &mut |info, keys| {
+            keys.push(attr_keys[info.attr.0 as usize]);
+        });
+    }
+
+    fn replication(&self) -> usize {
+        self.host.replication()
+    }
+
+    fn repair_stats(&self) -> dht_core::RepairStats {
+        self.host.repair_stats()
+    }
+
+    fn surviving_pieces_into(&self, out: &mut Vec<PieceKey>) {
+        self.host.surviving_pieces_into(out);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grid_resource::{QueryMix, Workload, WorkloadConfig};
-    use rand::SeedableRng;
+    use grid_resource::{canonicalize_pieces, count_surviving, QueryMix, Workload, WorkloadConfig};
+    use rand::{Rng, SeedableRng};
 
     fn setup() -> (Workload, Sword) {
         let mut rng = SmallRng::seed_from_u64(0x51);
@@ -393,6 +419,110 @@ mod tests {
             assert_eq!(faulty.outcome, plain);
             assert!(faulty.is_complete());
         }
+    }
+
+    fn surviving(s: &Sword) -> Vec<PieceKey> {
+        let mut out = Vec::new();
+        s.surviving_pieces_into(&mut out);
+        canonicalize_pieces(&mut out);
+        out
+    }
+
+    #[test]
+    fn k1_replication_stays_a_no_op() {
+        let (_, mut s) = setup();
+        let before = surviving(&s);
+        s.set_replication(1);
+        s.stabilize();
+        assert_eq!(s.replication(), 1);
+        assert_eq!(s.repair_stats().rounds(), 0, "no repair rounds at degree 1");
+        assert_eq!(s.repair_stats().transfers(), 0);
+        assert_eq!(surviving(&s), before);
+    }
+
+    #[test]
+    fn replication_adds_copies_not_identities() {
+        let (w, mut s) = setup();
+        s.set_replication(3);
+        assert_eq!(s.replication(), 3);
+        // Replicas are extra copies of the same piece identities, not new
+        // primaries: the piece census and primary count both stay put.
+        let mut expected: Vec<PieceKey> = w.reports.iter().map(PieceKey::of).collect();
+        canonicalize_pieces(&mut expected);
+        assert_eq!(surviving(&s), expected);
+        assert_eq!(s.total_pieces(), w.reports.len());
+        // Seeding is free; repair has not run yet.
+        assert_eq!(s.repair_stats().transfers(), 0);
+    }
+
+    #[test]
+    fn single_failures_between_repairs_lose_nothing_at_k2() {
+        // The durability contract: with degree 2, fewer than 2 adjacent
+        // failures per repair window can never lose a replicated piece.
+        let (_, mut s) = setup();
+        s.set_replication(2);
+        let initial = surviving(&s);
+        assert!(!initial.is_empty());
+        let mut rng = SmallRng::seed_from_u64(0xDEAD);
+        for round in 0..12 {
+            let phys = loop {
+                let p = rng.gen_range(0..256);
+                if s.is_live(p) {
+                    break p;
+                }
+            };
+            s.fail_physical(phys).unwrap();
+            s.stabilize();
+            let now = surviving(&s);
+            assert_eq!(
+                count_surviving(&initial, &now),
+                initial.len(),
+                "pieces lost in round {round}"
+            );
+        }
+        assert!(s.repair_stats().transfers() > 0, "repair must have moved copies");
+    }
+
+    #[test]
+    fn repair_survives_successor_list_exhaustion() {
+        // Regression: Chord's successor list holds 4 entries. Fail the
+        // current replica target of one attribute root six times — one
+        // failure per repair window — so the list the replicas were first
+        // placed on is exhausted and then some. Repair-on-stabilize must
+        // re-replicate onto the next live successor each round, and the
+        // replication degree must be fully restored at the end.
+        let (w, mut s) = setup();
+        s.set_replication(2);
+        let initial = surviving(&s);
+        let root = s.host().net().owner_of(s.key_of(AttrId(0))).unwrap();
+        for round in 0..6 {
+            let mut targets = Vec::new();
+            s.host().net().replica_targets_into(root, 2, &mut targets).unwrap();
+            let victim = targets[0];
+            assert_ne!(victim, root);
+            s.fail_physical(victim.0).unwrap();
+            s.stabilize();
+            let now = surviving(&s);
+            assert_eq!(
+                count_surviving(&initial, &now),
+                initial.len(),
+                "pieces lost in round {round}"
+            );
+        }
+        // Degree restored: the root's *current* replica target holds a
+        // copy of every piece whose attribute routes to this root.
+        let mut targets = Vec::new();
+        s.host().net().replica_targets_into(root, 2, &mut targets).unwrap();
+        let store = s.host().replicas_of(targets[0]).unwrap();
+        let mut checked = 0usize;
+        for r in &w.reports {
+            let key = s.key_of(r.attr);
+            if s.host().net().owner_of(key).unwrap() == root {
+                assert!(store.contains(root, key, r), "replica missing for {r:?}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "at least one attribute pool must route to the chosen root");
     }
 
     #[test]

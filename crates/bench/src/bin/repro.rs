@@ -162,6 +162,41 @@ fn main() {
         }
         return;
     }
+    if cfg.durability {
+        println!(
+            "# LORM durability sweep — {} mode (seed {})\n",
+            if cfg.quick { "quick" } else { "full (paper §V)" },
+            cfg.seed
+        );
+        let d = bench::durability::run_durability(&cfg);
+        println!("{d}");
+        if let Some(path) = &cfg.json {
+            let json = bench::durability::render_durability_json(&cfg, &d);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("(durability metrics written to {})", path.display());
+        }
+        let violations = d.k_monotonicity_violations();
+        if !violations.is_empty() {
+            eprintln!(
+                "durability sweep: data loss was not monotone in the replication \
+                 degree ({} violation(s), see notes above)",
+                violations.len()
+            );
+            std::process::exit(1);
+        }
+        if d.theory_failures() > 0 {
+            eprintln!(
+                "durability sweep: {} churn theory check(s) fell outside their \
+                 tolerance bands (see table above)",
+                d.theory_failures()
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if cfg.chaos {
         println!(
             "# LORM chaos sweep — {} mode (seed {})\n",

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod durability;
 pub mod perf;
 pub mod scale;
 
@@ -149,6 +150,8 @@ pub struct ReproConfig {
     pub chaos: bool,
     /// Run the 1k → 1M scaling sweep instead of the figures.
     pub scale: bool,
+    /// Run the replication/durability churn sweep instead of the figures.
+    pub durability: bool,
     /// Perf and scale modes: diff the run against this committed BENCH
     /// file and exit non-zero on a per-kernel wall-clock regression.
     pub baseline: Option<PathBuf>,
@@ -168,6 +171,7 @@ impl Default for ReproConfig {
             perf: false,
             chaos: false,
             scale: false,
+            durability: false,
             baseline: None,
             cached: true,
         }
@@ -386,7 +390,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
 ) -> Result<(ReproConfig, Vec<Artifact>), String> {
     const USAGE: &str = "usage: repro [--quick] [--seed=N] [--shards=N] \
                          [--json <path>] [--baseline <BENCH.json>] [--no-cache] \
-                         [perf | chaos | scale | theorems fig3a \
+                         [perf | chaos | scale | durability | theorems fig3a \
                           fig3bcd fig3sweep fig4 fig5 fig6a fig6b t410 \
                           maintenance churnfail hopdist latency loadbalance \
                           ablations | all]";
@@ -423,6 +427,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
             "perf" => cfg.perf = true,
             "chaos" => cfg.chaos = true,
             "scale" => cfg.scale = true,
+            "durability" => cfg.durability = true,
             s => match Artifact::parse(s) {
                 Some(mut v) => artifacts.append(&mut v),
                 None => return Err(format!("unknown target {s:?}\n{USAGE}")),
@@ -606,6 +611,15 @@ mod tests {
         assert!(!cfg.perf && !cfg.chaos);
         let (cfg, _) = parse_args(["fig4".into()]).unwrap();
         assert!(!cfg.scale);
+    }
+
+    #[test]
+    fn parse_durability_target() {
+        let (cfg, _) = parse_args(["--quick".into(), "durability".into()]).unwrap();
+        assert!(cfg.durability);
+        assert!(!cfg.perf && !cfg.chaos && !cfg.scale);
+        let (cfg, _) = parse_args(["fig4".into()]).unwrap();
+        assert!(!cfg.durability);
     }
 
     #[test]

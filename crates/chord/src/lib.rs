@@ -31,5 +31,5 @@ mod network;
 mod node;
 mod routing;
 
-pub use network::{Chord, ChordConfig};
+pub use network::{Chord, ChordConfig, SuccessorStaleness};
 pub use node::ChordNode;

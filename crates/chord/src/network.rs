@@ -87,6 +87,25 @@ pub struct Chord {
     epoch: u64,
 }
 
+/// Successor staleness sampled over every live node's node-local view —
+/// see [`Chord::successor_staleness`]. All fields are plain counts so
+/// callers can aggregate over maintenance rounds without rounding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuccessorStaleness {
+    /// Live nodes sampled (nodes with a non-empty successor list).
+    pub live: usize,
+    /// Nodes whose *first* successor entry points at a dead node — the
+    /// per-node pointer staleness of Krishnamurthy et al.
+    pub stale_first: usize,
+    /// Nodes whose *entire* successor list is dead (a lookup arriving
+    /// here cannot make forward progress until repair).
+    pub exhausted: usize,
+    /// Dead entries summed over all sampled successor lists.
+    pub dead_entries: usize,
+    /// Total entries summed over all sampled successor lists.
+    pub entries: usize,
+}
+
 /// Can an arena of `len` slots grow by `extra` without leaving `u32`
 /// slot range? [`NO_LINK`] (`u32::MAX`) is reserved as the sentinel, so
 /// the largest usable slot index is `u32::MAX - 1`.
@@ -436,6 +455,71 @@ impl Chord {
             p if p != NO_LINK && self.alive[p as usize] => Ok(NodeIdx(p as usize)),
             _ => Err(DhtError::EmptyOverlay),
         }
+    }
+
+    /// Append up to `k - 1` replica targets for live node `idx`: the first
+    /// distinct *alive* entries of its successor list, never `idx` itself.
+    ///
+    /// The result at degree `k` is a prefix of the result at `k + 1`
+    /// (successor-list placement is a prefix rule), which makes piece
+    /// survival monotone in the replication degree. Right after
+    /// [`Self::rebuild_all_state`] the list is ground truth, so targets
+    /// are the `k - 1` live nodes clockwise of `idx`.
+    pub fn replica_targets_into(
+        &self,
+        idx: NodeIdx,
+        k: usize,
+        out: &mut Vec<NodeIdx>,
+    ) -> Result<(), DhtError> {
+        self.check_live(idx)?;
+        if k <= 1 {
+            return Ok(());
+        }
+        let want = k - 1;
+        let before = out.len();
+        for &s in self.raw_succs(idx.0) {
+            let slot = s as usize;
+            if slot == idx.0 || !self.alive[slot] {
+                continue;
+            }
+            let cand = NodeIdx(slot);
+            if out[before..].contains(&cand) {
+                continue;
+            }
+            out.push(cand);
+            if out.len() - before == want {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sample successor staleness over every live node's *node-local*
+    /// view — the quantities Krishnamurthy et al.'s master-equation
+    /// analysis of Chord under churn predicts in closed form. Call just
+    /// before a maintenance round: [`Self::rebuild_all_state`] resets
+    /// every counter to zero by construction.
+    pub fn successor_staleness(&self) -> SuccessorStaleness {
+        let mut s = SuccessorStaleness::default();
+        for &idx in &self.sorted {
+            let succs = self.raw_succs(idx.0);
+            if succs.is_empty() {
+                continue;
+            }
+            s.live += 1;
+            let dead = succs.iter().filter(|&&x| !self.alive[x as usize]).count();
+            // lint:allow(sentinel-guard): raw_succs yields the used
+            // prefix (succ_lens-bounded), which never holds NO_LINK.
+            if !self.alive[succs[0] as usize] {
+                s.stale_first += 1;
+            }
+            if dead == succs.len() {
+                s.exhausted += 1;
+            }
+            s.dead_entries += dead;
+            s.entries += succs.len();
+        }
+        s
     }
 
     /// Join a new node with a random identifier, bootstrapping through

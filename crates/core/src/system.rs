@@ -4,11 +4,12 @@ use crate::keys::{KeyDeriver, Placement};
 use cycloid::{Cycloid, CycloidConfig, CycloidId};
 use dht_core::{
     probe_step, route_stats_cached, route_with_retry, sub_msg_id, walk_msg_id, BuildMode, DhtError,
-    FaultAccount, FaultPlan, LoadDist, LookupTally, NodeIdx, Overlay, RouteCache, WalkStep,
+    FaultAccount, FaultPlan, LoadDist, LookupTally, NodeIdx, Overlay, RepairStats, RouteCache,
+    WalkStep,
 };
 use grid_resource::{
-    discovery::join_owners, AttributeSpace, Directory, FaultyOutcome, Query, QueryOutcome,
-    ResourceDiscovery, ResourceInfo, ValueTarget,
+    discovery::join_owners, AttributeSpace, Directory, FaultyOutcome, PieceKey, Query,
+    QueryOutcome, ReplicaStore, ResourceDiscovery, ResourceInfo, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -46,6 +47,12 @@ pub struct Lorm {
     phys_node: Vec<Option<NodeIdx>>,
     total_pieces: usize,
     mode: BuildMode,
+    /// Replication degree (1 = unreplicated, no replica state at all).
+    repl: usize,
+    /// Replica store per arena slot, placed along the inside leaf set
+    /// (cluster members clockwise of the root). Empty below degree 2.
+    replicas: Vec<ReplicaStore>,
+    repair: RepairStats,
 }
 
 impl Lorm {
@@ -82,6 +89,9 @@ impl Lorm {
             phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(),
             total_pieces: 0,
             mode,
+            repl: 1,
+            replicas: Vec::new(),
+            repair: RepairStats::new(),
         }
     }
 
@@ -100,8 +110,86 @@ impl Lorm {
         &self.directories[node.0]
     }
 
+    /// Replica store of one node (inspection/tests).
+    pub fn replicas_of(&self, node: NodeIdx) -> Option<&ReplicaStore> {
+        self.replicas.get(node.0)
+    }
+
     fn node_of(&self, phys: usize) -> Result<NodeIdx, DhtError> {
         self.phys_node.get(phys).copied().flatten().ok_or(DhtError::NodeNotFound { index: phys })
+    }
+
+    /// Pack a rescID into the replica layer's `u64` routing key (the
+    /// replica entry format is overlay-agnostic; promotion unpacks it).
+    fn pack_id(id: CycloidId) -> u64 {
+        (u64::from(id.cubical) << 8) | u64::from(id.cyclic)
+    }
+
+    fn unpack_id(key: u64) -> CycloidId {
+        CycloidId { cubical: (key >> 8) as u32, cyclic: (key & 0xFF) as u8 }
+    }
+
+    /// Copy every live primary piece to its current leaf-set targets,
+    /// skipping copies that already exist. With `account` the new copies
+    /// are charged to the repair counters (repair); without it they are
+    /// free (initial seeding).
+    fn replicate_primaries(&mut self, account: bool) {
+        let mut targets: Vec<NodeIdx> = Vec::new();
+        for &p in self.overlay.live_nodes() {
+            targets.clear();
+            if self.overlay.replica_targets_into(p, self.repl, &mut targets).is_err()
+                || targets.is_empty()
+            {
+                continue;
+            }
+            let Some(dir) = self.directories.get(p.0) else { continue };
+            for info in dir.iter() {
+                let key = Self::pack_id(self.keys.resc_id(info.attr, info.value));
+                for &t in &targets {
+                    if self.replicas[t.0].insert(p, key, *info) && account {
+                        self.repair.record_copy();
+                    }
+                }
+            }
+        }
+    }
+
+    /// One replica-repair round, run right after the overlay's own link
+    /// repair: promote replicas whose primary died to the rescID's current
+    /// root (unless a graceful handoff already put the piece there), then
+    /// re-replicate every live primary to its current targets. No-op
+    /// below degree 2; mirrors `ChordHost::repair_replicas_with`.
+    fn repair_replicas(&mut self) {
+        if self.repl <= 1 {
+            return;
+        }
+        let arena = self.overlay.arena_len();
+        if self.replicas.len() < arena {
+            self.replicas.resize(arena, ReplicaStore::new());
+        }
+        if self.directories.len() < arena {
+            self.directories.resize(arena, Directory::new());
+        }
+        self.repair.record_round();
+        let overlay = &self.overlay;
+        for holder in 0..self.replicas.len() {
+            if !overlay.node(NodeIdx(holder)).map(|n| n.is_alive()).unwrap_or(false) {
+                continue;
+            }
+            let dead = self.replicas[holder]
+                .drain_dead(|p| overlay.node(p).map(|n| n.is_alive()).unwrap_or(false));
+            for e in dead {
+                match overlay.owner_of(Self::unpack_id(e.key)) {
+                    Ok(root) if !self.directories[root.0].contains(&e.info) => {
+                        self.directories[root.0].push(e.info);
+                        self.total_pieces += 1;
+                        self.repair.record_promotion();
+                    }
+                    _ => self.repair.record_dropped(),
+                }
+            }
+        }
+        self.replicate_primaries(true);
     }
 
     fn store(&mut self, node: NodeIdx, info: ResourceInfo) {
@@ -351,6 +439,11 @@ impl ResourceDiscovery for Lorm {
     fn place_all(&mut self, reports: &[ResourceInfo]) {
         self.directories = vec![Directory::new(); self.overlay.arena_len()];
         self.total_pieces = 0;
+        if self.repl > 1 {
+            // Re-placement invalidates old replica attribution; the next
+            // repair round re-seeds replicas from the new primaries.
+            self.replicas = vec![ReplicaStore::new(); self.overlay.arena_len()];
+        }
         match self.mode {
             BuildMode::Bulk => {
                 // Resolve every report's root, group by root with one
@@ -604,6 +697,9 @@ impl ResourceDiscovery for Lorm {
         let slot = self.overlay.random_free_slot(rng).ok_or(DhtError::IdSpaceExhausted)?;
         let idx = self.overlay.join_with_id(slot)?;
         self.directories.resize(self.overlay.arena_len(), Directory::new());
+        if self.repl > 1 {
+            self.replicas.resize(self.overlay.arena_len(), ReplicaStore::new());
+        }
         let phys = self.phys_node.len();
         self.phys_node.push(Some(idx));
         Ok(phys)
@@ -612,8 +708,12 @@ impl ResourceDiscovery for Lorm {
     fn leave_physical(&mut self, phys: usize) -> Result<(), DhtError> {
         let node = self.node_of(phys)?;
         // Hand off stored objects before departing (Cycloid's
-        // self-organization keeps stored objects available).
+        // self-organization keeps stored objects available). The node's
+        // replica store dies with it.
         let handoff = self.directories[node.0].drain();
+        if let Some(store) = self.replicas.get_mut(node.0) {
+            store.clear();
+        }
         self.overlay.leave(node)?;
         self.phys_node[phys] = None;
         self.total_pieces -= handoff.len();
@@ -630,6 +730,9 @@ impl ResourceDiscovery for Lorm {
         let node = self.node_of(phys)?;
         let lost = self.directories[node.0].drain();
         self.total_pieces -= lost.len();
+        if let Some(store) = self.replicas.get_mut(node.0) {
+            store.clear();
+        }
         self.overlay.fail(node)?;
         self.phys_node[phys] = None;
         Ok(())
@@ -637,6 +740,37 @@ impl ResourceDiscovery for Lorm {
 
     fn stabilize(&mut self) {
         self.overlay.rebuild_all_links();
+        self.repair_replicas();
+    }
+
+    fn set_replication(&mut self, k: usize) {
+        self.repl = k.max(1);
+        self.repair = RepairStats::new();
+        if self.repl <= 1 {
+            self.replicas = Vec::new();
+            return;
+        }
+        self.replicas = vec![ReplicaStore::new(); self.overlay.arena_len()];
+        self.replicate_primaries(false);
+    }
+
+    fn replication(&self) -> usize {
+        self.repl
+    }
+
+    fn repair_stats(&self) -> RepairStats {
+        self.repair
+    }
+
+    fn surviving_pieces_into(&self, out: &mut Vec<PieceKey>) {
+        for &n in self.overlay.live_nodes() {
+            if let Some(dir) = self.directories.get(n.0) {
+                out.extend(dir.iter().map(PieceKey::of));
+            }
+            if let Some(store) = self.replicas.get(n.0) {
+                store.keys_into(out);
+            }
+        }
     }
 }
 
@@ -1014,6 +1148,56 @@ mod tests {
         assert_eq!(complete + partial + failed, 120);
         assert!(complete > 0, "20% loss with retry should still complete some queries");
         assert!(partial + failed > 0, "20% loss should degrade some queries");
+    }
+
+    #[test]
+    fn replicated_pieces_survive_single_failures_between_repairs() {
+        // Full occupancy: every cluster has all d = 8 members, so every
+        // root has a live leaf-set replica target. With degree 2 and one
+        // failure per repair window no piece can be lost. (At partial
+        // occupancy single-member clusters have no replica target — the
+        // durability sweep measures exactly that exposure.)
+        let (_, mut l) = full_workload();
+        l.set_replication(2);
+        assert_eq!(l.replication(), 2);
+        let mut initial = Vec::new();
+        l.surviving_pieces_into(&mut initial);
+        grid_resource::canonicalize_pieces(&mut initial);
+        assert!(!initial.is_empty());
+        let mut rng = SmallRng::seed_from_u64(0x5EED);
+        for round in 0..10 {
+            let phys = loop {
+                let p = rand::Rng::gen_range(&mut rng, 0..2048);
+                if l.is_live(p) {
+                    break p;
+                }
+            };
+            l.fail_physical(phys).unwrap();
+            l.stabilize();
+            let mut now = Vec::new();
+            l.surviving_pieces_into(&mut now);
+            grid_resource::canonicalize_pieces(&mut now);
+            assert_eq!(
+                grid_resource::count_surviving(&initial, &now),
+                initial.len(),
+                "pieces lost in round {round}"
+            );
+        }
+        assert!(l.repair_stats().transfers() > 0, "repair must have moved copies");
+    }
+
+    #[test]
+    fn k1_replication_stays_a_no_op() {
+        let (_, mut l) = small_workload();
+        let mut before = Vec::new();
+        l.surviving_pieces_into(&mut before);
+        l.set_replication(1);
+        l.stabilize();
+        assert_eq!(l.replication(), 1);
+        assert_eq!(l.repair_stats().rounds(), 0);
+        let mut after = Vec::new();
+        l.surviving_pieces_into(&mut after);
+        assert_eq!(after, before);
     }
 
     #[test]

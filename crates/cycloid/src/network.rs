@@ -312,6 +312,30 @@ impl Cycloid {
         Ok(n.inside_pred.filter(|&s| self.nodes[s.0].alive))
     }
 
+    /// Append up to `k - 1` replica targets for live node `idx`: the next
+    /// members of its own cluster in cyclic order (leaf-set placement),
+    /// wrapping around, never `idx` itself. A cluster smaller than `k`
+    /// caps the target set at its size — replication is best-effort
+    /// within the leaf set, exactly like a short successor list.
+    ///
+    /// The result at degree `k` is a prefix of the result at `k + 1`
+    /// ([`dht_core::replica_targets`] is a prefix rule), which makes
+    /// piece survival monotone in the replication degree.
+    pub fn replica_targets_into(
+        &self,
+        idx: NodeIdx,
+        k: usize,
+        out: &mut Vec<NodeIdx>,
+    ) -> Result<(), DhtError> {
+        let id = self.live_node(idx)?.id;
+        let members = self.cluster_members(id.cubical);
+        let Some(pos) = members.iter().position(|&m| m == idx) else {
+            return Err(DhtError::NodeNotFound { index: idx.0 });
+        };
+        dht_core::replica_targets(members, pos, k, out);
+        Ok(())
+    }
+
     /// Pick a uniformly random live node.
     pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeIdx> {
         if self.live == 0 {

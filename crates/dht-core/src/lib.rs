@@ -37,6 +37,7 @@ pub mod fault;
 pub mod hashing;
 pub mod latency;
 pub mod overlay;
+pub mod replication;
 pub mod ring;
 pub mod sampling;
 pub mod stats;
@@ -51,6 +52,7 @@ pub use fault::{
 pub use hashing::{lex_hash, lex_prefix_end, ConsistentHash, LocalityHash};
 pub use latency::LatencyModel;
 pub use overlay::{BuildMode, NodeIdx, Overlay};
+pub use replication::{replica_targets, RepairStats};
 pub use ring::{clockwise_dist, in_interval_co, in_interval_oc, in_interval_oo, ring_dist};
 pub use sampling::{BoundedPareto, SeedSpawner, Zipf};
 pub use stats::{Histogram, LoadDist, Percentiles, Summary};

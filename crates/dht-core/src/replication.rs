@@ -1,0 +1,175 @@
+//! Replica placement and repair primitives.
+//!
+//! The durability layer follows the replicated-DHT model of Leslie et
+//! al., "Reliable Data Storage in Distributed Hash Tables": each stored
+//! piece lives on its owner plus `k - 1` replica holders drawn from the
+//! owner's neighbor set (successor list on Chord, leaf set / cluster on
+//! Cycloid), and the periodic maintenance round *repairs* replication —
+//! promotes copies whose primary died and re-copies under-replicated
+//! pieces — paying bandwidth that this module's [`RepairStats`] accounts
+//! in the same additive style as [`crate::Summary`].
+//!
+//! Placement itself is a pure prefix rule over a neighbor ordering
+//! ([`replica_targets`]): the target set at degree `k` is a prefix of the
+//! target set at `k + 1`. Combined with repair that only ever *adds*
+//! copies, piece survival is monotone in `k` along every churn
+//! trajectory — the property the durability sweep asserts per cell.
+
+use crate::overlay::NodeIdx;
+
+/// Additive counters for replica maintenance work, merged across rounds
+/// and systems exactly like [`crate::Summary`]. Each copy or promotion
+/// stands for one piece shipped over the network during repair, so the
+/// totals are the repair *bandwidth* of the run (in pieces).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    rounds: u64,
+    copies: u64,
+    promotions: u64,
+    dropped: u64,
+}
+
+impl RepairStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one completed repair round.
+    pub fn record_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Count one replica copied to an under-replicated holder.
+    pub fn record_copy(&mut self) {
+        self.copies += 1;
+    }
+
+    /// Count one replica promoted to a new primary after its old primary
+    /// died (one piece shipped, like a copy, but restoring the *primary*).
+    pub fn record_promotion(&mut self) {
+        self.promotions += 1;
+    }
+
+    /// Count one stale replica entry discarded without a transfer (its
+    /// primary departed but the piece already lives at the new owner).
+    pub fn record_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &RepairStats) {
+        self.rounds += other.rounds;
+        self.copies += other.copies;
+        self.promotions += other.promotions;
+        self.dropped += other.dropped;
+    }
+
+    /// Repair rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Replica copies shipped.
+    pub fn copies(&self) -> u64 {
+        self.copies
+    }
+
+    /// Replica promotions shipped.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Stale replica entries dropped without a transfer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total pieces shipped during repair (copies + promotions).
+    pub fn transfers(&self) -> u64 {
+        self.copies + self.promotions
+    }
+}
+
+/// Append up to `k - 1` replica targets for the member at `owner_pos` of
+/// a cyclic neighbor ordering: the next distinct members after the owner,
+/// wrapping around, never including the owner itself.
+///
+/// The result at degree `k` is always a prefix of the result at `k + 1`
+/// (shorter only when the ordering has fewer than `k` members), which is
+/// what makes piece survival monotone in `k`.
+pub fn replica_targets(ring: &[NodeIdx], owner_pos: usize, k: usize, out: &mut Vec<NodeIdx>) {
+    if k <= 1 || ring.len() <= 1 || owner_pos >= ring.len() {
+        return;
+    }
+    let want = (k - 1).min(ring.len() - 1);
+    for step in 1..=want {
+        out.push(ring[(owner_pos + step) % ring.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Vec<NodeIdx> {
+        (0..n).map(NodeIdx).collect()
+    }
+
+    #[test]
+    fn targets_are_next_members_with_wraparound() {
+        let r = ring(5);
+        let mut out = Vec::new();
+        replica_targets(&r, 3, 3, &mut out);
+        assert_eq!(out, vec![NodeIdx(4), NodeIdx(0)]);
+    }
+
+    #[test]
+    fn degree_one_and_singleton_rings_place_nothing() {
+        let r = ring(4);
+        let mut out = Vec::new();
+        replica_targets(&r, 0, 1, &mut out);
+        assert!(out.is_empty());
+        replica_targets(&ring(1), 0, 4, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn targets_nest_as_prefixes_across_degrees() {
+        let r = ring(7);
+        let mut prev = Vec::new();
+        for k in 1..=7 {
+            let mut cur = Vec::new();
+            replica_targets(&r, 2, k, &mut cur);
+            assert!(cur.starts_with(&prev), "k={k}: {cur:?} vs {prev:?}");
+            prev = cur;
+        }
+        assert_eq!(prev.len(), 6, "capped at ring size minus the owner");
+    }
+
+    #[test]
+    fn small_rings_cap_at_available_peers() {
+        let r = ring(3);
+        let mut out = Vec::new();
+        replica_targets(&r, 1, 4, &mut out);
+        assert_eq!(out, vec![NodeIdx(2), NodeIdx(0)]);
+    }
+
+    #[test]
+    fn repair_stats_merge_is_additive() {
+        let mut a = RepairStats::new();
+        a.record_round();
+        a.record_copy();
+        a.record_copy();
+        a.record_promotion();
+        let mut b = RepairStats::new();
+        b.record_round();
+        b.record_dropped();
+        a.merge(&b);
+        assert_eq!(a.rounds(), 2);
+        assert_eq!(a.copies(), 2);
+        assert_eq!(a.promotions(), 1);
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.transfers(), 3);
+    }
+}

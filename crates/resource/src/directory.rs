@@ -144,6 +144,13 @@ impl Directory {
     pub fn has_attr(&self, attr: AttrId) -> bool {
         self.bucket(attr.0).is_some_and(|v| !v.is_empty())
     }
+
+    /// Is an identical piece already stored? Used by replica promotion to
+    /// avoid double-storing a piece the new owner already received via a
+    /// graceful handoff (bucketed: a binary search plus one bucket scan).
+    pub fn contains(&self, info: &ResourceInfo) -> bool {
+        self.bucket(info.attr.0).is_some_and(|v| v.contains(info))
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +268,16 @@ mod tests {
         assert_eq!(owners(&seq), owners(&bulk));
         bulk.bulk_load(Vec::new());
         assert_eq!(owners(&seq), owners(&bulk), "empty batch is a no-op");
+    }
+
+    #[test]
+    fn contains_checks_exact_piece() {
+        let mut d = Directory::new();
+        d.push(info(7, 1.0, 1));
+        assert!(d.contains(&info(7, 1.0, 1)));
+        assert!(!d.contains(&info(7, 1.0, 2)), "different owner");
+        assert!(!d.contains(&info(7, 2.0, 1)), "different value");
+        assert!(!d.contains(&info(8, 1.0, 1)), "different attribute");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! `m` hub nodes for Mercury.
 
 use crate::model::{Query, ResourceInfo};
-use dht_core::{DhtError, FaultPlan, LoadDist, LookupTally, NodeIdx, RouteCache};
+use crate::replication::PieceKey;
+use dht_core::{DhtError, FaultPlan, LoadDist, LookupTally, NodeIdx, RepairStats, RouteCache};
 use rand::rngs::SmallRng;
 
 /// Result of resolving one multi-attribute query.
@@ -198,8 +199,41 @@ pub trait ResourceDiscovery {
     fn fail_physical(&mut self, phys: usize) -> Result<(), DhtError>;
 
     /// Run one maintenance round (stabilization / link repair) across the
-    /// system's overlay(s).
+    /// system's overlay(s). When replication is enabled this also repairs
+    /// replica placement: copies whose primary died are promoted to the
+    /// new owner, and under-replicated pieces are re-copied to their
+    /// current targets (bandwidth accounted in [`Self::repair_stats`]).
     fn stabilize(&mut self);
+
+    /// Enable replication at degree `k`: each stored piece lives on its
+    /// owner plus `k - 1` neighbor-set replicas, seeded immediately from
+    /// the current directories (the seeding is initial placement, not
+    /// repair, so it is *not* counted in [`Self::repair_stats`]).
+    ///
+    /// `k <= 1` (the default everywhere) disables replication entirely —
+    /// no replica state, no repair work, byte-identical behaviour to a
+    /// build without this layer. The default impl ignores the request,
+    /// which is exactly that contract.
+    fn set_replication(&mut self, k: usize) {
+        let _ = k;
+    }
+
+    /// The configured replication degree (`1` = unreplicated).
+    fn replication(&self) -> usize {
+        1
+    }
+
+    /// Cumulative replica-repair bandwidth counters (zero while
+    /// unreplicated).
+    fn repair_stats(&self) -> RepairStats {
+        RepairStats::default()
+    }
+
+    /// Append the [`PieceKey`] of every piece currently reachable on a
+    /// *live* node — primaries and replicas both. The caller owns
+    /// canonicalization (sort + dedup); duplicate registrations of one
+    /// logical piece are expected and collapse there.
+    fn surviving_pieces_into(&self, out: &mut Vec<PieceKey>);
 }
 
 impl Clone for Box<dyn ResourceDiscovery + Send + Sync> {

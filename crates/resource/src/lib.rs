@@ -23,10 +23,12 @@ pub mod churn;
 pub mod directory;
 pub mod discovery;
 pub mod model;
+pub mod replication;
 pub mod workload;
 
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use directory::Directory;
 pub use discovery::{FaultyOutcome, QueryOutcome, ResourceDiscovery};
 pub use model::{AttrId, AttributeSpace, Query, ResourceInfo, SubQuery, ValueTarget};
+pub use replication::{canonicalize_pieces, count_surviving, PieceKey, ReplicaEntry, ReplicaStore};
 pub use workload::{AttrPopularity, QueryMix, ValueDist, Workload, WorkloadConfig};

@@ -136,6 +136,8 @@ impl BedCache {
         }
         let mut rng = SmallRng::seed_from_u64(wl_seed);
         let built = Arc::new(
+            // lint:allow(panic-hygiene): every SimConfig constructible
+            // here yields a valid workload config (positive counts).
             Workload::generate(cfg.workload_config(), &mut rng).expect("valid workload config"),
         );
         match self.workloads.lock() {

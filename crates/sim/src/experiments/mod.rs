@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod durability;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

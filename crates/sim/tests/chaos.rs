@@ -155,3 +155,44 @@ fn churn_with_interleaved_ungraceful_failures_stays_sound() {
         assert!(once.contains(name), "{name} missing from report: {once}");
     }
 }
+
+#[test]
+fn soak_data_loss_is_monotone_in_replication_degree() {
+    // The durability sweep on the soak-scale 1024-node configuration:
+    // at every churn rate and for every system, the number of surviving
+    // piece identities must be non-decreasing in the replication degree
+    // k. The guarantee is pathwise, not statistical — every degree
+    // replays the identical churn sample and both placement rules
+    // (successor-list and leaf-set/cluster) are prefix rules in k — so
+    // the assertion is exact, on integer counts.
+    use sim::experiments::durability::{durability_cached, DurabilitySetup};
+    use sim::BedCache;
+    let cfg =
+        SimConfig { nodes: 1024, dimension: 8, attrs: 20, values: 60, ..SimConfig::default() };
+    let setup = DurabilitySetup {
+        rates: vec![0.2, 0.6],
+        degrees: vec![1, 2, 3],
+        duration: 100.0,
+        graceful_ratio: 0.0, // every departure abrupt: worst case for durability
+        probe_origins: 10,
+        probe_per_origin: 2,
+        ..DurabilitySetup::quick()
+    };
+    let d = durability_cached(&cfg, &setup, &BedCache::new());
+    assert_eq!(d.rows.len(), 6, "2 rates x 3 degrees");
+    let violations = d.k_monotonicity_violations();
+    assert!(violations.is_empty(), "{violations:?}");
+    // The soak must measure something: fully abrupt churn at the heavy
+    // rate has to lose pieces somewhere at k = 1...
+    let heavy_k1 = d.rows.iter().find(|r| r.rate == 0.6 && r.k == 1).expect("heavy-churn k=1 row");
+    assert!(
+        heavy_k1.cells.iter().any(|c| c.loss > 0.0),
+        "no system lost anything at k=1 under abrupt churn"
+    );
+    // ...and replication has to repair: every system moves pieces at k=3.
+    let heavy_k3 = d.rows.iter().find(|r| r.rate == 0.6 && r.k == 3).expect("heavy-churn k=3 row");
+    for (i, c) in heavy_k3.cells.iter().enumerate() {
+        assert!(c.repair_transfers() > 0, "system {i} repaired nothing at k=3");
+        assert!(c.repair_rounds > 0, "system {i} ran no repair rounds");
+    }
+}

@@ -27,8 +27,9 @@ use crate::lexer::{Tok, TokKind};
 use crate::lints::FileCtx;
 
 /// The functions the reproducibility contract is anchored to: the sharded
-/// query engines, the chaos sweep, and the scale sweep. A sim-purity
-/// violation matters exactly when it can flow into these.
+/// query engines, the chaos sweep, the scale sweep, and the durability
+/// sweep. A sim-purity violation matters exactly when it can flow into
+/// these.
 pub const ENTRY_POINTS: &[(&str, &str)] = &[
     ("sim", "run_batch_sharded"),
     ("sim", "run_batch_faulty_sharded"),
@@ -38,6 +39,7 @@ pub const ENTRY_POINTS: &[(&str, &str)] = &[
     ("bench", "run_chaos_cached"),
     ("bench", "run_scale"),
     ("bench", "run_scale_at"),
+    ("bench", "run_durability"),
 ];
 
 /// One function node in the workspace call graph.
