@@ -29,7 +29,7 @@ use dht_core::{
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, PieceKey, Query, QueryOutcome,
-    ResourceDiscovery, ResourceInfo, ValueTarget,
+    ResourceDiscovery, ResourceInfo, SelectivityEstimator, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -59,6 +59,8 @@ pub struct CompositeFlat {
     lph: LocalityHash,
     prefix_bits: u8,
     phys_node: Vec<Option<NodeIdx>>,
+    /// Per-attribute value histograms for the adaptive query plan.
+    sel: SelectivityEstimator,
 }
 
 impl CompositeFlat {
@@ -78,6 +80,7 @@ impl CompositeFlat {
             lph,
             prefix_bits: cfg.prefix_bits,
             phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(),
+            sel: SelectivityEstimator::new(space),
         }
     }
 
@@ -115,6 +118,7 @@ impl ResourceDiscovery for CompositeFlat {
 
     fn place_all(&mut self, reports: &[ResourceInfo]) {
         self.host.clear();
+        self.sel.rebuild(reports);
         for &r in reports {
             let _ = self.host.store_at_owner(self.key_of(r.attr, r.value), r);
         }
@@ -124,7 +128,12 @@ impl ResourceDiscovery for CompositeFlat {
         let from = self.node_of(info.owner)?;
         let key = self.key_of(info.attr, info.value);
         let route = self.host.store_routed(from, key, info)?;
+        self.sel.record(&info);
         Ok(LookupTally { hops: route.hops, lookups: 1, visited: 1, matches: 0 })
+    }
+
+    fn selectivity(&self) -> Option<&SelectivityEstimator> {
+        Some(&self.sel)
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {

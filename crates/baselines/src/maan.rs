@@ -23,7 +23,7 @@ use dht_core::{
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, PieceKey, Query, QueryOutcome,
-    ResourceDiscovery, ResourceInfo, ValueTarget,
+    ResourceDiscovery, ResourceInfo, SelectivityEstimator, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -48,6 +48,8 @@ pub struct Maan {
     lph: LocalityHash,
     phys_node: Vec<Option<NodeIdx>>,
     mode: BuildMode,
+    /// Per-attribute value histograms for the adaptive query plan.
+    sel: SelectivityEstimator,
 }
 
 impl Maan {
@@ -69,7 +71,14 @@ impl Maan {
         let attr_keys = space.ids().map(|a| hash.hash_str(space.name(a))).collect();
         // 0 span = the full 64-bit ring: the paper's system-wide value space.
         let lph = space.lph(0);
-        Self { host, attr_keys, lph, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(), mode }
+        Self {
+            host,
+            attr_keys,
+            lph,
+            phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(),
+            mode,
+            sel: SelectivityEstimator::new(space),
+        }
     }
 
     /// The attribute-registration key.
@@ -111,6 +120,7 @@ impl ResourceDiscovery for Maan {
 
     fn place_all(&mut self, reports: &[ResourceInfo]) {
         self.host.clear();
+        self.sel.rebuild(reports);
         match self.mode {
             BuildMode::Bulk => {
                 // Two registrations per report, in the same per-report
@@ -134,7 +144,12 @@ impl ResourceDiscovery for Maan {
         let from = self.node_of(info.owner)?;
         let r1 = self.host.store_routed(from, self.attr_key(info.attr), info)?;
         let r2 = self.host.store_routed(from, self.value_key(info.value), info)?;
+        self.sel.record(&info);
         Ok(LookupTally { hops: r1.hops + r2.hops, lookups: 2, visited: 2, matches: 0 })
+    }
+
+    fn selectivity(&self) -> Option<&SelectivityEstimator> {
+        Some(&self.sel)
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {

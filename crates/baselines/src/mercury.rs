@@ -20,7 +20,7 @@ use dht_core::{
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, PieceKey, Query, QueryOutcome,
-    ResourceDiscovery, ResourceInfo, ValueTarget,
+    ResourceDiscovery, ResourceInfo, SelectivityEstimator, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -46,6 +46,8 @@ pub struct Mercury {
     /// construction (hubs are built and churned in lock-step).
     phys_node: Vec<Option<NodeIdx>>,
     mode: BuildMode,
+    /// Per-attribute value histograms for the adaptive query plan.
+    sel: SelectivityEstimator,
 }
 
 impl Mercury {
@@ -77,7 +79,13 @@ impl Mercury {
             })
             .collect();
         let lph = space.lph(0);
-        Self { hubs, lph, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(), mode }
+        Self {
+            hubs,
+            lph,
+            phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(),
+            mode,
+            sel: SelectivityEstimator::new(space),
+        }
     }
 
     /// Number of hubs (`m`).
@@ -121,6 +129,7 @@ impl ResourceDiscovery for Mercury {
         for hub in &mut self.hubs {
             hub.clear();
         }
+        self.sel.rebuild(reports);
         match self.mode {
             BuildMode::Bulk => {
                 // Group reports per hub with one stable sort, then batch
@@ -151,7 +160,12 @@ impl ResourceDiscovery for Mercury {
         let from = self.node_of(info.owner)?;
         let key = self.lph.hash(info.value);
         let route = self.hubs[info.attr.0 as usize].store_routed(from, key, info)?;
+        self.sel.record(&info);
         Ok(LookupTally { hops: route.hops, lookups: 1, visited: 1, matches: 0 })
+    }
+
+    fn selectivity(&self) -> Option<&SelectivityEstimator> {
+        Some(&self.sel)
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {

@@ -15,7 +15,7 @@ use dht_core::{
 };
 use grid_resource::{
     discovery::join_owners, AttrId, AttributeSpace, FaultyOutcome, PieceKey, Query, QueryOutcome,
-    ResourceDiscovery, ResourceInfo,
+    ResourceDiscovery, ResourceInfo, SelectivityEstimator,
 };
 use rand::rngs::SmallRng;
 
@@ -40,6 +40,8 @@ pub struct Sword {
     attr_keys: Vec<u64>,
     phys_node: Vec<Option<NodeIdx>>,
     mode: BuildMode,
+    /// Per-attribute value histograms for the adaptive query plan.
+    sel: SelectivityEstimator,
 }
 
 impl Sword {
@@ -59,7 +61,13 @@ impl Sword {
         let host = ChordHost::build_with_mode(n, cfg.seed, mode);
         let hash = ConsistentHash::new(cfg.seed);
         let attr_keys = space.ids().map(|a| hash.hash_str(space.name(a))).collect();
-        Self { host, attr_keys, phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(), mode }
+        Self {
+            host,
+            attr_keys,
+            phys_node: (0..n).map(|i| Some(NodeIdx(i))).collect(),
+            mode,
+            sel: SelectivityEstimator::new(space),
+        }
     }
 
     /// The DHT key of an attribute.
@@ -96,6 +104,7 @@ impl ResourceDiscovery for Sword {
 
     fn place_all(&mut self, reports: &[ResourceInfo]) {
         self.host.clear();
+        self.sel.rebuild(reports);
         match self.mode {
             BuildMode::Bulk => {
                 let items: Vec<(u64, ResourceInfo)> =
@@ -114,7 +123,12 @@ impl ResourceDiscovery for Sword {
         let from = self.node_of(info.owner)?;
         let key = self.key_of(info.attr);
         let route = self.host.store_routed(from, key, info)?;
+        self.sel.record(&info);
         Ok(LookupTally { hops: route.hops, lookups: 1, visited: 1, matches: 0 })
+    }
+
+    fn selectivity(&self) -> Option<&SelectivityEstimator> {
+        Some(&self.sel)
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {

@@ -25,6 +25,7 @@ pub mod durability;
 pub mod perf;
 pub mod scale;
 
+use grid_resource::QueryPlan;
 use sim::experiments::{ablation, fig3, fig4, fig5, fig6, worstcase, Engine};
 use sim::{BedCache, Report, SimConfig};
 use std::path::PathBuf;
@@ -159,6 +160,10 @@ pub struct ReproConfig {
     /// (the default — reports are bit-identical to the plain engine;
     /// `--no-cache` flips this to re-verify that equivalence end to end).
     pub cached: bool,
+    /// Multi-attribute query plan for the query-driven figures (fig4,
+    /// fig5): parallel (the paper's §III semantics, the default),
+    /// sequential, or adaptive selective-first.
+    pub plan: QueryPlan,
 }
 
 impl Default for ReproConfig {
@@ -174,6 +179,7 @@ impl Default for ReproConfig {
             durability: false,
             baseline: None,
             cached: true,
+            plan: QueryPlan::Parallel,
         }
     }
 }
@@ -241,11 +247,11 @@ pub fn run_artifact_report_cached(a: Artifact, cfg: &ReproConfig, cache: &BedCac
             let bed = cache.bed(sim_cfg);
             // paper: 100 nodes × 10 queries each
             let (origins, per) = if cfg.quick { (20, 5) } else { (100, 10) };
-            fig4::fig4_with_engine(&bed, 1..=10, origins, per, cfg.engine()).report()
+            fig4::fig4_planned(&bed, 1..=10, origins, per, cfg.engine(), cfg.plan).report()
         }
         Artifact::Fig5 => {
             let bed = cache.bed(sim_cfg);
-            fig5::fig5_with_engine(&bed, 1..=10, cfg.queries(), cfg.engine()).report()
+            fig5::fig5_planned(&bed, 1..=10, cfg.queries(), cfg.engine(), cfg.plan).report()
         }
         Artifact::Fig6a => fig6::fig6_with_engine(
             &sim_cfg,
@@ -390,6 +396,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
 ) -> Result<(ReproConfig, Vec<Artifact>), String> {
     const USAGE: &str = "usage: repro [--quick] [--seed=N] [--shards=N] \
                          [--json <path>] [--baseline <BENCH.json>] [--no-cache] \
+                         [--plan=parallel|sequential|adaptive] \
                          [perf | chaos | scale | durability | theorems fig3a \
                           fig3bcd fig3sweep fig4 fig5 fig6a fig6b t410 \
                           maintenance churnfail hopdist latency loadbalance \
@@ -422,6 +429,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(
                 cfg.shards = s["--shards=".len()..]
                     .parse()
                     .map_err(|_| format!("bad shard count in {s:?}"))?;
+            }
+            s if s.starts_with("--plan=") => {
+                cfg.plan = QueryPlan::parse(&s["--plan=".len()..])
+                    .ok_or(format!("bad plan in {s:?} (parallel|sequential|adaptive)\n{USAGE}"))?;
             }
             "--no-cache" => cfg.cached = false,
             "perf" => cfg.perf = true,
@@ -461,8 +472,15 @@ pub fn render_json(cfg: &ReproConfig, runs: &[ArtifactRun]) -> String {
     let p = sim_cfg.params();
     let mut out = String::from("{\"schema\":\"lorm-repro/bench-v1\",\"config\":{");
     out.push_str(&format!(
-        "\"quick\":{},\"seed\":{},\"shards\":{},\"n\":{},\"m\":{},\"k\":{},\"d\":{}}}",
-        cfg.quick, cfg.seed, cfg.shards, p.n, p.m, p.k, p.d
+        "\"quick\":{},\"seed\":{},\"shards\":{},\"n\":{},\"m\":{},\"k\":{},\"d\":{},\"plan\":{}}}",
+        cfg.quick,
+        cfg.seed,
+        cfg.shards,
+        p.n,
+        p.m,
+        p.k,
+        p.d,
+        json_str(cfg.plan.name())
     ));
     out.push_str(",\"artifacts\":[");
     for (i, r) in runs.iter().enumerate() {
@@ -623,6 +641,39 @@ mod tests {
     }
 
     #[test]
+    fn parse_plan_flag() {
+        let (cfg, _) = parse_args(Vec::<String>::new()).unwrap();
+        assert_eq!(cfg.plan, QueryPlan::Parallel, "default is the paper's plan");
+        for (s, plan) in [
+            ("parallel", QueryPlan::Parallel),
+            ("sequential", QueryPlan::Sequential),
+            ("adaptive", QueryPlan::Adaptive),
+        ] {
+            let (cfg, _) = parse_args([format!("--plan={s}")]).unwrap();
+            assert_eq!(cfg.plan, plan);
+        }
+        assert!(parse_args(["--plan=greedy".into()]).is_err());
+    }
+
+    #[test]
+    fn planned_fig5_runs_and_ships_less_under_adaptive() {
+        let cfg = ReproConfig {
+            quick: true,
+            seed: 3,
+            plan: QueryPlan::Adaptive,
+            ..ReproConfig::default()
+        };
+        let adaptive = run_artifact_report(Artifact::Fig5, &cfg);
+        let parallel = run_artifact_report(
+            Artifact::Fig5,
+            &ReproConfig { plan: QueryPlan::Parallel, ..cfg.clone() },
+        );
+        // adaptive short-circuits, so total visited nodes can only shrink
+        let visited = |rep: &Report| rep.summaries().iter().map(|(_, s)| s.total()).sum::<f64>();
+        assert!(visited(&adaptive) <= visited(&parallel) + 1e-9);
+    }
+
+    #[test]
     fn parse_shards_flag() {
         let (cfg, _) = parse_args(["--shards=4".into()]).unwrap();
         assert_eq!(cfg.shards, 4);
@@ -657,6 +708,7 @@ mod tests {
         assert!(j.starts_with("{\"schema\":\"lorm-repro/bench-v1\",\"config\":{"), "{j}");
         assert!(j.contains("\"quick\":true"));
         assert!(j.contains("\"seed\":3"));
+        assert!(j.contains("\"plan\":\"parallel\""));
         assert!(j.contains("\"name\":\"theorems\",\"elapsed_ms\":1.5,\"tables\":["));
         assert!(j.contains("\"name\":\"t410\""));
         // the t410 report carries per-system summaries with failure counts

@@ -22,7 +22,7 @@ use analysis::System;
 use chord::{Chord, ChordConfig};
 use cycloid::{Cycloid, CycloidConfig, CycloidId};
 use dht_core::Overlay;
-use grid_resource::{QueryMix, ResourceDiscovery, Workload};
+use grid_resource::{intersect_sorted, QueryMix, QueryPlan, ResourceDiscovery, Workload};
 use lorm::{Lorm, LormConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -352,6 +352,67 @@ pub fn run_perf(cfg: &ReproConfig, counter: Option<AllocCounter>) -> Vec<PerfKer
         k.ops_per_sec = probe_q as f64 / (k.elapsed_ms / 1e3).max(1e-12);
         k.cache_hit_rate = hit_rate;
         kernels.push(k);
+    }
+
+    // --- planner: zero-alloc candidate intersection --------------------
+    // One iteration = refill the accumulator from the large sorted set
+    // and intersect the small one into it in place. The refill stays
+    // within the pre-sized capacity, so a nonzero allocs/iter here means
+    // the merge kernel itself regressed (the alloc_count_planner test
+    // pins the same invariant exactly).
+    {
+        let mut i_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x13);
+        let mut sorted_set = |len: usize, max: usize| -> Vec<usize> {
+            let mut v: Vec<usize> = (0..len).map(|_| i_rng.gen_range(0..max)).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let big = sorted_set(4096, 1 << 16);
+        let small = sorted_set(256, 1 << 16);
+        let acc_cell = std::cell::RefCell::new(Vec::with_capacity(big.len()));
+        let intersect_iters = if cfg.quick { 50_000u64 } else { 200_000u64 };
+        let mut k = time_kernel("planner_intersect", "query", intersect_iters, {
+            let acc = &acc_cell;
+            let big = &big;
+            let small = &small;
+            move || {
+                let mut a = acc.borrow_mut();
+                a.clear();
+                a.extend_from_slice(big);
+                intersect_sorted(&mut a, small);
+                std::hint::black_box(a.len());
+            }
+        });
+        measure_allocs(&mut k, counter, probe_iters, {
+            let acc = &acc_cell;
+            let big = &big;
+            let small = &small;
+            move || {
+                let mut a = acc.borrow_mut();
+                a.clear();
+                a.extend_from_slice(big);
+                intersect_sorted(&mut a, small);
+                std::hint::black_box(a.len());
+            }
+        });
+        kernels.push(k);
+    }
+
+    // --- planner: adaptive multi-attribute resolution on LORM ----------
+    // Arity-4 range queries through the selectivity-ordered sequential
+    // plan — the path the `--plan=adaptive` figures take per query.
+    {
+        let mut p_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x14);
+        kernels.push(time_kernel("planner_adaptive_probe", "query", probe_q, || {
+            let q = workload.random_query(4, QueryMix::Range, &mut p_rng);
+            let origin = p_rng.gen_range(0..sim_cfg.nodes);
+            std::hint::black_box(
+                lorm.query_planned(origin, &q, QueryPlan::Adaptive)
+                    .map(|o| o.tally.matches)
+                    .unwrap_or(0),
+            );
+        }));
     }
 
     // --- bed construction: the phase the BedCache amortizes ------------

@@ -1,0 +1,83 @@
+//! Proves the planner's sorted-merge intersection is allocation-free.
+//!
+//! A counting `#[global_allocator]` (the same scheme the `repro` binary
+//! uses for `repro perf`) wraps the system allocator; the single test
+//! drives a thousand `intersect_sorted` calls — balanced merges and the
+//! galloping size-mismatch path in both directions — through a
+//! pre-sized accumulator and asserts the allocation counter did not
+//! move. One test per binary: the counter is process-global, so a
+//! second concurrent test would pollute the window.
+
+use grid_resource::intersect_sorted;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter bump cannot violate
+// any allocator invariant.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn sorted_set(rng: &mut SmallRng, len: usize, max: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..len).map(|_| rng.gen_range(0..max)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn intersect_sorted_makes_zero_heap_allocations() {
+    const ROUNDS: usize = 1000;
+    // Everything that allocates happens before the measured window: the
+    // candidate sets and the accumulator, sized for the largest refill.
+    let mut rng = SmallRng::seed_from_u64(0xA110C2);
+    // balanced merge, gallop over `other`, gallop over the accumulator
+    let pairs: [(Vec<usize>, Vec<usize>); 3] = [
+        (sorted_set(&mut rng, 2048, 1 << 14), sorted_set(&mut rng, 2048, 1 << 14)),
+        (sorted_set(&mut rng, 4096, 1 << 16), sorted_set(&mut rng, 64, 1 << 16)),
+        (sorted_set(&mut rng, 64, 1 << 16), sorted_set(&mut rng, 4096, 1 << 16)),
+    ];
+    let cap = pairs.iter().map(|(a, _)| a.len()).max().expect("nonempty");
+    let mut acc: Vec<usize> = Vec::with_capacity(cap);
+
+    // Warm-up: any lazily-initialized one-time allocation lands here.
+    acc.extend_from_slice(&pairs[0].0);
+    intersect_sorted(&mut acc, &pairs[0].1);
+    black_box(acc.len());
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for round in 0..ROUNDS {
+        let (a, b) = &pairs[round % pairs.len()];
+        acc.clear();
+        acc.extend_from_slice(a);
+        intersect_sorted(&mut acc, b);
+        black_box(acc.len());
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "intersect_sorted must be allocation-free: {allocs} allocations over {ROUNDS} rounds"
+    );
+}

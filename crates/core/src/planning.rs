@@ -1,96 +1,23 @@
-//! Multi-attribute query planning — an elaboration of LORM's resolution
-//! strategy.
+//! Multi-attribute query planning — moved to the trait level.
 //!
-//! §III resolves the sub-queries of a multi-attribute query **in
-//! parallel** and joins the full owner sets at the requester. That
-//! minimizes latency but ships every sub-query's complete match list back
-//! to the requester. The classic database alternative resolves
-//! sub-queries **sequentially**, threading the surviving candidate set
-//! through: after the first sub-query, each directory node only returns
-//! owners that are still candidates, so the transfer volume collapses to
-//! roughly the most selective attribute's match count.
-//!
-//! The trade — same lookups and probes, lower transfer, higher latency
-//! (sub-queries serialize) — is quantified by the `ablate_query_plan`
-//! study. `matches` in the returned tally counts the pieces actually
-//! shipped to the requester, which is the metric the plans differ on.
+//! The `Parallel`/`Sequential` planner that used to live here as
+//! LORM-only inherent methods is now a capability of **every**
+//! [`ResourceDiscovery`](grid_resource::ResourceDiscovery) system
+//! (`query_planned` / `query_planned_cached` default methods), with a
+//! third, selectivity-driven `Adaptive` plan on top. See
+//! [`grid_resource::planner`] for the plan semantics and
+//! [`grid_resource::selectivity`] for the per-attribute histograms the
+//! adaptive plan orders by. This module re-exports [`QueryPlan`] so
+//! `lorm::QueryPlan` keeps working, and keeps the LORM-specific plan
+//! tests next to the system they exercise.
 
-use crate::system::Lorm;
-use dht_core::{DhtError, LookupTally};
-use grid_resource::{Query, QueryOutcome, ResourceDiscovery};
-
-/// How a multi-attribute query is resolved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum QueryPlan {
-    /// All sub-queries in parallel; join at the requester (§III).
-    #[default]
-    Parallel,
-    /// Sequential resolution threading the candidate set: each subsequent
-    /// directory filters against the survivors of the previous step.
-    Sequential,
-}
-
-impl Lorm {
-    /// Resolve `q` under an explicit [`QueryPlan`].
-    ///
-    /// `Parallel` delegates to the standard
-    /// [`ResourceDiscovery::query_from`]; `Sequential` resolves sub-queries
-    /// in order, intersecting as it goes and short-circuiting when the
-    /// candidate set empties (remaining sub-queries are skipped entirely —
-    /// their lookups never happen).
-    pub fn query_planned(
-        &self,
-        phys: usize,
-        q: &Query,
-        plan: QueryPlan,
-    ) -> Result<QueryOutcome, DhtError> {
-        match plan {
-            QueryPlan::Parallel => self.query_from(phys, q),
-            QueryPlan::Sequential => self.query_sequential(phys, q),
-        }
-    }
-
-    fn query_sequential(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {
-        let mut tally = LookupTally::default();
-        let mut probed_all = Vec::new();
-        let mut survivors: Option<Vec<usize>> = None;
-        // One single-sub scratch query reused across the sequential steps.
-        let mut single = Query { subs: Vec::with_capacity(1) };
-        for sub in &q.subs {
-            if matches!(survivors.as_deref(), Some([])) {
-                break; // short-circuit: nothing can match anymore
-            }
-            single.subs.clear();
-            single.subs.push(*sub);
-            let out = self.query_from(phys, &single)?;
-            tally.hops += out.tally.hops;
-            tally.lookups += out.tally.lookups;
-            tally.visited += out.tally.visited;
-            probed_all.extend(out.probed);
-            let mut found = out.owners;
-            found.sort_unstable();
-            found.dedup();
-            let next = match survivors {
-                None => found,
-                Some(prev) => {
-                    // the directory ships only survivors onward
-                    found.retain(|o| prev.binary_search(o).is_ok());
-                    found
-                }
-            };
-            // transfer volume = what actually travels back
-            tally.matches += next.len();
-            survivors = Some(next);
-        }
-        Ok(QueryOutcome { tally, owners: survivors.unwrap_or_default(), probed: probed_all })
-    }
-}
+pub use grid_resource::QueryPlan;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LormConfig;
-    use grid_resource::{QueryMix, Workload, WorkloadConfig};
+    use crate::{Lorm, LormConfig};
+    use grid_resource::{QueryMix, ResourceDiscovery, Workload, WorkloadConfig};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -117,10 +44,12 @@ mod tests {
             let q = w.random_query(arity, QueryMix::Range, &mut rng);
             let phys = rng.gen_range(0..896);
             let mut a = l.query_planned(phys, &q, QueryPlan::Parallel).unwrap().owners;
-            let mut b = l.query_planned(phys, &q, QueryPlan::Sequential).unwrap().owners;
             a.sort_unstable();
-            b.sort_unstable();
-            assert_eq!(a, b, "plans must return identical owners");
+            for plan in [QueryPlan::Sequential, QueryPlan::Adaptive] {
+                let mut b = l.query_planned(phys, &q, plan).unwrap().owners;
+                b.sort_unstable();
+                assert_eq!(a, b, "{plan:?} must return identical owners");
+            }
         }
     }
 
@@ -130,15 +59,22 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut par = 0usize;
         let mut seq = 0usize;
+        let mut ada = 0usize;
         for _ in 0..150 {
             let q = w.random_query(4, QueryMix::Range, &mut rng);
             let phys = rng.gen_range(0..896);
             par += l.query_planned(phys, &q, QueryPlan::Parallel).unwrap().tally.matches;
             seq += l.query_planned(phys, &q, QueryPlan::Sequential).unwrap().tally.matches;
+            ada += l.query_planned(phys, &q, QueryPlan::Adaptive).unwrap().tally.matches;
         }
         assert!(
-            seq * 3 < par,
+            seq * 2 < par,
             "sequential should ship far fewer pieces: parallel {par} vs sequential {seq}"
+        );
+        assert!(
+            ada <= seq,
+            "most-selective-first should not ship more than document order: \
+             adaptive {ada} vs sequential {seq}"
         );
     }
 
@@ -159,6 +95,60 @@ mod tests {
             }
         }
         assert!(any_skipped, "empty conjunctions should short-circuit");
+    }
+
+    #[test]
+    fn sequential_matches_count_pieces_shipped() {
+        // Satellite pin for the accounting fix: at arity 1 every plan
+        // ships exactly the sub-query's match list, so `matches` agrees
+        // with the parallel tally piece-for-piece (duplicates included),
+        // and at any arity `matches >= owners.len()`.
+        let (w, l) = setup();
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..60 {
+            let q = w.random_query(1, QueryMix::Range, &mut rng);
+            let phys = rng.gen_range(0..896);
+            let par = l.query_planned(phys, &q, QueryPlan::Parallel).unwrap();
+            for plan in [QueryPlan::Sequential, QueryPlan::Adaptive] {
+                let out = l.query_planned(phys, &q, plan).unwrap();
+                assert_eq!(
+                    out.tally.matches, par.tally.matches,
+                    "arity-1 {plan:?} must tally the same shipped pieces as parallel"
+                );
+            }
+        }
+        for arity in 2..=5 {
+            let q = w.random_query(arity, QueryMix::Range, &mut rng);
+            let phys = rng.gen_range(0..896);
+            let out = l.query_planned(phys, &q, QueryPlan::Sequential).unwrap();
+            assert!(
+                out.tally.matches >= out.owners.len(),
+                "shipped pieces can never undercount the final answer"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_probes_are_deduplicated() {
+        // Satellite pin for the probed dedup: no directory node appears
+        // twice in the probe list of a sequential/adaptive resolution.
+        let (w, l) = setup();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..40 {
+            let q = w.random_query(4, QueryMix::Range, &mut rng);
+            let phys = rng.gen_range(0..896);
+            for plan in [QueryPlan::Sequential, QueryPlan::Adaptive] {
+                let out = l.query_planned(phys, &q, plan).unwrap();
+                let mut seen = out.probed.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(
+                    seen.len(),
+                    out.probed.len(),
+                    "{plan:?} probe list must be duplicate-free"
+                );
+            }
+        }
     }
 
     #[test]

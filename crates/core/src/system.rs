@@ -9,7 +9,7 @@ use dht_core::{
 };
 use grid_resource::{
     discovery::join_owners, AttributeSpace, Directory, FaultyOutcome, PieceKey, Query,
-    QueryOutcome, ReplicaStore, ResourceDiscovery, ResourceInfo, ValueTarget,
+    QueryOutcome, ReplicaStore, ResourceDiscovery, ResourceInfo, SelectivityEstimator, ValueTarget,
 };
 use rand::rngs::SmallRng;
 
@@ -53,6 +53,9 @@ pub struct Lorm {
     /// (cluster members clockwise of the root). Empty below degree 2.
     replicas: Vec<ReplicaStore>,
     repair: RepairStats,
+    /// Per-attribute value histograms driving the adaptive query plan,
+    /// rebuilt at `place_all` and updated per routed `register`.
+    sel: SelectivityEstimator,
 }
 
 impl Lorm {
@@ -92,6 +95,7 @@ impl Lorm {
             repl: 1,
             replicas: Vec::new(),
             repair: RepairStats::new(),
+            sel: SelectivityEstimator::new(space),
         }
     }
 
@@ -439,6 +443,7 @@ impl ResourceDiscovery for Lorm {
     fn place_all(&mut self, reports: &[ResourceInfo]) {
         self.directories = vec![Directory::new(); self.overlay.arena_len()];
         self.total_pieces = 0;
+        self.sel.rebuild(reports);
         if self.repl > 1 {
             // Re-placement invalidates old replica attribution; the next
             // repair round re-seeds replicas from the new primaries.
@@ -483,7 +488,12 @@ impl ResourceDiscovery for Lorm {
         let id = self.keys.resc_id(info.attr, info.value);
         let route = self.overlay.route_stats(from, id)?;
         self.store(route.terminal, info);
+        self.sel.record(&info);
         Ok(LookupTally { hops: route.hops, lookups: 1, visited: 1, matches: 0 })
+    }
+
+    fn selectivity(&self) -> Option<&SelectivityEstimator> {
+        Some(&self.sel)
     }
 
     fn query_from(&self, phys: usize, q: &Query) -> Result<QueryOutcome, DhtError> {

@@ -8,7 +8,9 @@
 //! `m` hub nodes for Mercury.
 
 use crate::model::{Query, ResourceInfo};
+use crate::planner::{self, QueryPlan};
 use crate::replication::PieceKey;
+use crate::selectivity::SelectivityEstimator;
 use dht_core::{DhtError, FaultPlan, LoadDist, LookupTally, NodeIdx, RepairStats, RouteCache};
 use rand::rngs::SmallRng;
 
@@ -132,6 +134,61 @@ pub trait ResourceDiscovery {
     ) -> Result<QueryOutcome, DhtError> {
         let _ = cache;
         self.query_from(phys, q)
+    }
+
+    /// The per-attribute selectivity histograms maintained by this
+    /// system, if it keeps any. The adaptive query plan consults this to
+    /// order sub-queries most-selective-first; `None` (the default) makes
+    /// [`QueryPlan::Adaptive`] degrade gracefully to document order.
+    fn selectivity(&self) -> Option<&SelectivityEstimator> {
+        None
+    }
+
+    /// Resolve `q` under an explicit [`QueryPlan`].
+    ///
+    /// `Parallel` delegates to [`Self::query_from`]; `Sequential` and
+    /// `Adaptive` resolve sub-queries one at a time (ordered by
+    /// [`planner::plan_order`]), threading the surviving candidate set
+    /// and short-circuiting when it empties — remaining sub-queries are
+    /// skipped entirely, their lookups never happen. All three plans
+    /// return identical owner sets; tally semantics are documented in
+    /// [`crate::planner`].
+    fn query_planned(
+        &self,
+        phys: usize,
+        q: &Query,
+        plan: QueryPlan,
+    ) -> Result<QueryOutcome, DhtError> {
+        match plan {
+            QueryPlan::Parallel => self.query_from(phys, q),
+            QueryPlan::Sequential | QueryPlan::Adaptive => {
+                let order = planner::plan_order(q, plan, self.selectivity());
+                planner::resolve_in_order(q, &order, &mut |single| self.query_from(phys, single))
+            }
+        }
+    }
+
+    /// The cached twin of [`Self::query_planned`]: sub-query lookups and
+    /// range walks flow through `cache` exactly as in
+    /// [`Self::query_from_cached`]. Identical results to the uncached
+    /// twin — plan ordering depends only on the (immutable during a
+    /// query) selectivity histograms, never on cache state.
+    fn query_planned_cached(
+        &self,
+        phys: usize,
+        q: &Query,
+        plan: QueryPlan,
+        cache: &mut RouteCache,
+    ) -> Result<QueryOutcome, DhtError> {
+        match plan {
+            QueryPlan::Parallel => self.query_from_cached(phys, q, cache),
+            QueryPlan::Sequential | QueryPlan::Adaptive => {
+                let order = planner::plan_order(q, plan, self.selectivity());
+                planner::resolve_in_order(q, &order, &mut |single| {
+                    self.query_from_cached(phys, single, cache)
+                })
+            }
+        }
     }
 
     /// The cached twin of [`Self::query_from_faulty`]. Fault coins are

@@ -14,7 +14,12 @@
 //!   (§V.C models churn "as in \[12\]", i.e. the Chord paper);
 //! * [`discovery`] — the `ResourceDiscovery` trait: the narrow interface
 //!   the experiment engine drives, implemented by `lorm` and by
-//!   `baselines::{Mercury, Sword, Maan}`.
+//!   `baselines::{Mercury, Sword, Maan}`;
+//! * [`planner`] — trait-level multi-attribute query plans
+//!   (`Parallel | Sequential | Adaptive`) with candidate-set threading
+//!   and a zero-allocation sorted-merge intersection;
+//! * [`selectivity`] — deterministic per-attribute equi-width value
+//!   histograms feeding the adaptive plan's most-selective-first order.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,12 +28,16 @@ pub mod churn;
 pub mod directory;
 pub mod discovery;
 pub mod model;
+pub mod planner;
 pub mod replication;
+pub mod selectivity;
 pub mod workload;
 
 pub use churn::{ChurnEvent, ChurnKind, ChurnSchedule};
 pub use directory::Directory;
 pub use discovery::{FaultyOutcome, QueryOutcome, ResourceDiscovery};
 pub use model::{AttrId, AttributeSpace, Query, ResourceInfo, SubQuery, ValueTarget};
+pub use planner::{intersect_sorted, QueryPlan};
 pub use replication::{canonicalize_pieces, count_surviving, PieceKey, ReplicaEntry, ReplicaStore};
+pub use selectivity::SelectivityEstimator;
 pub use workload::{AttrPopularity, QueryMix, ValueDist, Workload, WorkloadConfig};

@@ -1,0 +1,281 @@
+//! Per-attribute selectivity estimation for the query planner.
+//!
+//! The adaptive query plan (see [`crate::planner`]) resolves the most
+//! selective sub-query first so the surviving candidate set — and with it
+//! the transfer volume — collapses as early as possible. That requires an
+//! estimate of how many pieces each sub-query matches *before* paying for
+//! its lookup. This module provides the classic database answer: an
+//! **equi-width value histogram per attribute**, maintained from the
+//! workload's own availability reports.
+//!
+//! Everything here is deterministic by construction: histograms are
+//! rebuilt from the report stream at [`SelectivityEstimator::rebuild`]
+//! (the `place_all` steady state) or updated one report at a time at
+//! [`SelectivityEstimator::record`] (the routed `register` path). No wall
+//! clock, no sampling RNG — the same reports always produce the same
+//! histograms, so plan choice never perturbs byte-level determinism.
+
+use crate::model::{AttrId, AttributeSpace, ResourceInfo, SubQuery, ValueTarget};
+
+/// Histogram resolution: buckets per attribute. 64 equi-width buckets
+/// over the shared value domain keep the estimator at one `u64` cache
+/// line per 8 buckets while resolving the paper's quarter-domain average
+/// range walk (Theorem 4.9) to ~3% of the domain per bucket.
+pub const DEFAULT_BUCKETS: usize = 64;
+
+/// Equi-width per-attribute value histograms over a shared domain.
+///
+/// `estimate` answers "roughly how many stored pieces does this
+/// sub-query match?" under a uniform-within-bucket assumption — exact in
+/// total mass (`Σ buckets == pieces recorded for the attribute`), and
+/// within a bucket's width of exact counts at the range edges. The
+/// planner only needs the *ranking* of sub-queries to be right, which is
+/// a much weaker ask; see `crates/sim`'s histogram tolerance test for
+/// the quantitative band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectivityEstimator {
+    lo: f64,
+    hi: f64,
+    buckets: usize,
+    /// `attrs × buckets`, row-major by attribute.
+    counts: Vec<u64>,
+    /// Total pieces recorded per attribute (row sums, kept incrementally).
+    totals: Vec<u64>,
+}
+
+impl SelectivityEstimator {
+    /// An empty estimator over `space`'s shared value domain with
+    /// [`DEFAULT_BUCKETS`] buckets per attribute.
+    pub fn new(space: &AttributeSpace) -> Self {
+        Self::with_buckets(space, DEFAULT_BUCKETS)
+    }
+
+    /// An empty estimator with an explicit per-attribute bucket count.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn with_buckets(space: &AttributeSpace, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        let (lo, hi) = space.domain();
+        Self {
+            lo,
+            hi,
+            buckets,
+            counts: vec![0; space.len() * buckets],
+            totals: vec![0; space.len()],
+        }
+    }
+
+    /// Buckets per attribute.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Total pieces recorded for `attr`.
+    pub fn total(&self, attr: AttrId) -> u64 {
+        self.totals.get(attr.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Has any report been recorded? An untrained estimator makes the
+    /// adaptive plan degrade to plain sequential (document order).
+    pub fn is_trained(&self) -> bool {
+        self.totals.iter().any(|&t| t > 0)
+    }
+
+    fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.buckets as f64
+    }
+
+    /// Bucket index of a value, clamped into `[0, buckets)`.
+    fn bucket_of(&self, v: f64) -> usize {
+        if self.hi <= self.lo {
+            return 0;
+        }
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let raw = (frac * self.buckets as f64).floor();
+        (raw.max(0.0) as usize).min(self.buckets - 1)
+    }
+
+    /// Record one availability report (the `register` path).
+    pub fn record(&mut self, info: &ResourceInfo) {
+        let a = info.attr.0 as usize;
+        if a >= self.totals.len() {
+            return; // out-of-space attribute: ignore rather than panic
+        }
+        let b = self.bucket_of(info.value);
+        self.counts[a * self.buckets + b] += 1;
+        self.totals[a] += 1;
+    }
+
+    /// Reset and re-record every report (the `place_all` steady state).
+    pub fn rebuild(&mut self, reports: &[ResourceInfo]) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.totals.iter_mut().for_each(|t| *t = 0);
+        for r in reports {
+            self.record(r);
+        }
+    }
+
+    /// Estimated number of stored pieces matching `sub`.
+    ///
+    /// * `Range` targets sum whole covered buckets and linearly
+    ///   interpolate the partial buckets at the edges (uniform-within-
+    ///   bucket assumption).
+    /// * `Point` targets estimate one grid value's share of its bucket:
+    ///   `bucket_count / bucket_width`, a density proxy that ranks exact
+    ///   matches below all but sub-bucket-width ranges — exactly the
+    ///   ordering the planner wants.
+    pub fn estimate(&self, sub: &SubQuery) -> f64 {
+        let a = sub.attr.0 as usize;
+        if a >= self.totals.len() || self.totals[a] == 0 {
+            return 0.0;
+        }
+        let row = &self.counts[a * self.buckets..(a + 1) * self.buckets];
+        match sub.target {
+            ValueTarget::Point(v) => {
+                let w = self.width();
+                let c = row[self.bucket_of(v)] as f64;
+                if w > 0.0 {
+                    c / w
+                } else {
+                    c
+                }
+            }
+            ValueTarget::Range { low, high } => {
+                if high < low {
+                    return 0.0;
+                }
+                let w = self.width();
+                if w <= 0.0 {
+                    return self.totals[a] as f64;
+                }
+                // Summed in fixed bucket order (iterator, no raw float
+                // accumulation) — deterministic for a given histogram.
+                let est: f64 = row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        let b_lo = self.lo + i as f64 * w;
+                        let b_hi = b_lo + w;
+                        let overlap = (high.min(b_hi) - low.max(b_lo)).max(0.0);
+                        c as f64 * (overlap / w).clamp(0.0, 1.0)
+                    })
+                    .sum();
+                // Clamp drift at the domain edges: a range covering the
+                // whole domain must estimate exactly the recorded total.
+                if low <= self.lo && high >= self.hi {
+                    self.totals[a] as f64
+                } else {
+                    est.min(self.totals[a] as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Query;
+
+    fn space() -> AttributeSpace {
+        AttributeSpace::synthetic(3, 0.0, 64.0).unwrap()
+    }
+
+    fn info(attr: u32, value: f64) -> ResourceInfo {
+        ResourceInfo { attr: AttrId(attr), value, owner: 0 }
+    }
+
+    fn range(attr: u32, low: f64, high: f64) -> SubQuery {
+        let q = Query::new(vec![SubQuery {
+            attr: AttrId(attr),
+            target: ValueTarget::Range { low, high },
+        }])
+        .unwrap();
+        q.subs[0]
+    }
+
+    #[test]
+    fn empty_estimator_is_untrained_and_estimates_zero() {
+        let e = SelectivityEstimator::new(&space());
+        assert!(!e.is_trained());
+        assert_eq!(e.estimate(&range(0, 0.0, 64.0)), 0.0);
+        assert_eq!(e.total(AttrId(0)), 0);
+    }
+
+    #[test]
+    fn full_domain_range_estimates_exact_total() {
+        let mut e = SelectivityEstimator::with_buckets(&space(), 8);
+        for v in 0..32 {
+            e.record(&info(1, v as f64 * 2.0));
+        }
+        assert!(e.is_trained());
+        assert_eq!(e.total(AttrId(1)), 32);
+        assert_eq!(e.estimate(&range(1, 0.0, 64.0)), 32.0);
+        // other attributes stay empty
+        assert_eq!(e.estimate(&range(0, 0.0, 64.0)), 0.0);
+    }
+
+    #[test]
+    fn half_domain_range_estimates_half_of_uniform_mass() {
+        let mut e = SelectivityEstimator::with_buckets(&space(), 8);
+        for v in 0..64 {
+            e.record(&info(0, v as f64));
+        }
+        let est = e.estimate(&range(0, 0.0, 32.0));
+        assert!((est - 32.0).abs() <= 8.0, "half of 64 uniform values ≈ 32, got {est}");
+    }
+
+    #[test]
+    fn partial_bucket_interpolates() {
+        // 8 buckets of width 8 over [0,64); 8 values all in bucket 0.
+        let mut e = SelectivityEstimator::with_buckets(&space(), 8);
+        for v in 0..8 {
+            e.record(&info(0, v as f64));
+        }
+        // half of bucket 0 → half its mass
+        let est = e.estimate(&range(0, 0.0, 4.0));
+        assert!((est - 4.0).abs() < 1e-9, "got {est}");
+    }
+
+    #[test]
+    fn point_density_ranks_below_wide_ranges() {
+        let mut e = SelectivityEstimator::new(&space());
+        for v in 0..64 {
+            e.record(&info(0, v as f64));
+        }
+        let q = Query::new(vec![SubQuery { attr: AttrId(0), target: ValueTarget::Point(10.0) }])
+            .unwrap();
+        let point = e.estimate(&q.subs[0]);
+        let wide = e.estimate(&range(0, 0.0, 48.0));
+        assert!(point < wide, "point {point} should rank below wide range {wide}");
+    }
+
+    #[test]
+    fn rebuild_resets_previous_state() {
+        let mut e = SelectivityEstimator::with_buckets(&space(), 8);
+        for v in 0..16 {
+            e.record(&info(0, v as f64));
+        }
+        e.rebuild(&[info(2, 1.0)]);
+        assert_eq!(e.total(AttrId(0)), 0);
+        assert_eq!(e.total(AttrId(2)), 1);
+        assert_eq!(e.estimate(&range(0, 0.0, 64.0)), 0.0);
+    }
+
+    #[test]
+    fn out_of_domain_values_clamp_into_edge_buckets() {
+        let mut e = SelectivityEstimator::with_buckets(&space(), 8);
+        e.record(&info(0, -100.0));
+        e.record(&info(0, 1e9));
+        assert_eq!(e.total(AttrId(0)), 2);
+        assert_eq!(e.estimate(&range(0, 0.0, 64.0)), 2.0);
+    }
+
+    #[test]
+    fn out_of_space_attribute_is_ignored() {
+        let mut e = SelectivityEstimator::new(&space());
+        e.record(&info(99, 1.0));
+        assert!(!e.is_trained());
+    }
+}

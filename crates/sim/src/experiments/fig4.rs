@@ -8,14 +8,15 @@
 //! measured MAAN.
 
 use crate::experiments::{
-    query_batch, run_batch_all_cached, run_batch_all_with, summary_of, CachePool, Engine, Metric,
+    query_batch, run_batch_all_cached_planned, run_batch_all_planned, summary_of, CachePool,
+    Engine, Metric,
 };
 use crate::report::Report;
 use crate::setup::TestBed;
 use crate::table::Table;
 use analysis::{self as th, System};
 use dht_core::Summary;
-use grid_resource::QueryMix;
+use grid_resource::{QueryMix, QueryPlan};
 use std::fmt;
 
 /// One arity's measurements.
@@ -64,6 +65,21 @@ pub fn fig4_with_engine(
     per_origin: usize,
     engine: Engine,
 ) -> Fig4 {
+    fig4_planned(bed, arities, origins, per_origin, engine, QueryPlan::Parallel)
+}
+
+/// [`fig4_with_engine`] under an explicit [`QueryPlan`]. The parallel plan
+/// reproduces the paper's figure exactly; sequential/adaptive plans keep
+/// the answer sets but change hop counts (each sub-query after the first
+/// still pays its lookup walk, so the curve shifts, not the ordering).
+pub fn fig4_planned(
+    bed: &TestBed,
+    arities: impl IntoIterator<Item = usize>,
+    origins: usize,
+    per_origin: usize,
+    engine: Engine,
+    plan: QueryPlan,
+) -> Fig4 {
     let p = bed.cfg.params();
     let mut rows = Vec::new();
     let mut summaries: Vec<(&'static str, Summary)> =
@@ -83,8 +99,12 @@ pub fn fig4_with_engine(
             bed.seeds.seed() ^ 0xF400 ^ arity as u64,
         );
         let measured = match engine {
-            Engine::Plain => run_batch_all_with(&bed.systems, &batch, Metric::Hops, engine),
-            Engine::Cached => run_batch_all_cached(&bed.systems, &batch, Metric::Hops, &mut pools),
+            Engine::Plain => {
+                run_batch_all_planned(&bed.systems, &batch, Metric::Hops, plan, engine)
+            }
+            Engine::Cached => {
+                run_batch_all_cached_planned(&bed.systems, &batch, Metric::Hops, plan, &mut pools)
+            }
         };
         for (i, s) in System::ALL.iter().enumerate() {
             summaries[i].1.merge(summary_of(&measured, *s));

@@ -7,14 +7,15 @@
 //! (513m / 514m / 3m / m for the paper's parameters).
 
 use crate::experiments::{
-    query_batch, run_batch_all_cached, run_batch_all_with, summary_of, CachePool, Engine, Metric,
+    query_batch, run_batch_all_cached_planned, run_batch_all_planned, summary_of, CachePool,
+    Engine, Metric,
 };
 use crate::report::Report;
 use crate::setup::TestBed;
 use crate::table::Table;
 use analysis::{self as th, System};
 use dht_core::Summary;
-use grid_resource::QueryMix;
+use grid_resource::{QueryMix, QueryPlan};
 use std::fmt;
 
 /// One arity's measurements.
@@ -56,6 +57,20 @@ pub fn fig5_with_engine(
     queries: usize,
     engine: Engine,
 ) -> Fig5 {
+    fig5_planned(bed, arities, queries, engine, QueryPlan::Parallel)
+}
+
+/// [`fig5_with_engine`] under an explicit [`QueryPlan`]. The parallel plan
+/// reproduces the paper's figure exactly; the adaptive plan visits at most
+/// as many nodes (empty intermediate candidate sets short-circuit the
+/// remaining sub-query walks).
+pub fn fig5_planned(
+    bed: &TestBed,
+    arities: impl IntoIterator<Item = usize>,
+    queries: usize,
+    engine: Engine,
+    plan: QueryPlan,
+) -> Fig5 {
     let p = bed.cfg.params();
     let mut rows = Vec::new();
     let mut summaries: Vec<(&'static str, Summary)> =
@@ -74,10 +89,16 @@ pub fn fig5_with_engine(
             bed.seeds.seed() ^ 0xF500 ^ arity as u64,
         );
         let measured = match engine {
-            Engine::Plain => run_batch_all_with(&bed.systems, &batch, Metric::Visited, engine),
-            Engine::Cached => {
-                run_batch_all_cached(&bed.systems, &batch, Metric::Visited, &mut pools)
+            Engine::Plain => {
+                run_batch_all_planned(&bed.systems, &batch, Metric::Visited, plan, engine)
             }
+            Engine::Cached => run_batch_all_cached_planned(
+                &bed.systems,
+                &batch,
+                Metric::Visited,
+                plan,
+                &mut pools,
+            ),
         };
         for (i, s) in System::ALL.iter().enumerate() {
             summaries[i].1.merge(summary_of(&measured, *s));

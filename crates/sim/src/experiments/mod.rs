@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use analysis::System;
 use dht_core::{hashing::splitmix64, FaultPlan, RouteCache, Summary};
-use grid_resource::{Query, QueryMix, ResourceDiscovery, ValueTarget, Workload};
+use grid_resource::{Query, QueryMix, QueryPlan, ResourceDiscovery, ValueTarget, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,22 +61,19 @@ pub fn query_batch(
     batch
 }
 
-/// Run a contiguous slice of a batch sequentially on the calling thread.
+/// Run a contiguous slice of a batch sequentially on the calling thread,
+/// resolving each query under `plan` ([`QueryPlan::Parallel`] is the
+/// classic `query_from` path, byte for byte).
 fn run_shard(
     sys: &(dyn ResourceDiscovery + Send + Sync),
     shard: &[(usize, Query)],
     metric: Metric,
+    plan: QueryPlan,
 ) -> Summary {
     let mut s = Summary::new();
     for (phys, q) in shard {
-        match sys.query_from(*phys, q) {
-            Ok(out) => {
-                let v = match metric {
-                    Metric::Hops => out.tally.hops as f64,
-                    Metric::Visited => out.tally.visited as f64,
-                };
-                s.record(v);
-            }
+        match sys.query_planned(*phys, q, plan) {
+            Ok(out) => s.record(metric.of(&out.tally)),
             Err(_) => s.record_failure(),
         }
     }
@@ -125,9 +122,24 @@ pub fn run_batch_sharded(
     metric: Metric,
     shards: usize,
 ) -> Summary {
+    run_batch_planned_sharded(sys, batch, metric, QueryPlan::Parallel, shards)
+}
+
+/// [`run_batch_sharded`] under an explicit [`QueryPlan`]: every query
+/// resolves through `query_planned`, so sequential/adaptive plans thread
+/// their candidate sets inside the same ordered micro-chunk reduction.
+/// Bit-identical across shard counts for every plan, and byte-identical
+/// to [`run_batch_sharded`] at [`QueryPlan::Parallel`].
+pub fn run_batch_planned_sharded(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    plan: QueryPlan,
+    shards: usize,
+) -> Summary {
     let micro: Vec<&[(usize, Query)]> = batch.chunks(MICRO_CHUNK.max(1)).collect();
     if shards <= 1 || micro.len() <= 1 {
-        return merge_in_order(micro.into_iter().map(|c| run_shard(sys, c, metric)));
+        return merge_in_order(micro.into_iter().map(|c| run_shard(sys, c, metric, plan)));
     }
     // Give each worker a contiguous run of micro-chunks; workers return
     // their per-chunk summaries in order, and the single-threaded merge
@@ -139,7 +151,7 @@ pub fn run_batch_sharded(
             .chunks(per_worker)
             .map(|chunks| {
                 scope.spawn(move |_| {
-                    chunks.iter().map(|c| run_shard(sys, c, metric)).collect::<Vec<_>>()
+                    chunks.iter().map(|c| run_shard(sys, c, metric, plan)).collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -185,6 +197,7 @@ fn run_shard_cached(
     sys: &(dyn ResourceDiscovery + Send + Sync),
     shard: &[(usize, Query)],
     metric: Metric,
+    plan: QueryPlan,
     cache: &mut RouteCache,
 ) -> Summary {
     let mut order: Vec<usize> = (0..shard.len()).collect();
@@ -192,11 +205,8 @@ fn run_shard_cached(
     let mut vals: Vec<Option<f64>> = vec![None; shard.len()];
     for &i in &order {
         let (phys, q) = &shard[i];
-        if let Ok(out) = sys.query_from_cached(*phys, q, cache) {
-            vals[i] = Some(match metric {
-                Metric::Hops => out.tally.hops as f64,
-                Metric::Visited => out.tally.visited as f64,
-            });
+        if let Ok(out) = sys.query_planned_cached(*phys, q, plan, cache) {
+            vals[i] = Some(metric.of(&out.tally));
         }
     }
     let mut s = Summary::new();
@@ -235,9 +245,27 @@ pub fn run_batch_cached_sharded(
     shards: usize,
     cache: &mut RouteCache,
 ) -> Summary {
+    run_batch_planned_cached_sharded(sys, batch, metric, QueryPlan::Parallel, shards, cache)
+}
+
+/// [`run_batch_cached_sharded`] under an explicit [`QueryPlan`]: the
+/// cached twin of [`run_batch_planned_sharded`]. Sequential/adaptive
+/// sub-query walks flow through the route cache one sub-query at a time,
+/// so repeated attribute anchors across the locality-sorted chunk stay
+/// memoized exactly as in the parallel path.
+pub fn run_batch_planned_cached_sharded(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    plan: QueryPlan,
+    shards: usize,
+    cache: &mut RouteCache,
+) -> Summary {
     let micro: Vec<&[(usize, Query)]> = batch.chunks(MICRO_CHUNK.max(1)).collect();
     if shards <= 1 || micro.len() <= 1 {
-        return merge_in_order(micro.into_iter().map(|c| run_shard_cached(sys, c, metric, cache)));
+        return merge_in_order(
+            micro.into_iter().map(|c| run_shard_cached(sys, c, metric, plan, cache)),
+        );
     }
     let per_worker = micro.len().div_ceil(shards);
     let mut parts: Vec<Summary> = Vec::with_capacity(micro.len());
@@ -249,7 +277,7 @@ pub fn run_batch_cached_sharded(
                     let mut local = RouteCache::new();
                     chunks
                         .iter()
-                        .map(|c| run_shard_cached(sys, c, metric, &mut local))
+                        .map(|c| run_shard_cached(sys, c, metric, plan, &mut local))
                         .collect::<Vec<_>>()
                 })
             })
@@ -290,13 +318,29 @@ pub fn run_batch_cached_pooled(
     shards: usize,
     pool: &mut CachePool,
 ) -> Summary {
+    run_batch_planned_cached_pooled(sys, batch, metric, QueryPlan::Parallel, shards, pool)
+}
+
+/// [`run_batch_cached_pooled`] under an explicit [`QueryPlan`] — the
+/// executor the figure pipelines use when a `--plan=` override is in
+/// effect, keeping their per-system pools warm across sweep rounds.
+pub fn run_batch_planned_cached_pooled(
+    sys: &(dyn ResourceDiscovery + Send + Sync),
+    batch: &[(usize, Query)],
+    metric: Metric,
+    plan: QueryPlan,
+    shards: usize,
+    pool: &mut CachePool,
+) -> Summary {
     let micro: Vec<&[(usize, Query)]> = batch.chunks(MICRO_CHUNK.max(1)).collect();
     if shards <= 1 || micro.len() <= 1 {
         if pool.is_empty() {
             pool.push(RouteCache::new());
         }
         let cache = &mut pool[0];
-        return merge_in_order(micro.into_iter().map(|c| run_shard_cached(sys, c, metric, cache)));
+        return merge_in_order(
+            micro.into_iter().map(|c| run_shard_cached(sys, c, metric, plan, cache)),
+        );
     }
     let per_worker = micro.len().div_ceil(shards);
     let workers = micro.len().div_ceil(per_worker);
@@ -312,7 +356,7 @@ pub fn run_batch_cached_pooled(
                 scope.spawn(move |_| {
                     chunks
                         .iter()
-                        .map(|c| run_shard_cached(sys, c, metric, cache))
+                        .map(|c| run_shard_cached(sys, c, metric, plan, cache))
                         .collect::<Vec<_>>()
                 })
             })
@@ -345,10 +389,7 @@ fn run_shard_faulty(
     for (j, (phys, q)) in shard.iter().enumerate() {
         match sys.query_from_faulty(*phys, q, plan, msg_seed_at(plan, base + j)) {
             Ok(f) => {
-                let v = match metric {
-                    Metric::Hops => f.outcome.tally.hops as f64,
-                    Metric::Visited => f.outcome.tally.visited as f64,
-                };
+                let v = metric.of(&f.outcome.tally);
                 if f.is_failed() {
                     s.record_failure();
                 } else if f.is_partial() {
@@ -450,10 +491,7 @@ fn run_shard_faulty_cached(
     for f in vals {
         match f {
             Some(f) => {
-                let v = match metric {
-                    Metric::Hops => f.outcome.tally.hops as f64,
-                    Metric::Visited => f.outcome.tally.visited as f64,
-                };
+                let v = metric.of(&f.outcome.tally);
                 if f.is_failed() {
                     s.record_failure();
                 } else if f.is_partial() {
@@ -558,9 +596,23 @@ pub fn run_batch_all_with(
     metric: Metric,
     engine: Engine,
 ) -> Vec<(&'static str, Summary)> {
+    run_batch_all_planned(systems, batch, metric, QueryPlan::Parallel, engine)
+}
+
+/// [`run_batch_all_with`] under an explicit [`QueryPlan`] — the figure
+/// pipelines thread their `--plan=` override through here. Plan choice
+/// never alters owner sets, only the cost tallies, and
+/// [`QueryPlan::Parallel`] is byte-identical to [`run_batch_all_with`].
+pub fn run_batch_all_planned(
+    systems: &[Box<dyn ResourceDiscovery + Send + Sync>],
+    batch: &[(usize, Query)],
+    metric: Metric,
+    plan: QueryPlan,
+    engine: Engine,
+) -> Vec<(&'static str, Summary)> {
     if engine == Engine::Cached {
         let mut pools: Vec<CachePool> = systems.iter().map(|_| CachePool::new()).collect();
-        return run_batch_all_cached(systems, batch, metric, &mut pools);
+        return run_batch_all_cached_planned(systems, batch, metric, plan, &mut pools);
     }
     let mut out: Vec<(&'static str, Summary)> = Vec::with_capacity(systems.len());
     crossbeam::thread::scope(|scope| {
@@ -568,7 +620,12 @@ pub fn run_batch_all_with(
             .iter()
             .map(|sys| {
                 let sys = sys.as_ref();
-                scope.spawn(move |_| (sys.name(), run_batch(sys, batch, metric)))
+                scope.spawn(move |_| {
+                    (
+                        sys.name(),
+                        run_batch_planned_sharded(sys, batch, metric, plan, default_shards()),
+                    )
+                })
             })
             .collect();
         for h in handles {
@@ -591,6 +648,17 @@ pub fn run_batch_all_cached(
     metric: Metric,
     pools: &mut [CachePool],
 ) -> Vec<(&'static str, Summary)> {
+    run_batch_all_cached_planned(systems, batch, metric, QueryPlan::Parallel, pools)
+}
+
+/// [`run_batch_all_cached`] under an explicit [`QueryPlan`].
+pub fn run_batch_all_cached_planned(
+    systems: &[Box<dyn ResourceDiscovery + Send + Sync>],
+    batch: &[(usize, Query)],
+    metric: Metric,
+    plan: QueryPlan,
+    pools: &mut [CachePool],
+) -> Vec<(&'static str, Summary)> {
     assert_eq!(systems.len(), pools.len(), "one cache pool per system");
     let mut out: Vec<(&'static str, Summary)> = Vec::with_capacity(systems.len());
     crossbeam::thread::scope(|scope| {
@@ -602,7 +670,14 @@ pub fn run_batch_all_cached(
                 scope.spawn(move |_| {
                     (
                         sys.name(),
-                        run_batch_cached_pooled(sys, batch, metric, default_shards(), pool),
+                        run_batch_planned_cached_pooled(
+                            sys,
+                            batch,
+                            metric,
+                            plan,
+                            default_shards(),
+                            pool,
+                        ),
                     )
                 })
             })
@@ -622,6 +697,24 @@ pub enum Metric {
     Hops,
     /// Visited directory nodes (Figures 5, 6(b)).
     Visited,
+    /// Resource-information pieces shipped to the requester — the
+    /// transfer-volume metric the query plans differ on.
+    Matches,
+    /// DHT lookups issued (sequential plans skip lookups after an empty
+    /// intersection, so this is plan-sensitive too).
+    Lookups,
+}
+
+impl Metric {
+    /// Extract this metric's value from a query tally.
+    pub fn of(self, tally: &dht_core::LookupTally) -> f64 {
+        match self {
+            Metric::Hops => tally.hops as f64,
+            Metric::Visited => tally.visited as f64,
+            Metric::Matches => tally.matches as f64,
+            Metric::Lookups => tally.lookups as f64,
+        }
+    }
 }
 
 pub(crate) fn summary_of<'a>(rows: &'a [(&'static str, Summary)], s: System) -> &'a Summary {
@@ -828,6 +921,114 @@ mod tests {
         for (name, p) in &plain {
             let c = &cached.iter().find(|(n, _)| n == name).unwrap().1;
             assert_summaries_bit_identical(c, p, name);
+        }
+    }
+
+    #[test]
+    fn planned_batch_is_bit_identical_across_shards_and_caching() {
+        // Every plan × metric: sharding (1 vs 3) and the cached executor
+        // must both be invisible in the summary bytes.
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 15, 3, 3, QueryMix::Range, 0x9A1);
+        for sys in &bed.systems {
+            for plan in QueryPlan::ALL {
+                for metric in [Metric::Hops, Metric::Visited, Metric::Matches, Metric::Lookups] {
+                    let base = run_batch_planned_sharded(sys.as_ref(), &batch, metric, plan, 1);
+                    let ctx = format!("{} {plan:?} {metric:?}", sys.name());
+                    let sharded = run_batch_planned_sharded(sys.as_ref(), &batch, metric, plan, 3);
+                    assert_summaries_bit_identical(&sharded, &base, &ctx);
+                    for shards in [1usize, 3] {
+                        let mut cache = RouteCache::new();
+                        let cached = run_batch_planned_cached_sharded(
+                            sys.as_ref(),
+                            &batch,
+                            metric,
+                            plan,
+                            shards,
+                            &mut cache,
+                        );
+                        assert_summaries_bit_identical(
+                            &cached,
+                            &base,
+                            &format!("{ctx} cached shards={shards}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_plan_executor_matches_classic_executor() {
+        // run_batch_sharded delegates to the planned executor at
+        // QueryPlan::Parallel; pin the equivalence explicitly.
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 10, values: 30, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 10, 3, 2, QueryMix::Range, 0x9A2);
+        for sys in &bed.systems {
+            let classic = run_batch_sharded(sys.as_ref(), &batch, Metric::Hops, 1);
+            let planned = run_batch_planned_sharded(
+                sys.as_ref(),
+                &batch,
+                Metric::Hops,
+                QueryPlan::Parallel,
+                1,
+            );
+            assert_summaries_bit_identical(&planned, &classic, sys.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_plan_ships_fewer_matches_on_every_system() {
+        // ISSUE 10 acceptance: at arity 4 on the quick workload shape,
+        // Adaptive ships <= 0.5x Parallel's transfer volume on every
+        // system (owner-set equality is pinned by the cross-system
+        // proptests in tests/).
+        let cfg =
+            SimConfig { nodes: 384, dimension: 6, attrs: 12, values: 40, ..SimConfig::default() };
+        let bed = TestBed::new(cfg);
+        let batch = query_batch(&bed.workload, cfg.nodes, 25, 4, 4, QueryMix::Range, 0x9A3);
+        for sys in &bed.systems {
+            let par = run_batch_planned_sharded(
+                sys.as_ref(),
+                &batch,
+                Metric::Matches,
+                QueryPlan::Parallel,
+                1,
+            );
+            let ada = run_batch_planned_sharded(
+                sys.as_ref(),
+                &batch,
+                Metric::Matches,
+                QueryPlan::Adaptive,
+                1,
+            );
+            assert!(
+                ada.total() * 2.0 <= par.total(),
+                "{}: adaptive should ship <= 0.5x parallel's pieces: {} vs {}",
+                sys.name(),
+                ada.total(),
+                par.total()
+            );
+            // And adaptive never issues more lookups than parallel.
+            let par_l = run_batch_planned_sharded(
+                sys.as_ref(),
+                &batch,
+                Metric::Lookups,
+                QueryPlan::Parallel,
+                1,
+            );
+            let ada_l = run_batch_planned_sharded(
+                sys.as_ref(),
+                &batch,
+                Metric::Lookups,
+                QueryPlan::Adaptive,
+                1,
+            );
+            assert!(ada_l.total() <= par_l.total(), "{}: lookup count", sys.name());
         }
     }
 
